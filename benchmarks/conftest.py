@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to the ``tiny`` scale so the whole suite runs in well
+under a minute; export ``REPRO_BENCH_SCALE=small|medium|paper`` to
+approach the paper's instance sizes.  Besides the pytest-benchmark timing
+tables, every figure's series rows are written to ``benchmarks/results/``
+(JSON + CSV) — the same artifacts ``repro figure all --save`` produces.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.scales import SCALES
+from repro.tpcc.driver import generate_tpcc
+from repro.tpcc.loader import TPCCScale
+from repro.workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower()
+    if name not in SCALES:
+        raise KeyError(f"unknown REPRO_BENCH_SCALE {name!r}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def tpcc_workload(scale):
+    return generate_tpcc(
+        TPCCScale(warehouses=scale.tpcc_warehouses), n_queries=scale.tpcc_queries, seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic(scale):
+    config = SyntheticConfig(
+        n_tuples=scale.synthetic_tuples,
+        n_queries=scale.synthetic_queries,
+        n_groups=max(1, scale.synthetic_affected // scale.synthetic_per_query),
+        group_size=scale.synthetic_per_query,
+        seed=7,
+    )
+    return config, synthetic_database(config), synthetic_log(config)
+
+
+def save_figures(figures, results_dir):
+    """Persist figure series and print them (visible under ``pytest -s``)."""
+    for figure in figures:
+        figure.save(results_dir)
+        figure.print()

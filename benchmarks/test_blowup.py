@@ -1,0 +1,46 @@
+"""Proposition 5.1: the adversarial alternation, timed and sized."""
+
+import pytest
+
+from repro.bench.figures import figure_blowup
+from repro.bench.measure import series_run
+from repro.db.database import Database
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Modify, Transaction
+from repro.workloads.logs import UpdateLog
+
+from .conftest import save_figures
+
+
+def alternating(n_queries):
+    db = Database.from_rows("R", ["value"], [("a",), ("b",)])
+    u12 = Modify("R", Pattern(1, eq={0: "a"}), {0: "b"})
+    u21 = Modify("R", Pattern(1, eq={0: "b"}), {0: "a"})
+    return db, UpdateLog(
+        [Transaction("p", [u12 if i % 2 == 0 else u21 for i in range(n_queries)])]
+    )
+
+
+@pytest.mark.benchmark(group="blowup")
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+def test_blowup_tracking_time(benchmark, scale, policy):
+    db, log = alternating(scale.blowup_queries)
+
+    def run():
+        return series_run(db, log, policy, [scale.blowup_queries])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.final().queries == scale.blowup_queries
+
+
+@pytest.mark.benchmark(group="figures")
+def test_blowup_series_shape(benchmark, scale, results_dir):
+    (fig,) = benchmark.pedantic(figure_blowup, args=(scale,), rounds=1, iterations=1)
+    save_figures([fig], results_dir)
+    naive = [row["naive expanded size"] for row in fig.rows]
+    nf = [row["nf expanded size"] for row in fig.rows]
+    # Exponential: each two-query step multiplies the size by > 1.5.
+    for a, b in zip(naive, naive[1:]):
+        assert b > 1.5 * a
+    # Theorem 5.3: flat.
+    assert max(nf) == min(nf)

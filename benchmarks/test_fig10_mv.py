@@ -1,0 +1,39 @@
+"""Figure 10: comparison with the MV-semiring baseline [Arab et al. 2016]."""
+
+import pytest
+
+from repro.bench.figures import figure_10
+from repro.engine.engine import Engine
+
+from .conftest import save_figures
+
+POLICIES = ["naive", "normal_form", "mv_tree", "mv_string"]
+
+
+@pytest.mark.benchmark(group="fig10b-runtime")
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fig10b_runtime(benchmark, synthetic, policy):
+    _config, database, log = synthetic
+    single = log.as_single_transaction()
+
+    def replay():
+        engine = Engine(database, policy=policy)
+        engine.apply(single)
+        return engine
+
+    engine = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert engine.live_count() > 0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_series_shapes(benchmark, scale, results_dir):
+    fig10a, fig10b = benchmark.pedantic(figure_10, args=(scale,), rounds=1, iterations=1)
+    save_figures([fig10a, fig10b], results_dir)
+    final = fig10a.rows[-1]
+    # The implementation-independent measure: normal form smallest, the
+    # naive construction above the MV baseline (it duplicates tuples).
+    assert final["nf length+rows"] <= final["mv length+rows"]
+    assert final["naive length+rows"] >= final["nf length+rows"]
+    # Memory series grow monotonically for naive and MV.
+    naive_series = [row["naive length+rows"] for row in fig10a.rows]
+    assert naive_series == sorted(naive_series)

@@ -1,0 +1,86 @@
+"""Figure 7: provenance overhead and usage on TPC-C.
+
+Three benchmark groups mirror the figure's three panels:
+
+* ``fig7b-runtime`` — executing the log under each policy (7b);
+* ``fig7c-usage`` — the deletion-propagation valuation vs. the re-run
+  baseline at the final state (7c);
+* the memory series (7a) has no timing component: it is asserted for
+  shape and persisted to ``results/fig7a.*``.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.figures import figure_7
+from repro.bench.measure import usage_measurement
+from repro.engine.engine import Engine
+
+from .conftest import save_figures
+
+
+def replay(workload, policy):
+    log = workload.log.as_single_transaction()
+    engine = Engine(workload.database, policy=policy)
+    engine.apply(log)
+    return engine
+
+
+@pytest.mark.benchmark(group="fig7b-runtime")
+@pytest.mark.parametrize("policy", ["none", "naive", "normal_form"])
+def test_fig7b_runtime(benchmark, tpcc_workload, policy):
+    engine = benchmark.pedantic(
+        replay, args=(tpcc_workload, policy), rounds=3, iterations=1
+    )
+    assert engine.live_count() > 0
+
+
+@pytest.mark.benchmark(group="fig7c-usage")
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+def test_fig7c_usage_valuation(benchmark, tpcc_workload, scale, policy):
+    log = tpcc_workload.log.as_single_transaction()
+    engine = replay(tpcc_workload, policy)
+
+    def valuation():
+        return usage_measurement(
+            engine,
+            tpcc_workload.database,
+            log,
+            n_deletions=scale.usage_deletions,
+            rng=random.Random(99),
+            verify=False,
+        )
+
+    measurement = benchmark.pedantic(valuation, rounds=3, iterations=1)
+    assert measurement.usage_time >= 0
+
+
+@pytest.mark.benchmark(group="fig7c-usage")
+def test_fig7c_rerun_baseline(benchmark, tpcc_workload):
+    log = tpcc_workload.log.as_single_transaction()
+
+    def rerun():
+        return Engine(tpcc_workload.database, policy="none").apply(log).result()
+
+    result = benchmark.pedantic(rerun, rounds=3, iterations=1)
+    assert result.total_rows() > 0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_series_shapes(benchmark, scale, results_dir):
+    """7a/7b/7c series: the paper's orderings hold; artifacts persisted."""
+    figures = benchmark.pedantic(figure_7, args=(scale,), rounds=1, iterations=1)
+    save_figures(figures, results_dir)
+    fig7a, fig7b, fig7c = figures
+
+    for row in fig7a.rows:
+        assert row["naive stored nodes"] >= row["nf stored nodes"]
+        assert row["naive expanded size"] >= row["nf expanded size"]
+    final = fig7a.rows[-1]
+    assert final["naive expanded size"] > final["nf expanded size"]
+
+    final_b = fig7b.rows[-1]
+    assert final_b["no provenance [s]"] <= final_b["no axioms [s]"] * 1.25
+
+    assert all(row["consistent"] for row in fig7c.rows)

@@ -1,0 +1,83 @@
+"""Figure 8: provenance overhead and usage on the synthetic dataset."""
+
+import random
+
+import pytest
+
+from repro.bench.figures import figure_8
+from repro.bench.measure import usage_measurement
+from repro.engine.engine import Engine
+
+from .conftest import save_figures
+
+
+def replay(database, log, policy):
+    engine = Engine(database, policy=policy)
+    engine.apply(log)
+    return engine
+
+
+@pytest.mark.benchmark(group="fig8b-runtime")
+@pytest.mark.parametrize("policy", ["none", "naive", "normal_form"])
+def test_fig8b_runtime(benchmark, synthetic, policy):
+    _config, database, log = synthetic
+    single = log.as_single_transaction()
+    engine = benchmark.pedantic(replay, args=(database, single, policy), rounds=3, iterations=1)
+    assert engine.live_count() > 0
+
+
+@pytest.mark.benchmark(group="fig8c-usage")
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+def test_fig8c_usage_valuation(benchmark, synthetic, scale, policy):
+    _config, database, log = synthetic
+    single = log.as_single_transaction()
+    engine = replay(database, single, policy)
+
+    def valuation():
+        return usage_measurement(
+            engine,
+            database,
+            single,
+            n_deletions=scale.usage_deletions,
+            rng=random.Random(99),
+            verify=False,
+        )
+
+    measurement = benchmark.pedantic(valuation, rounds=3, iterations=1)
+    assert measurement.usage_time >= 0
+
+
+@pytest.mark.benchmark(group="fig8c-usage")
+def test_fig8c_rerun_baseline(benchmark, synthetic):
+    _config, database, log = synthetic
+    single = log.as_single_transaction()
+
+    def rerun():
+        return Engine(database, policy="none").apply(single).result()
+
+    result = benchmark.pedantic(rerun, rounds=3, iterations=1)
+    assert result.total_rows() > 0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_series_shapes(benchmark, scale, results_dir):
+    figures = benchmark.pedantic(figure_8, args=(scale,), rounds=1, iterations=1)
+    save_figures(figures, results_dir)
+    fig8a, fig8b, fig8c = figures
+
+    final = fig8a.rows[-1]
+    assert final["naive stored nodes"] > final["nf stored nodes"]
+    assert final["naive expanded size"] > final["nf expanded size"]
+    # NF memory roughly flat once the affected set saturates; naive grows.
+    naive_growth = fig8a.rows[-1]["naive expanded size"] / max(
+        fig8a.rows[0]["naive expanded size"], 1
+    )
+    nf_growth = fig8a.rows[-1]["nf expanded size"] / max(fig8a.rows[0]["nf expanded size"], 1)
+    assert naive_growth > nf_growth
+
+    final_b = fig8b.rows[-1]
+    assert final_b["no provenance [s]"] <= final_b["no axioms [s]"] * 1.25
+
+    assert all(row["consistent"] for row in fig8c.rows)
+    # Normal-form usage at the final checkpoint at least matches naive.
+    assert fig8c.rows[-1]["nf usage [s]"] <= fig8c.rows[-1]["naive usage [s]"] * 1.5

@@ -1,0 +1,72 @@
+"""Figure 9: sensitivity to the number of affected tuples.
+
+9a sweeps the *total* affected set at a fixed query count (fewer affected
+tuples = more updates per tuple = a larger normal-form advantage); 9b
+sweeps the tuples affected *per query* over a 5-modification log.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_9a, figure_9b
+from repro.bench.measure import series_run
+from repro.workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+from .conftest import save_figures
+
+
+def _workload(scale, total_affected):
+    config = SyntheticConfig(
+        n_tuples=scale.synthetic_tuples,
+        n_queries=scale.fig9a_queries,
+        n_groups=max(1, total_affected // scale.synthetic_per_query),
+        group_size=scale.synthetic_per_query,
+        seed=7,
+    )
+    return synthetic_database(config), synthetic_log(config).as_single_transaction()
+
+
+@pytest.mark.benchmark(group="fig9a-time")
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+@pytest.mark.parametrize("end", ["smallest", "largest"])
+def test_fig9a_endpoints_runtime(benchmark, scale, policy, end):
+    fraction = scale.fig9a_fractions[0 if end == "smallest" else -1]
+    total = max(
+        scale.synthetic_per_query, int(scale.synthetic_tuples * fraction)
+    )
+    total -= total % scale.synthetic_per_query
+    database, log = _workload(scale, total)
+
+    def run():
+        return series_run(database, log, policy, [log.query_count()], measure_sizes=False)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.final().queries == log.query_count()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9a_series_shape(benchmark, scale, results_dir):
+    (fig,) = benchmark.pedantic(figure_9a, args=(scale,), rounds=1, iterations=1)
+    save_figures([fig], results_dir)
+    assert len(fig.rows) == len(scale.fig9a_fractions)
+    # The gap (naive/nf stored ratio) shrinks as the affected set grows.
+    ratios = [
+        row["naive stored nodes"] / max(row["nf stored nodes"], 1) for row in fig.rows
+    ]
+    assert ratios[0] > ratios[-1]
+    for row in fig.rows:
+        assert row["naive stored nodes"] >= row["nf stored nodes"]
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9b_series_shape(benchmark, scale, results_dir):
+    (fig,) = benchmark.pedantic(figure_9b, args=(scale,), rounds=1, iterations=1)
+    save_figures([fig], results_dir)
+    assert len(fig.rows) == len(scale.fig9b_per_query)
+    # Memory grows with per-query touch count for both policies...
+    naive_sizes = [row["naive stored nodes"] for row in fig.rows]
+    nf_sizes = [row["nf stored nodes"] for row in fig.rows]
+    assert naive_sizes == sorted(naive_sizes)
+    assert nf_sizes == sorted(nf_sizes)
+    # ...with the naive policy consistently above.
+    for naive_size, nf_size in zip(naive_sizes, nf_sizes):
+        assert naive_size >= nf_size

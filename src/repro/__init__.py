@@ -1,0 +1,97 @@
+"""repro — equivalence-invariant algebraic provenance for hyperplane updates.
+
+A full reproduction of "Equivalence-Invariant Algebraic Provenance for
+Hyperplane Update Queries" (Bourhis, Deutch, Moskovitch; SIGMOD 2020):
+the UP[X] provenance algebra, its normal form, concrete Update-Structures,
+a provenance-tracking in-memory database engine, the TPC-C and synthetic
+evaluation workloads, and the MV-semiring baseline.
+
+Quickstart::
+
+    from repro import Database, Engine, Modify, Transaction
+
+    db = Database.from_rows("products", ["product", "category", "price"],
+                            [("bike", "Sport", 120), ("racket", "Sport", 70)])
+    rel = db.relation("products")
+    engine = Engine(db, policy="normal_form")
+    engine.apply(Transaction("t1", [Modify.set(rel,
+                                               where={"category": "Sport"},
+                                               set_values={"price": 50})]))
+    for row, expr, live in engine.provenance("products"):
+        print(row, expr, live)
+"""
+
+from ._version import __version__
+from .core import (
+    ALL_AXIOMS,
+    ALL_RULES,
+    Expr,
+    NormalForm,
+    Shape,
+    ZERO,
+    canonical,
+    equivalent,
+    evaluate,
+    minimize,
+    minus,
+    normalize,
+    normalize_expr,
+    plus_i,
+    plus_m,
+    ssum,
+    times_m,
+    var,
+)
+
+__all__ = [
+    "ALL_AXIOMS",
+    "ALL_RULES",
+    "Expr",
+    "NormalForm",
+    "Shape",
+    "ZERO",
+    "__version__",
+    "canonical",
+    "equivalent",
+    "evaluate",
+    "minimize",
+    "minus",
+    "normalize",
+    "normalize_expr",
+    "plus_i",
+    "plus_m",
+    "ssum",
+    "times_m",
+    "var",
+]
+
+
+def _load_full_api() -> None:
+    """Extend the package namespace with the engine/db/semantics layers.
+
+    Kept as a function to make the import order explicit; called at the
+    bottom of the module.
+    """
+    from .db import Database, Relation  # noqa: F401
+    from .engine import Engine  # noqa: F401
+    from .queries import Delete, Insert, Modify, Pattern, Transaction  # noqa: F401
+
+    globals().update(
+        Database=Database,
+        Relation=Relation,
+        Engine=Engine,
+        Insert=Insert,
+        Delete=Delete,
+        Modify=Modify,
+        Pattern=Pattern,
+        Transaction=Transaction,
+    )
+    __all__.extend(
+        ["Database", "Relation", "Engine", "Insert", "Delete", "Modify", "Pattern", "Transaction"]
+    )
+
+
+try:
+    _load_full_api()
+except ImportError:  # pragma: no cover - only during partial builds
+    pass

@@ -1,0 +1,25 @@
+"""Provenance applications (paper Section 4.1).
+
+Each application pairs the "use provenance" path (a valuation, timed as
+*usage time* in the paper's Figures 7c/8c) with the corresponding
+no-provenance baseline (a re-run), so the evaluation's comparison — and
+the correctness cross-check behind it — is built in.
+"""
+
+from .abortion import TransactionAbortion
+from .access_control import AccessControl
+from .base import ProvenanceRun, default_tuple_namer
+from .certification import Certification
+from .deletion import DeletionPropagation, DeletionResult
+from .hypothetical import HypotheticalAnalyzer
+
+__all__ = [
+    "AccessControl",
+    "Certification",
+    "DeletionPropagation",
+    "DeletionResult",
+    "HypotheticalAnalyzer",
+    "ProvenanceRun",
+    "TransactionAbortion",
+    "default_tuple_namer",
+]

@@ -1,0 +1,73 @@
+"""Transaction abortion what-ifs (paper Section 4.1, Example 4.4).
+
+Aborting a transaction retroactively = assigning ``False`` to its
+annotation and evaluating in the Boolean structure: the result is the
+database the remaining transactions would have produced, without
+re-running anything.  Requires a log whose transactions carry distinct
+annotations (the Section 3.8 "sequence of transactions" mode).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from ..db.database import Database
+from ..errors import EngineError
+from ..semantics.boolean import BooleanStructure
+from .base import ProvenanceRun
+from .deletion import DeletionResult
+
+__all__ = ["TransactionAbortion"]
+
+
+class TransactionAbortion(ProvenanceRun):
+    """Retroactive what-if abortion of whole transactions."""
+
+    structure = BooleanStructure()
+
+    def _check(self, annotations: Iterable[str]) -> frozenset[str]:
+        aborted = frozenset(annotations)
+        known = set(self.transaction_annotations())
+        unknown = aborted - known
+        if unknown:
+            raise EngineError(
+                f"cannot abort unknown transaction(s) {sorted(unknown)}; "
+                f"log contains {sorted(known)}"
+            )
+        return aborted
+
+    def abort(self, annotations: Iterable[str]) -> DeletionResult:
+        """The database as if the named transactions had never run."""
+        aborted = self._check(annotations)
+        env = self.valuation(
+            self.structure,
+            tuple_default=True,
+            query_default=True,
+            query_overrides={name: False for name in aborted},
+        )
+        start = time.perf_counter()
+        database, _values = self.specialize(self.structure, env)
+        return DeletionResult(database, time.perf_counter() - start)
+
+    def baseline(self, annotations: Iterable[str]) -> Database:
+        """Re-run the log with the named transactions skipped (no provenance)."""
+        return self.rerun_baseline(skip_annotations=self._check(annotations))
+
+    def combined(self, aborted: Iterable[str], deleted_rows) -> DeletionResult:
+        """Abort transactions *and* delete input tuples in one valuation.
+
+        The compositionality the paper stresses: any mix of tuple- and
+        query-level hypotheticals is a single assignment of values.
+        """
+        aborted = self._check(aborted)
+        env = self.valuation(
+            self.structure,
+            tuple_default=True,
+            query_default=True,
+            tuple_overrides={(rel, tuple(row)): False for rel, row in deleted_rows},
+            query_overrides={name: False for name in aborted},
+        )
+        start = time.perf_counter()
+        database, _values = self.specialize(self.structure, env)
+        return DeletionResult(database, time.perf_counter() - start)

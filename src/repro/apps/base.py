@@ -1,0 +1,154 @@
+"""Shared machinery of the provenance applications (paper Section 4.1).
+
+Every application follows the same two-phase pattern the paper times in
+Figures 7c/8c:
+
+1. **track** — run the update log once with provenance (this class);
+2. **use** — specialize the recorded provenance under a valuation into a
+   concrete Update-Structure (:meth:`ProvenanceRun.specialize`), instead
+   of re-running anything.
+
+:class:`ProvenanceRun` owns the tracked engine and resolves the annotation
+names: initial tuples are annotated ``t<relation>.<k>`` (stable across
+policies because rows are enumerated in sorted order), queries carry their
+transaction annotation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..db.database import Database
+from ..engine.engine import Engine
+from ..errors import EngineError
+from ..queries.updates import Transaction, UpdateQuery
+from ..workloads.logs import UpdateLog
+
+__all__ = ["ProvenanceRun", "default_tuple_namer"]
+
+RowRef = tuple[str, tuple]
+
+
+def default_tuple_namer(relation: str, row: tuple, index: int) -> str:
+    """Stable per-row annotation names, e.g. ``tproducts.3``."""
+    return f"t{relation}.{index}"
+
+
+class ProvenanceRun:
+    """One provenance-tracked execution of an update log."""
+
+    def __init__(
+        self,
+        database: Database,
+        log: UpdateLog | Iterable[UpdateQuery | Transaction],
+        policy: str = "normal_form",
+        namer: Callable[[str, tuple, int], str] = default_tuple_namer,
+    ):
+        if policy in ("none", "no_provenance"):
+            raise EngineError("provenance applications need a provenance-tracking policy")
+        self.database = database
+        self.log = log if isinstance(log, UpdateLog) else UpdateLog(list(log))
+        self.policy = policy
+        self.engine = Engine(database, policy=policy, annotate=namer)
+        start = time.perf_counter()
+        self.engine.apply(self.log)
+        self.tracking_time = time.perf_counter() - start
+
+    # -- annotation name resolution ------------------------------------------
+
+    def tuple_annotation(self, relation: str, row: Iterable[object]) -> str:
+        """The annotation name of an *initial* tuple."""
+        name = self.engine.tuple_var(relation, tuple(row))
+        if name is None:
+            raise EngineError(
+                f"{tuple(row)!r} is not an initial tuple of {relation!r} "
+                "(inserted tuples are identified by their query annotation)"
+            )
+        return name
+
+    def transaction_annotations(self) -> list[str]:
+        """All transaction annotations in the log, in first-use order."""
+        return self.log.annotations()
+
+    # -- specialization ---------------------------------------------------------
+
+    def valuation(
+        self,
+        structure,
+        tuple_default,
+        query_default,
+        tuple_overrides: Mapping[RowRef, object] | None = None,
+        query_overrides: Mapping[str, object] | None = None,
+    ) -> Callable[[str], object]:
+        """A valuation for every annotation the run produced.
+
+        Tuple annotations (``t<rel>.<k>``) default to ``tuple_default``,
+        query annotations to ``query_default``; both may be overridden per
+        row / per transaction annotation.
+        """
+        named: dict[str, object] = {}
+        for (relation, row), value in (tuple_overrides or {}).items():
+            named[self.tuple_annotation(relation, row)] = value
+        for annotation, value in (query_overrides or {}).items():
+            named[annotation] = value
+        tuple_names = self.engine.tuple_var_names()
+
+        def lookup(name: str):
+            if name in named:
+                return named[name]
+            return tuple_default if name in tuple_names else query_default
+
+        return lookup
+
+    def specialize(
+        self,
+        structure,
+        env: Callable[[str], object] | Mapping[str, object],
+        included: Callable[[object], bool] | None = None,
+    ) -> tuple[Database, dict[str, dict[tuple, object]]]:
+        """Evaluate all stored provenance; returns ``(database, raw values)``.
+
+        ``included`` decides which specialized values mean "the row is in
+        the result" (default: value differs from the structure's zero).
+        This is the paper's "usage" operation — no query is re-executed.
+        """
+        values = self.engine.specialize(structure, env)
+        include = included or (lambda value: value != structure.zero)
+        db = Database(self.database.schema)
+        for relation, rows in values.items():
+            db.extend(relation, (row for row, value in rows.items() if include(value)))
+        return db, values
+
+    # -- plain re-execution (the paper's no-provenance baseline) -----------------
+
+    def rerun_baseline(
+        self,
+        database: Database | None = None,
+        skip_annotations: frozenset[str] | set[str] = frozenset(),
+    ) -> Database:
+        """Re-run the log with no provenance over ``database``.
+
+        ``skip_annotations`` drops whole transactions (abortion baseline);
+        a modified input database is the deletion-propagation baseline.
+        """
+        engine = Engine(database or self.database, policy="none")
+        for item in self.log:
+            if isinstance(item, Transaction):
+                if item.name in skip_annotations:
+                    continue
+                engine.apply(item)
+            else:
+                if item.annotation in skip_annotations:
+                    continue
+                engine.apply(item)
+        return engine.result()
+
+    def provenance_items(self, relation: str) -> Iterator[tuple[tuple, object, bool]]:
+        return self.engine.provenance(relation)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProvenanceRun(policy={self.policy!r}, queries={self.log.query_count()}, "
+            f"tracking_time={self.tracking_time:.3f}s)"
+        )

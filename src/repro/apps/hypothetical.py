@@ -1,0 +1,135 @@
+"""Symbolic hypothetical reasoning over tracked provenance.
+
+The Section 4.1 applications assign *concrete* values per what-if.  This
+module pushes the idea further using the PosBool structure (Example 4.6)
+carried by BDDs: evaluate the provenance **once** with every annotation
+kept symbolic; each stored row then owns a canonical Boolean function over
+the tuple/transaction annotations, and hypothetical questions become BDD
+queries instead of fresh valuations:
+
+* ``holds_under(row, scenario)`` — one scenario, one BDD restrict;
+* ``scenario_count(row)`` — *how many* scenarios keep the row alive
+  (model counting over a chosen annotation set);
+* ``witness(row)`` / ``witness_against(row)`` — a concrete scenario that
+  keeps / removes the row;
+* ``always_present`` / ``never_present`` — rows whose existence is
+  independent of the hypothetical annotations.
+
+This is an extension beyond the paper's evaluation (which times concrete
+valuations), enabled by its own machinery: Proposition 4.2 guarantees the
+symbolic evaluation commutes with any later instantiation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..core.expr import evaluate
+from ..db.database import Database
+from ..errors import EngineError
+from ..semantics.posbool import PosBoolStructure
+from .base import ProvenanceRun, RowRef
+
+__all__ = ["HypotheticalAnalyzer"]
+
+
+class HypotheticalAnalyzer(ProvenanceRun):
+    """BDD-backed multi-scenario what-if analysis.
+
+    ``free`` selects which annotations stay symbolic (default: all
+    transaction annotations — the abortion-scenario space).  Everything
+    else is fixed to present/executed (True).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        log,
+        free: Iterable[str] | None = None,
+        policy: str = "normal_form",
+    ):
+        super().__init__(database, log, policy=policy)
+        self.structure = PosBoolStructure()
+        self.free = frozenset(free if free is not None else self.transaction_annotations())
+        unknown = self.free - set(self.transaction_annotations()) - self.engine.tuple_var_names()
+        if unknown:
+            raise EngineError(f"unknown annotations left free: {sorted(unknown)}")
+        # Declare every free annotation up front so scenario counting sees
+        # the full scenario space even for annotations no expression uses.
+        for name in sorted(self.free):
+            self.structure.bdd.declare(name)
+
+        def lookup(name: str):
+            if name in self.free:
+                return self.structure.var(name)
+            return self.structure.one
+
+        self._nodes: dict[str, dict[tuple, int]] = {}
+        for relation in database.schema.names:
+            bucket: dict[tuple, int] = {}
+            for row, expr, _live in self.engine.provenance(relation):
+                bucket[row] = evaluate(expr, self.structure, lookup)
+            self._nodes[relation] = bucket
+
+    # -- node access -----------------------------------------------------------
+
+    @property
+    def bdd(self):
+        return self.structure.bdd
+
+    def node(self, relation: str, row: Iterable[object]) -> int:
+        """The row's presence condition as a BDD node (False if unknown)."""
+        return self._nodes.get(relation, {}).get(tuple(row), self.bdd.FALSE)
+
+    # -- queries -----------------------------------------------------------------
+
+    def holds_under(
+        self, relation: str, row: Iterable[object], scenario: Mapping[str, bool]
+    ) -> bool:
+        """Is the row present when the scenario fixes the free annotations?
+
+        ``scenario`` maps free annotation names to present/absent; omitted
+        free annotations default to present.
+        """
+        assignment = {name: scenario.get(name, True) for name in self.free}
+        return self.bdd.evaluate(self.node(relation, row), assignment)
+
+    def scenario_count(self, relation: str, row: Iterable[object]) -> int:
+        """Number of free-annotation scenarios under which the row exists."""
+        node = self.node(relation, row)
+        restricted = self.bdd.restrict(
+            node, {name: True for name in self.bdd.var_names if name not in self.free}
+        )
+        # Count over exactly the free variables: project out the rest.
+        extra = sum(1 for name in self.bdd.var_names if name not in self.free)
+        return self.bdd.sat_count(restricted) >> extra
+
+    def witness(self, relation: str, row: Iterable[object]) -> dict[str, bool] | None:
+        """A scenario under which the row exists (None if unsatisfiable)."""
+        model = self.bdd.any_sat(self.node(relation, row))
+        if model is None:
+            return None
+        return {name: model.get(name, True) for name in self.free}
+
+    def witness_against(self, relation: str, row: Iterable[object]) -> dict[str, bool] | None:
+        """A scenario under which the row is absent (None if none exists)."""
+        model = self.bdd.any_sat(self.bdd.negate(self.node(relation, row)))
+        if model is None:
+            return None
+        return {name: model.get(name, True) for name in self.free}
+
+    def always_present(self, relation: str) -> set[tuple]:
+        """Rows present in *every* scenario over the free annotations."""
+        return {
+            row for row, node in self._nodes.get(relation, {}).items() if node == self.bdd.TRUE
+        }
+
+    def never_present(self, relation: str) -> set[tuple]:
+        """Stored rows absent in every scenario (permanently dead ghosts)."""
+        return {
+            row for row, node in self._nodes.get(relation, {}).items() if node == self.bdd.FALSE
+        }
+
+    def depends_on(self, relation: str, row: Iterable[object]) -> frozenset[str]:
+        """The free annotations the row's existence actually depends on."""
+        return self.bdd.support(self.node(relation, row)) & self.free

@@ -1,0 +1,6 @@
+"""Reduced ordered BDDs + the UP[X]-to-BDD bridge."""
+
+from .bdd import Bdd
+from .bridge import expr_to_bdd
+
+__all__ = ["Bdd", "expr_to_bdd"]

@@ -1,0 +1,309 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A small, self-contained BDD engine used as the exact decision procedure for
+provenance equivalence under the Boolean Update-Structure (Section 4.1):
+two UP[X] expressions are Boolean-equivalent iff they map to the same BDD
+node.  Also powers deletion-propagation what-if counting in the examples.
+
+Implementation notes:
+
+* nodes are integers indexing parallel arrays ``(level, low, high)``;
+  ``0``/``1`` are the terminals;
+* a unique table guarantees canonicity (shared, reduced nodes), so
+  equivalence is pointer equality;
+* all operations are built on a memoized Shannon-expansion ``ite``;
+* the variable order is the registration order (or the explicit list given
+  to the constructor) — callers that compare expressions must use one
+  :class:`Bdd` instance for both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["Bdd"]
+
+_TERMINAL_LEVEL = 1 << 60
+
+
+class Bdd:
+    """A BDD manager: variable registry, unique table, operation caches."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, var_order: Iterable[str] | None = None):
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._level: list[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._levels: dict[str, int] = {}
+        self._names: list[str] = []
+        for name in var_order or ():
+            self.declare(name)
+
+    # -- variables ----------------------------------------------------------
+
+    def declare(self, name: str) -> None:
+        """Register ``name`` at the next level (no-op if known)."""
+        if name not in self._levels:
+            self._levels[name] = len(self._names)
+            self._names.append(name)
+
+    def var(self, name: str) -> int:
+        """The BDD of the variable ``name`` (registering it if needed)."""
+        self.declare(name)
+        return self._mk(self._levels[name], self.FALSE, self.TRUE)
+
+    @property
+    def var_names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    def __len__(self) -> int:
+        """Number of allocated nodes (including terminals)."""
+        return len(self._level)
+
+    # -- node construction ---------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    # -- core operation -----------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` (iterative Shannon expansion)."""
+        # Terminal shortcuts.
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        # Explicit stack (expressions can mention thousands of variables,
+        # which would overflow Python's recursion limit).
+        result = self._ite_iterative(f, g, h)
+        return result
+
+    def _ite_iterative(self, f: int, g: int, h: int) -> int:
+        level = self._level
+        low = self._low
+        high = self._high
+        cache = self._ite_cache
+        results: dict[tuple[int, int, int], int] = {}
+
+        def terminal(f: int, g: int, h: int) -> int | None:
+            if f == 1:
+                return g
+            if f == 0:
+                return h
+            if g == h:
+                return g
+            if g == 1 and h == 0:
+                return f
+            return cache.get((f, g, h))
+
+        stack: list[tuple[tuple[int, int, int], bool]] = [((f, g, h), False)]
+        while stack:
+            key, expanded = stack.pop()
+            if key in results:
+                continue
+            cf, cg, ch = key
+            t = terminal(cf, cg, ch)
+            if t is not None:
+                results[key] = t
+                continue
+            top = min(level[cf], level[cg], level[ch])
+            f0, f1 = (low[cf], high[cf]) if level[cf] == top else (cf, cf)
+            g0, g1 = (low[cg], high[cg]) if level[cg] == top else (cg, cg)
+            h0, h1 = (low[ch], high[ch]) if level[ch] == top else (ch, ch)
+            lo_key = (f0, g0, h0)
+            hi_key = (f1, g1, h1)
+            if expanded:
+                node = self._mk(top, results[lo_key], results[hi_key])
+                cache[key] = node
+                results[key] = node
+            else:
+                stack.append((key, True))
+                if hi_key not in results:
+                    stack.append((hi_key, False))
+                if lo_key not in results:
+                    stack.append((lo_key, False))
+        return results[(f, g, h)]
+
+    # -- boolean operations ---------------------------------------------------
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.negate(g), g)
+
+    def negate(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """``f and not g`` — the minus of the Boolean Update-Structure."""
+        return self.ite(f, self.negate(g), self.FALSE)
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        acc = self.TRUE
+        for n in nodes:
+            acc = self.apply_and(acc, n)
+        return acc
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        acc = self.FALSE
+        for n in nodes:
+            acc = self.apply_or(acc, n)
+        return acc
+
+    # -- queries --------------------------------------------------------------
+
+    def restrict(self, f: int, assignment: Mapping[str, bool]) -> int:
+        """Cofactor ``f`` by fixing the given variables."""
+        fixed = {self._levels[name]: value for name, value in assignment.items() if name in self._levels}
+        memo: dict[int, int] = {}
+
+        order: list[int] = []
+        seen = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n in seen or n < 2:
+                continue
+            seen.add(n)
+            order.append(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        for n in reversed(order):
+            lo = memo.get(self._low[n], self._low[n])
+            hi = memo.get(self._high[n], self._high[n])
+            lvl = self._level[n]
+            if lvl in fixed:
+                memo[n] = hi if fixed[lvl] else lo
+            else:
+                memo[n] = self._mk(lvl, lo, hi)
+        return memo.get(f, f)
+
+    def evaluate(self, f: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate ``f`` under a total assignment."""
+        node = f
+        while node > 1:
+            name = self._names[self._level[node]]
+            node = self._high[node] if assignment[name] else self._low[node]
+        return node == self.TRUE
+
+    def sat_count(self, f: int, n_vars: int | None = None) -> int:
+        """Number of satisfying assignments over ``n_vars`` variables."""
+        if n_vars is None:
+            n_vars = len(self._names)
+        if f < 2:
+            return (1 << n_vars) if f == self.TRUE else 0
+        counts: dict[int, int] = {0: 0, 1: 1}
+        order: list[int] = []
+        seen = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n in seen or n < 2:
+                continue
+            seen.add(n)
+            order.append(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        for n in reversed(order):
+            lo, hi = self._low[n], self._high[n]
+            lo_gap = (self._level[lo] if lo > 1 else len(self._names)) - self._level[n] - 1
+            hi_gap = (self._level[hi] if hi > 1 else len(self._names)) - self._level[n] - 1
+            counts[n] = counts[lo] * (1 << lo_gap) + counts[hi] * (1 << hi_gap)
+        top_gap = self._level[f]
+        return counts[f] * (1 << top_gap)
+
+    def any_sat(self, f: int) -> dict[str, bool] | None:
+        """One satisfying assignment (unmentioned variables set to False)."""
+        if f == self.FALSE:
+            return None
+        out = {name: False for name in self._names}
+        node = f
+        while node > 1:
+            name = self._names[self._level[node]]
+            if self._high[node] != self.FALSE:
+                out[name] = True
+                node = self._high[node]
+            else:
+                out[name] = False
+                node = self._low[node]
+        return out
+
+    def support(self, f: int) -> frozenset[str]:
+        """Variables ``f`` actually depends on."""
+        seen: set[int] = set()
+        out: set[str] = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n < 2 or n in seen:
+                continue
+            seen.add(n)
+            out.add(self._names[self._level[n]])
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return frozenset(out)
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct nodes reachable from ``f`` (terminals included)."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n > 1:
+                stack.append(self._low[n])
+                stack.append(self._high[n])
+        return len(seen)
+
+    def iter_models(self, f: int) -> Iterator[dict[str, bool]]:
+        """All satisfying assignments over the full declared variable set."""
+        n_names = len(self._names)
+
+        def expand(node: int, level: int, partial: dict[str, bool]) -> Iterator[dict[str, bool]]:
+            if level == n_names:
+                if node == self.TRUE:
+                    yield dict(partial)
+                return
+            name = self._names[level]
+            if node > 1 and self._level[node] == level:
+                branches = ((False, self._low[node]), (True, self._high[node]))
+            else:
+                branches = ((False, node), (True, node))
+            for value, child in branches:
+                if child == self.FALSE:
+                    continue
+                partial[name] = value
+                yield from expand(child, level + 1, partial)
+                del partial[name]
+
+        yield from expand(f, 0, {})

@@ -1,0 +1,46 @@
+"""Benchmark harness: measurements, figure drivers, reporting, scales."""
+
+from .figures import (
+    ALL_FIGURES,
+    ablation_annotations,
+    figure_10,
+    figure_7,
+    figure_8,
+    figure_9a,
+    figure_9b,
+    figure_blowup,
+    run_figures,
+)
+from .measure import (
+    Checkpoint,
+    SeriesRun,
+    UsageMeasurement,
+    checkpoints_for,
+    series_run,
+    usage_measurement,
+)
+from .reporting import FigureResult, format_value
+from .scales import SCALES, BenchScale, active_scale
+
+__all__ = [
+    "ALL_FIGURES",
+    "BenchScale",
+    "Checkpoint",
+    "FigureResult",
+    "SCALES",
+    "SeriesRun",
+    "UsageMeasurement",
+    "ablation_annotations",
+    "active_scale",
+    "checkpoints_for",
+    "figure_10",
+    "figure_7",
+    "figure_8",
+    "figure_9a",
+    "figure_9b",
+    "figure_blowup",
+    "format_value",
+    "run_figures",
+    "series_run",
+    "usage_measurement",
+]

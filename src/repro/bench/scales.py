@@ -1,0 +1,119 @@
+"""Benchmark scale presets.
+
+The paper ran 1M-2.1M-tuple instances with up to ~2000 updates on a
+laptop, for minutes per configuration.  The scientific content of its
+figures is in *ratios and shapes*, which smaller instances preserve; these
+presets pick the instance sizes per figure, selected by the
+``REPRO_BENCH_SCALE`` environment variable:
+
+========  =============================================================
+tiny      seconds in total; used by the test suite's smoke tests
+small     default; full benchmark suite in ~a minute
+medium    a few minutes; ratios stabilize
+paper     the paper's own sizes (1M tuples, 2000 updates) — expect the
+          paper's minutes-per-point runtimes
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["BenchScale", "SCALES", "active_scale"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Per-figure workload sizes at one scale preset."""
+
+    name: str
+    # Synthetic family (Figures 8, 9, 10)
+    synthetic_tuples: int
+    synthetic_queries: int
+    synthetic_affected: int  # total affected tuples (0.02% of tuples in the paper)
+    synthetic_per_query: int  # group size: tuples touched by one query
+    # TPC-C family (Figure 7)
+    tpcc_warehouses: int
+    tpcc_queries: int
+    # Sweeps
+    series_points: int
+    fig9a_queries: int  # fixed query count of the affected-tuples sweep
+    fig9a_fractions: tuple[float, ...]  # of the table size, paper: 0.02%..0.1%
+    fig9b_per_query: tuple[int, ...]  # tuples affected by each of 5 queries
+    blowup_queries: int
+    usage_deletions: int
+
+
+SCALES: dict[str, BenchScale] = {
+    "tiny": BenchScale(
+        name="tiny",
+        synthetic_tuples=2_000,
+        synthetic_queries=120,
+        synthetic_affected=40,
+        synthetic_per_query=4,
+        tpcc_warehouses=1,
+        tpcc_queries=150,
+        series_points=3,
+        fig9a_queries=60,
+        fig9a_fractions=(0.005, 0.01, 0.02),
+        fig9b_per_query=(10, 40, 80),
+        blowup_queries=12,
+        usage_deletions=10,
+    ),
+    "small": BenchScale(
+        name="small",
+        synthetic_tuples=20_000,
+        synthetic_queries=400,
+        synthetic_affected=100,
+        synthetic_per_query=5,
+        tpcc_warehouses=2,
+        tpcc_queries=400,
+        series_points=4,
+        fig9a_queries=200,
+        fig9a_fractions=(0.001, 0.002, 0.003, 0.005),
+        fig9b_per_query=(20, 60, 120, 200),
+        blowup_queries=16,
+        usage_deletions=20,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        synthetic_tuples=100_000,
+        synthetic_queries=1_000,
+        synthetic_affected=200,
+        synthetic_per_query=5,
+        tpcc_warehouses=8,
+        tpcc_queries=1_000,
+        series_points=4,
+        fig9a_queries=600,
+        fig9a_fractions=(0.0002, 0.0004, 0.0006, 0.0008, 0.001),
+        fig9b_per_query=(50, 150, 300, 500),
+        blowup_queries=18,
+        usage_deletions=50,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        synthetic_tuples=1_000_000,
+        synthetic_queries=2_000,
+        synthetic_affected=200,
+        synthetic_per_query=5,
+        tpcc_warehouses=16,
+        tpcc_queries=2_000,
+        series_points=4,
+        fig9a_queries=2_000,
+        fig9a_fractions=(0.0002, 0.0004, 0.0006, 0.0008, 0.001),
+        fig9b_per_query=(200, 400, 600, 800, 1000),
+        blowup_queries=20,
+        usage_deletions=100,
+    ),
+}
+
+
+def active_scale(default: str = "small") -> BenchScale:
+    """The preset selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", default).lower()
+    if name not in SCALES:
+        raise KeyError(
+            f"unknown REPRO_BENCH_SCALE {name!r} (choose from {', '.join(SCALES)})"
+        )
+    return SCALES[name]

@@ -1,0 +1,275 @@
+"""The ``repro`` command line interface.
+
+Subcommands::
+
+    repro demo                        the paper's Figure 1/4 walkthrough
+    repro figure fig7 [fig8 ...]      regenerate evaluation figures
+    repro figure all --save out/      all figures, JSON+CSV persisted
+    repro tpcc --queries 400          generate + run a TPC-C log, report overheads
+    repro sql --schema R:a,b script   execute a SQL-fragment script with provenance
+    repro axioms                      check every shipped structure against Figure 3
+
+Every command prints plain text; ``--save`` writes machine-readable copies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Equivalence-invariant algebraic provenance for hyperplane updates "
+        "(SIGMOD 2020 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the paper's products example (Figures 1-4)")
+    demo.set_defaults(func=cmd_demo)
+
+    figure = sub.add_parser("figure", help="regenerate evaluation figures")
+    figure.add_argument(
+        "names",
+        nargs="+",
+        help="figure ids (fig7 fig8 fig9a fig9b fig10 blowup ablation) or 'all'",
+    )
+    figure.add_argument("--scale", default=None, help="tiny | small | medium | paper")
+    figure.add_argument("--save", default=None, metavar="DIR", help="write JSON/CSV here")
+    figure.set_defaults(func=cmd_figure)
+
+    tpcc = sub.add_parser("tpcc", help="generate and run a TPC-C update log")
+    tpcc.add_argument("--queries", type=int, default=400)
+    tpcc.add_argument("--warehouses", type=int, default=1)
+    tpcc.add_argument("--seed", type=int, default=42)
+    tpcc.add_argument(
+        "--policy", default="normal_form", help="none | naive | normal_form | mv_tree | mv_string"
+    )
+    tpcc.set_defaults(func=cmd_tpcc)
+
+    sql = sub.add_parser("sql", help="run a SQL-fragment script with provenance tracking")
+    sql.add_argument("script", help="path to the script, or '-' for stdin")
+    sql.add_argument(
+        "--schema",
+        action="append",
+        required=True,
+        metavar="REL:a,b,c",
+        help="relation declaration (repeatable)",
+    )
+    sql.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="REL=path",
+        help="load initial rows for REL from a CSV file (repeatable)",
+    )
+    sql.add_argument("--policy", default="normal_form")
+    sql.add_argument("--minimize", action="store_true", help="apply Prop. 5.5 minimization")
+    sql.set_defaults(func=cmd_sql)
+
+    axioms = sub.add_parser("axioms", help="verify shipped structures against Figure 3")
+    axioms.set_defaults(func=cmd_axioms)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    from .db.database import Database
+    from .engine.engine import Engine
+    from .queries.updates import Modify, Transaction
+
+    db = Database.from_rows(
+        "products",
+        ["product", "category", "price"],
+        [
+            ("Kids mnt bike", "Sport", 120),
+            ("Tennis Racket", "Sport", 70),
+            ("Kids mnt bike", "Kids", 120),
+            ("Children sneakers", "Fashion", 40),
+        ],
+    )
+    rel = db.relation("products")
+    names = {
+        ("Kids mnt bike", "Sport", 120): "p1",
+        ("Tennis Racket", "Sport", 70): "p2",
+        ("Kids mnt bike", "Kids", 120): "p3",
+        ("Children sneakers", "Fashion", 40): "p4",
+    }
+    print("Initial table (Figure 1a):")
+    for row, name in names.items():
+        print(f"  {row!r:48} {name}")
+    t1 = Transaction(
+        "p",
+        [
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike", "category": "Kids"},
+                set_values={"category": "Sport"},
+            ),
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike", "category": "Sport"},
+                set_values={"category": "Bicycles"},
+            ),
+        ],
+    )
+    t2 = Transaction(
+        "p'", [Modify.set(rel, where={"category": "Sport"}, set_values={"price": 50})]
+    )
+    engine = Engine(db, policy="normal_form", annotate=lambda r, row, i: names[row])
+    engine.apply(t1).apply(t2)
+    print("\nAfter T1 (Figure 2a) and T2 (Figure 2c), annotated output (cf. Figure 4):")
+    for row, expr, live in sorted(engine.provenance("products"), key=repr):
+        flag = "live" if live else "gone"
+        print(f"  [{flag}] {row!r:42} {expr}")
+    print("\nWhat-if: abort T1 (assign False to p) — Example 4.4:")
+    from .semantics.boolean import BooleanStructure
+
+    structure = BooleanStructure()
+    from .core.expr import evaluate
+
+    env = lambda name: name != "p"  # noqa: E731
+    for row, expr, _live in sorted(engine.provenance("products"), key=repr):
+        if evaluate(expr, structure, env):
+            print(f"  {row!r}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import os
+
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    from .bench.figures import ALL_FIGURES, run_figures
+
+    names = list(ALL_FIGURES) if "all" in args.names else args.names
+    try:
+        for result in run_figures(names):
+            result.print()
+            if args.save:
+                path = result.save(Path(args.save))
+                print(f"saved {path}")
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_tpcc(args: argparse.Namespace) -> int:
+    from .engine.engine import Engine
+    from .tpcc.driver import generate_tpcc
+    from .tpcc.loader import TPCCScale
+
+    workload = generate_tpcc(
+        TPCCScale(warehouses=args.warehouses), n_queries=args.queries, seed=args.seed
+    )
+    print(
+        f"TPC-C: {workload.database.total_rows():,} initial tuples, "
+        f"{workload.log.query_count()} update queries "
+        f"({', '.join(f'{k}={v}' for k, v in workload.mix_counts.items() if v)})"
+    )
+    baseline = Engine(workload.database, policy="none").apply(workload.log)
+    engine = Engine(workload.database, policy=args.policy).apply(workload.log)
+    report = engine.overhead_report(baseline)
+    for key, value in report.items():
+        print(f"  {key}: {value}")
+    if not engine.result().same_contents(baseline.result()):
+        print("error: provenance run diverged from the vanilla result", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    from .core.minimize import minimize
+    from .db.database import Database
+    from .db.schema import Relation, Schema
+    from .engine.engine import Engine
+    from .errors import ReproError
+    from .lang.sql import parse_sql_script
+    from .storage.csvio import load_csv
+
+    try:
+        relations = []
+        for spec in args.schema:
+            name, _, attrs = spec.partition(":")
+            if not attrs:
+                raise ReproError(f"schema spec {spec!r} must look like REL:a,b,c")
+            relations.append(Relation(name.strip(), [a.strip() for a in attrs.split(",")]))
+        schema = Schema(relations)
+        db = Database(schema)
+        for item in args.csv:
+            name, _, path = item.partition("=")
+            if not path:
+                raise ReproError(f"--csv spec {item!r} must look like REL=path")
+            loaded = load_csv(path, f"__tmp_{name}")
+            db.extend(name, loaded.rows(f"__tmp_{name}"))
+        text = sys.stdin.read() if args.script == "-" else Path(args.script).read_text()
+        items = parse_sql_script(text, schema)
+        engine = Engine(db, policy=args.policy)
+        engine.apply(items)
+        for relation in schema.names:
+            print(f"-- {relation}")
+            for row, expr, live in sorted(engine.provenance(relation), key=repr):
+                shown = minimize(expr) if args.minimize else expr
+                flag = "live" if live else "gone"
+                print(f"  [{flag}] {row!r}  ::  {shown}")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_axioms(_args: argparse.Namespace) -> int:
+    import itertools
+
+    from .semantics.boolean import BooleanStructure
+    from .semantics.sets import SetStructure
+    from .semantics.trust import TrustStructure, TrustValue
+
+    checks = [
+        (BooleanStructure(), [False, True]),
+        (
+            SetStructure({"a", "b"}),
+            [
+                frozenset(s)
+                for r in range(3)
+                for s in itertools.combinations(("a", "b"), r)
+            ],
+        ),
+        (
+            TrustStructure(0.5),
+            [TrustValue(1.0, "T"), TrustValue(0.0, "F"), TrustValue(0.9, "U"), TrustValue(0.1, "U")],
+        ),
+    ]
+    failed = False
+    for structure, elements in checks:
+        try:
+            structure.check_zero_axioms(elements)
+            structure.check_axioms(elements)
+            print(f"  {structure.name}: all 12 axioms + zero axioms hold")
+        except Exception as exc:  # surface the witness
+            failed = True
+            print(f"  {structure.name}: FAILED — {exc}")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

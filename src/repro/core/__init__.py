@@ -1,0 +1,86 @@
+"""The UP[X] provenance algebra (paper Sections 3 and 5).
+
+Public surface:
+
+* expressions — :func:`var`, :data:`ZERO`, :func:`plus_i`, :func:`minus`,
+  :func:`plus_m`, :func:`times_m`, :func:`ssum`, :func:`evaluate`;
+* the twelve Figure 3 axioms — :data:`ALL_AXIOMS`, :func:`check_structure`;
+* the Theorem 5.3 normal form — :class:`NormalForm`, :func:`normalize`;
+* the Figure 6 rules — :data:`ALL_RULES`, :func:`normalize_with_rules`;
+* Proposition 5.5 minimization — :func:`minimize`;
+* equivalence — :func:`equivalent`, :func:`canonical`.
+"""
+
+from .axioms import ALL_AXIOMS, AXIOMS_BY_NAME, Axiom, axiom_violations, check_structure
+from .equivalence import (
+    BoolStructure,
+    canonical,
+    equivalent,
+    equivalent_boolean,
+    equivalent_canonical,
+    find_distinguishing_valuation,
+)
+from .expr import (
+    Expr,
+    ZERO,
+    depth,
+    evaluate,
+    minus,
+    plus_i,
+    plus_m,
+    size,
+    ssum,
+    substitute,
+    subexpressions,
+    times_m,
+    to_infix,
+    to_tree,
+    var,
+    variables,
+)
+from .minimize import is_minimized, minimize
+from .normal_form import Contribution, NormalForm, Shape, merge_contributions
+from .normalize import normalize, normalize_expr
+from .rules import ALL_RULES, apply_rules_once, match_normal_form, normalize_with_rules
+
+__all__ = [
+    "ALL_AXIOMS",
+    "ALL_RULES",
+    "AXIOMS_BY_NAME",
+    "Axiom",
+    "BoolStructure",
+    "Contribution",
+    "Expr",
+    "NormalForm",
+    "Shape",
+    "ZERO",
+    "apply_rules_once",
+    "axiom_violations",
+    "canonical",
+    "check_structure",
+    "depth",
+    "equivalent",
+    "equivalent_boolean",
+    "equivalent_canonical",
+    "evaluate",
+    "find_distinguishing_valuation",
+    "is_minimized",
+    "match_normal_form",
+    "merge_contributions",
+    "minimize",
+    "minus",
+    "normalize",
+    "normalize_expr",
+    "normalize_with_rules",
+    "plus_i",
+    "plus_m",
+    "size",
+    "ssum",
+    "subexpressions",
+    "substitute",
+    "times_m",
+    "to_infix",
+    "to_tree",
+    "var",
+    "variables",
+]

@@ -1,0 +1,206 @@
+"""The twelve equivalence axioms of Figure 3.
+
+Each axiom is a first-class object carrying symbolic builders for its two
+sides.  This supports the two ways the paper uses the axioms:
+
+* **symbolically** — instantiating both sides over UP[X] expressions, e.g.
+  to verify that the Figure 6 rules and the normal form are implied by the
+  axioms (``tests/core/test_axioms.py`` checks every axiom under every
+  shipped Update-Structure and under the exact BDD semantics);
+* **semantically** — checking that a candidate concrete Update-Structure
+  (Section 4.1, Theorem 4.5) satisfies all axioms, via
+  :func:`check_structure`.
+
+Axioms with set/partition parameters (3, 5, 11) are represented by fixed
+finite instances (two-element sums, two-block partitions); together with
+associativity of the sum constructor these generate the general case.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Mapping, Sequence
+
+from .expr import Expr, evaluate, minus, plus_i, plus_m, ssum, times_m, var
+
+__all__ = ["Axiom", "ALL_AXIOMS", "AXIOMS_BY_NAME", "check_structure", "axiom_violations"]
+
+
+class Axiom:
+    """One Figure 3 axiom: ``lhs(params) = rhs(params)`` for all params."""
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        lhs: Callable[..., Expr],
+        rhs: Callable[..., Expr],
+        description: str,
+    ):
+        self.name = name
+        self.params = params
+        self._lhs = lhs
+        self._rhs = rhs
+        self.description = description
+
+    def instantiate(self, mapping: Mapping[str, Expr] | None = None) -> tuple[Expr, Expr]:
+        """Both sides as UP[X] expressions.
+
+        Without a mapping the parameters become variables named after
+        themselves; with one, the given expressions are substituted.
+        """
+        mapping = mapping or {}
+        args = [mapping.get(p, var(p)) for p in self.params]
+        return self._lhs(*args), self._rhs(*args)
+
+    def holds_in(self, structure, values: Mapping[str, object]) -> bool:
+        """Evaluate both sides in a concrete structure; True if equal."""
+        lhs, rhs = self.instantiate()
+        left = evaluate(lhs, structure, values)
+        right = evaluate(rhs, structure, values)
+        return structure.equal(left, right) if hasattr(structure, "equal") else left == right
+
+    def __repr__(self) -> str:
+        lhs, rhs = self.instantiate()
+        return f"Axiom({self.name}: {lhs} = {rhs})"
+
+
+def _mod(a: Expr, b: Expr, c: Expr) -> Expr:
+    """Shorthand for ``a +M (b *M c)``."""
+    return plus_m(a, times_m(b, c))
+
+
+ALL_AXIOMS: tuple[Axiom, ...] = (
+    Axiom(
+        "axiom_1",
+        ("a", "b", "c", "d"),
+        lambda a, b, c, d: _mod(_mod(a, b, c), d, c),
+        lambda a, b, c, d: _mod(_mod(a, d, c), b, c),
+        "successive modification contributions under one annotation commute",
+    ),
+    Axiom(
+        "axiom_2",
+        ("a", "b", "c"),
+        lambda a, b, c: minus(_mod(a, b, c), c),
+        lambda a, b, c: minus(a, c),
+        "deleting a modified tuple deletes the original",
+    ),
+    Axiom(
+        "axiom_3",
+        ("a", "b1", "b2", "c1", "c2", "d"),
+        lambda a, b1, b2, c1, c2, d: _mod(_mod(a, ssum((c1, c2)), d), ssum((b1, b2)), d),
+        lambda a, b1, b2, c1, c2, d: _mod(
+            a, ssum((_mod(b1, c1, d), _mod(b2, c2, d))), d
+        ),
+        "source disjunctions may be partitioned across contributing tuples",
+    ),
+    Axiom(
+        "axiom_4",
+        ("a", "b"),
+        lambda a, b: minus(minus(a, b), b),
+        lambda a, b: minus(a, b),
+        "deletion is idempotent",
+    ),
+    Axiom(
+        "axiom_5",
+        ("a", "b1", "b2", "c"),
+        lambda a, b1, b2, c: _mod(a, ssum((minus(b1, c), minus(b2, c))), c),
+        lambda a, b1, b2, c: a,
+        "an update based only on deleted tuples has no effect",
+    ),
+    Axiom(
+        "axiom_6",
+        ("a", "b", "c"),
+        lambda a, b, c: plus_i(_mod(a, b, c), c),
+        lambda a, b, c: _mod(plus_i(a, c), b, c),
+        "insertion commutes past a modification contribution",
+    ),
+    Axiom(
+        "axiom_7",
+        ("a", "b"),
+        lambda a, b: minus(plus_i(a, b), b),
+        lambda a, b: minus(a, b),
+        "inserting then deleting equals deleting",
+    ),
+    Axiom(
+        "axiom_8",
+        ("a", "b", "c"),
+        lambda a, b, c: _mod(a, plus_i(b, c), c),
+        lambda a, b, c: _mod(plus_i(a, c), b, c),
+        "modification from an inserted tuple inserts the target",
+    ),
+    Axiom(
+        "axiom_9",
+        ("a", "b", "c"),
+        lambda a, b, c: plus_i(_mod(a, b, c), c),
+        lambda a, b, c: plus_i(a, c),
+        "insertion overrides a previous modification",
+    ),
+    Axiom(
+        "axiom_10",
+        ("a", "b"),
+        lambda a, b: plus_i(minus(a, b), b),
+        lambda a, b: plus_i(a, b),
+        "insertion overrides a previous deletion",
+    ),
+    Axiom(
+        "axiom_11",
+        ("a", "b1", "b2", "d1", "d2", "c"),
+        lambda a, b1, b2, d1, d2, c: _mod(a, ssum((b1, b2, d1, d2)), c),
+        lambda a, b1, b2, d1, d2, c: _mod(_mod(a, ssum((b1, b2)), c), ssum((d1, d2)), c),
+        "a source disjunction may be split across two contributions",
+    ),
+    Axiom(
+        "axiom_12",
+        ("a", "b", "c", "d"),
+        lambda a, b, c, d: _mod(minus(a, b), c, b),
+        lambda a, b, c, d: _mod(minus(a, b), _mod(minus(d, b), c, b), b),
+        "a source may be wrapped as a deleted-and-modified tuple with the same sources",
+    ),
+)
+
+AXIOMS_BY_NAME: dict[str, Axiom] = {axiom.name: axiom for axiom in ALL_AXIOMS}
+
+
+def axiom_violations(
+    structure,
+    elements: Sequence[object],
+    max_cases: int = 20_000,
+    rng: random.Random | None = None,
+) -> list[tuple[str, dict[str, object]]]:
+    """All sampled axiom violations of a candidate structure.
+
+    Enumerates parameter assignments from ``elements`` exhaustively when the
+    case count is small, otherwise samples ``max_cases`` random assignments.
+    Returns ``(axiom name, assignment)`` pairs; an empty list means the
+    structure passed (a sound *test*, exhaustive for finite structures whose
+    carrier is fully listed in ``elements``).
+    """
+    rng = rng or random.Random(0)
+    violations: list[tuple[str, dict[str, object]]] = []
+    for axiom in ALL_AXIOMS:
+        arity = len(axiom.params)
+        total = len(elements) ** arity
+        if total <= max_cases:
+            cases = itertools.product(elements, repeat=arity)
+        else:
+            cases = (
+                tuple(rng.choice(elements) for _ in range(arity)) for _ in range(max_cases)
+            )
+        for case in cases:
+            values = dict(zip(axiom.params, case))
+            if not axiom.holds_in(structure, values):
+                violations.append((axiom.name, values))
+                break  # one witness per axiom is enough
+    return violations
+
+
+def check_structure(
+    structure,
+    elements: Sequence[object],
+    max_cases: int = 20_000,
+    rng: random.Random | None = None,
+) -> bool:
+    """True if no sampled axiom violation was found (see :func:`axiom_violations`)."""
+    return not axiom_violations(structure, elements, max_cases=max_cases, rng=rng)

@@ -1,0 +1,69 @@
+"""Zero-axiom minimization (Proposition 5.5).
+
+Proposition 5.5: applying the zero-related axioms of Section 3.1 to a
+normal-form formula yields a *unique*, minimal formula — either a normal
+form, ``0``, or a formula ``(b_0 + ... + b_n) *M p``.
+
+In this library the smart constructors of :mod:`repro.core.expr` apply the
+zero axioms eagerly, so expressions built through them are already
+minimized.  :func:`minimize` exists for expressions that arrive from
+elsewhere (deserialization, raw construction in tests): it rebuilds the
+expression bottom-up through the smart constructors, which is exactly a
+fixpoint application of the zero axioms.
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    Expr,
+    MINUS,
+    PLUS_I,
+    PLUS_M,
+    SUM,
+    TIMES_M,
+    VAR,
+    ZERO_KIND,
+    minus,
+    plus_i,
+    plus_m,
+    postorder,
+    ssum,
+    times_m,
+)
+
+__all__ = ["minimize", "is_minimized"]
+
+
+def minimize(expr: Expr) -> Expr:
+    """Apply the zero-related axioms to fixpoint.
+
+    Idempotent, and the identity on expressions built through the smart
+    constructors.  The result is the unique minimized formula of
+    Proposition 5.5.
+    """
+    memo: dict[int, Expr] = {}
+    for node in postorder(expr):
+        kind = node.kind
+        if kind in (VAR, ZERO_KIND):
+            memo[id(node)] = node
+        elif kind == SUM:
+            memo[id(node)] = ssum(memo[id(c)] for c in node.children)
+        else:
+            a = memo[id(node.children[0])]
+            b = memo[id(node.children[1])]
+            if kind == PLUS_I:
+                memo[id(node)] = plus_i(a, b)
+            elif kind == MINUS:
+                memo[id(node)] = minus(a, b)
+            elif kind == PLUS_M:
+                memo[id(node)] = plus_m(a, b)
+            elif kind == TIMES_M:
+                memo[id(node)] = times_m(a, b)
+            else:  # pragma: no cover - exhaustive kinds
+                raise AssertionError(f"unknown node kind {kind}")
+    return memo[id(expr)]
+
+
+def is_minimized(expr: Expr) -> bool:
+    """True if no zero axiom applies anywhere in ``expr``."""
+    return minimize(expr) is expr

@@ -1,0 +1,6 @@
+"""Relational database substrate (schemas, rows, plain instances)."""
+
+from .database import Database
+from .schema import Relation, Schema
+
+__all__ = ["Database", "Relation", "Schema"]

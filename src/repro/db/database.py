@@ -1,0 +1,126 @@
+"""In-memory relational databases (set semantics).
+
+:class:`Database` stores the *plain* (unannotated) contents: per relation a
+set of rows.  It is the substrate both for the vanilla no-provenance
+executor and for seeding the provenance-tracking executors, which maintain
+their own annotation maps on top (paper §6.1: "a hashmap between tuples and
+their annotations").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError
+from .schema import Relation, Schema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A schema plus one set of rows per relation."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema | None = None):
+        self.schema = schema or Schema()
+        self._rows: dict[str, set[tuple[object, ...]]] = {r.name: set() for r in self.schema}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> "Database":
+        """A single-relation database (handy in examples and tests)."""
+        db = cls(Schema([Relation(name, attributes)]))
+        db.extend(name, rows)
+        return db
+
+    @classmethod
+    def from_dict(
+        cls,
+        spec: Mapping[str, tuple[Sequence[str], Iterable[Sequence[object]]]],
+    ) -> "Database":
+        """Database from ``{name: (attributes, rows)}``."""
+        schema = Schema(Relation(name, attrs) for name, (attrs, _rows) in spec.items())
+        db = cls(schema)
+        for name, (_attrs, rows) in spec.items():
+            db.extend(name, rows)
+        return db
+
+    def add_relation(self, relation: Relation) -> Relation:
+        self.schema.add(relation)
+        self._rows[relation.name] = set()
+        return relation
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, name: str, row: Sequence[object]) -> tuple[object, ...]:
+        relation = self.schema.relation(name)
+        t = relation.check_row(row)
+        self._rows[name].add(t)
+        return t
+
+    def extend(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        relation = self.schema.relation(name)
+        target = self._rows[name]
+        for row in rows:
+            target.add(relation.check_row(row))
+
+    def discard(self, name: str, row: Sequence[object]) -> None:
+        self.schema.relation(name)
+        self._rows[name].discard(tuple(row))
+
+    # -- access ---------------------------------------------------------------
+
+    def rows(self, name: str) -> set[tuple[object, ...]]:
+        """The (mutable) row set of a relation."""
+        if name not in self._rows:
+            raise SchemaError(f"unknown relation {name!r}")
+        return self._rows[name]
+
+    def relation(self, name: str) -> Relation:
+        return self.schema.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rows
+
+    def relations(self) -> Iterator[str]:
+        return iter(self._rows)
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def copy(self) -> "Database":
+        """Deep copy of the contents (rows are immutable, sets are copied)."""
+        clone = Database(self.schema)
+        for name, rows in self._rows.items():
+            clone._rows[name] = set(rows)
+        return clone
+
+    # -- comparison -----------------------------------------------------------
+
+    def same_contents(self, other: "Database") -> bool:
+        """Set-equivalence of instances, relation by relation (paper's ≡)."""
+        names = set(self._rows)
+        if names != set(other._rows):
+            return False
+        return all(self._rows[name] == other._rows[name] for name in names)
+
+    def diff(self, other: "Database") -> dict[str, tuple[set, set]]:
+        """Per-relation ``(only_self, only_other)`` row sets (debugging)."""
+        out: dict[str, tuple[set, set]] = {}
+        for name in set(self._rows) | set(other._rows):
+            mine = self._rows.get(name, set())
+            theirs = other._rows.get(name, set())
+            if mine != theirs:
+                out[name] = (mine - theirs, theirs - mine)
+        return out
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}:{len(rows)}" for name, rows in self._rows.items())
+        return f"Database({sizes})"

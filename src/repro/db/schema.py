@@ -1,0 +1,117 @@
+"""Relational schemas.
+
+Plain structural metadata: a :class:`Relation` is a named attribute list, a
+:class:`Schema` a collection of relations.  Values are arbitrary hashable
+Python objects (the paper's domain ``V`` is an abstract infinite set); rows
+are plain tuples, which keeps the hot matching loops allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError
+
+__all__ = ["Relation", "Schema"]
+
+
+class Relation:
+    """A relation name with its ordered attribute list."""
+
+    __slots__ = ("name", "attributes", "_index")
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} needs at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attributes: {attrs}")
+        self.name = name
+        self.attributes = attrs
+        self._index = {attr: i for i, attr in enumerate(attrs)}
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute``; raises :class:`SchemaError` if unknown."""
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r} "
+                f"(attributes: {', '.join(self.attributes)})"
+            ) from None
+
+    def check_row(self, row: Sequence[object]) -> tuple[object, ...]:
+        """Validate arity and return the row as a hashable tuple."""
+        t = tuple(row)
+        if len(t) != self.arity:
+            raise SchemaError(
+                f"row {t!r} has arity {len(t)}, relation {self.name!r} expects {self.arity}"
+            )
+        return t
+
+    def row_dict(self, row: Sequence[object]) -> dict[str, object]:
+        """The row as an attribute→value mapping (display / debugging)."""
+        return dict(zip(self.attributes, row))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}({', '.join(self.attributes)}))"
+
+
+class Schema:
+    """A set of relations, indexed by name."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> Relation:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r} (known: {', '.join(sorted(self._relations)) or 'none'})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    @classmethod
+    def build(cls, spec: Mapping[str, Sequence[str]]) -> "Schema":
+        """Schema from ``{relation_name: [attr, ...]}``."""
+        return cls(Relation(name, attrs) for name, attrs in spec.items())
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self._relations)})"

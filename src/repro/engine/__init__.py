@@ -1,0 +1,23 @@
+"""Provenance-tracking update engine and policy executors."""
+
+from .engine import Engine, POLICIES, make_executor
+from .executors import (
+    AnnotatedExecutor,
+    Executor,
+    NaiveExecutor,
+    NormalFormExecutor,
+    VanillaExecutor,
+)
+from .stats import EngineStats
+
+__all__ = [
+    "AnnotatedExecutor",
+    "Engine",
+    "EngineStats",
+    "Executor",
+    "NaiveExecutor",
+    "NormalFormExecutor",
+    "POLICIES",
+    "VanillaExecutor",
+    "make_executor",
+]

@@ -1,0 +1,224 @@
+"""The provenance-tracking update engine.
+
+:class:`Engine` wraps a policy executor and applies update queries,
+transactions or whole logs while collecting the statistics the paper's
+evaluation reports.  Policies::
+
+    none / no_provenance   vanilla set semantics (baseline)
+    naive / no_axioms      Section 3.1 construction, no equivalence axioms
+    normal_form            incremental Theorem 5.3 normal forms
+    mv_tree / mv_string    the MV-semiring baseline of [Arab et al. 2016]
+
+Example::
+
+    engine = Engine(db, policy="normal_form")
+    engine.apply(Transaction("t1", [Delete.where(rel, {"category": "Fashion"})]))
+    for row, expr, live in engine.provenance("products"):
+        ...
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..core.expr import Expr, evaluate
+from ..db.database import Database
+from ..errors import EngineError
+from ..queries.updates import Transaction, UpdateQuery
+from .executors import Executor, NaiveExecutor, NormalFormExecutor, VanillaExecutor
+from .stats import EngineStats
+
+__all__ = ["Engine", "POLICIES", "make_executor"]
+
+
+def _mv_factory(kind: str):
+    def factory(database: Database, annotate=None) -> Executor:
+        from ..mv.policy import MVExecutor  # lazy: keep engine importable alone
+
+        return MVExecutor(database, representation=kind, annotate=annotate)
+
+    return factory
+
+
+POLICIES: dict[str, Callable[..., Executor]] = {
+    "none": VanillaExecutor,
+    "no_provenance": VanillaExecutor,
+    "naive": NaiveExecutor,
+    "no_axioms": NaiveExecutor,
+    "normal_form": NormalFormExecutor,
+    "mv_tree": _mv_factory("tree"),
+    "mv_string": _mv_factory("string"),
+}
+
+
+def make_executor(
+    database: Database,
+    policy: str,
+    annotate: Callable[[str, tuple, int], str] | None = None,
+) -> Executor:
+    """Instantiate the executor registered under ``policy``."""
+    try:
+        factory = POLICIES[policy]
+    except KeyError:
+        raise EngineError(
+            f"unknown policy {policy!r} (known: {', '.join(sorted(POLICIES))})"
+        ) from None
+    if factory is VanillaExecutor:
+        return VanillaExecutor(database)
+    return factory(database, annotate=annotate)
+
+
+class Engine:
+    """Applies hyperplane updates under a provenance policy."""
+
+    def __init__(
+        self,
+        database: Database,
+        policy: str = "normal_form",
+        annotate: Callable[[str, tuple, int], str] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.policy = policy
+        self.executor = make_executor(database, policy, annotate)
+        self.stats = EngineStats()
+        self._clock = clock
+        self._applied: list[UpdateQuery] = []
+
+    # -- applying updates -------------------------------------------------------
+
+    def apply(self, item: UpdateQuery | Transaction | Iterable) -> "Engine":
+        """Apply a query, a transaction, or any iterable of those.
+
+        Returns ``self`` so applications chain.
+        """
+        if isinstance(item, UpdateQuery):
+            self._apply_query(item)
+        elif isinstance(item, Transaction):
+            for query in item:
+                self._apply_query(query)
+            self.executor.on_transaction_end(item.name)
+            self.stats.transactions += 1
+        elif isinstance(item, Iterable):
+            for element in item:
+                self.apply(element)
+        else:
+            raise EngineError(f"cannot apply {type(item).__name__}")
+        return self
+
+    def _apply_query(self, query: UpdateQuery) -> None:
+        start = self._clock()
+        matched, created = self.executor.apply(query)
+        elapsed = self._clock() - start
+        self.stats.record(query.kind, matched, created, elapsed)
+        self._applied.append(query)
+
+    @property
+    def applied_queries(self) -> tuple[UpdateQuery, ...]:
+        return tuple(self._applied)
+
+    # -- results ------------------------------------------------------------------
+
+    def result(self) -> Database:
+        """The live contents under standard set semantics."""
+        return self.executor.result()
+
+    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
+        return self.executor.live_rows(relation)
+
+    def provenance(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
+        """``(row, provenance expression, live)`` for every stored row."""
+        return self.executor.provenance_items(relation)
+
+    def annotation_of(self, relation: str, row: Iterable[object]) -> Expr:
+        """The provenance expression of one row (0 if never stored)."""
+        target = tuple(row)
+        for stored, expr, _live in self.executor.provenance_items(relation):
+            if stored == target:
+                return expr
+        from ..core.expr import ZERO
+
+        return ZERO
+
+    def tuple_var(self, relation: str, row: Iterable[object]) -> str | None:
+        """Base annotation name of an initial tuple (for what-if valuations)."""
+        return self.executor.tuple_var(relation, tuple(row))
+
+    def tuple_var_names(self) -> frozenset[str]:
+        """All annotation names assigned to initial tuples."""
+        return self.executor.tuple_var_names()
+
+    # -- measurements ---------------------------------------------------------------
+
+    def support_count(self) -> int:
+        return self.executor.support_count()
+
+    def live_count(self) -> int:
+        return self.executor.live_count()
+
+    def provenance_size(self) -> int:
+        return self.executor.provenance_size()
+
+    def provenance_dag_size(self) -> int:
+        return self.executor.provenance_dag_size()
+
+    def overhead_report(self, baseline: "Engine | None" = None) -> dict[str, object]:
+        """The Section 6 measurements for this engine (vs. an optional baseline)."""
+        report: dict[str, object] = {
+            "policy": self.policy,
+            "support_rows": self.support_count(),
+            "live_rows": self.live_count(),
+            "provenance_size": self.provenance_size(),
+            "wall_time": self.stats.wall_time,
+            "queries": self.stats.queries,
+        }
+        if baseline is not None:
+            base_rows = max(baseline.live_count(), 1)
+            report["row_overhead"] = (self.support_count() - base_rows) / base_rows
+            if baseline.stats.wall_time:
+                report["time_overhead"] = (
+                    self.stats.wall_time - baseline.stats.wall_time
+                ) / baseline.stats.wall_time
+        return report
+
+    # -- specialization (Section 4) ----------------------------------------------------
+
+    def specialize(
+        self,
+        structure,
+        env: Mapping[str, object] | Callable[[str], object],
+    ) -> dict[str, dict[tuple, object]]:
+        """Evaluate every stored annotation in a concrete Update-Structure.
+
+        This is the "provenance usage" operation the paper times in Figures
+        7c/8c: assigning values to annotations.  Returns, per relation, a
+        mapping from rows to structure values (e.g. booleans for deletion
+        propagation).
+        """
+        if not self.executor.tracks_provenance:
+            raise EngineError(f"policy {self.policy!r} does not track provenance")
+        if not getattr(self.executor, "supports_specialization", True):
+            raise EngineError(
+                f"policy {self.policy!r} stores version annotations, not UP[X] "
+                "expressions; Update-Structure specialization does not apply"
+            )
+        out: dict[str, dict[tuple, object]] = {}
+        for name in self.executor.schema.names:
+            values: dict[tuple, object] = {}
+            for row, expr, _live in self.executor.provenance_items(name):
+                values[row] = evaluate(expr, structure, env)
+            out[name] = values
+        return out
+
+    def specialized_database(
+        self,
+        structure,
+        env: Mapping[str, object] | Callable[[str], object],
+    ) -> Database:
+        """The database whose rows are those with non-zero specialized value."""
+        values = self.specialize(structure, env)
+        db = Database(self.executor.schema)
+        zero = structure.zero
+        for name, rows in values.items():
+            db.extend(name, (row for row, value in rows.items() if value != zero))
+        return db

@@ -1,0 +1,442 @@
+"""Query executors: vanilla evaluation and the two provenance policies.
+
+Three executors implement the paper's three main configurations:
+
+* :class:`VanillaExecutor` — "No provenance": set semantics with physical
+  deletes, the baseline of Figures 7b/8b;
+* :class:`NaiveExecutor` — "No axioms": the literal Section 3.1
+  construction.  Tuples are tombstoned, never removed, and annotations are
+  raw UP[X] expressions that only the zero axioms simplify (worst-case
+  exponential, Proposition 5.1);
+* :class:`NormalFormExecutor` — "Normal form": identical matching
+  semantics, but annotations are maintained as Theorem 5.3 shapes with the
+  Figure 6 rules applied incrementally after every update.
+
+A detail that is easy to miss in the paper but visible in its Figure 4: the
+annotated semantics applies updates to every tuple with a *non-zero
+annotation*, including tombstones (that is how the tombstone
+``(p1 +M (p3 *M p)) - p`` becomes a modification source under ``p'``).
+Real set-semantics liveness is tracked separately per row so that the
+vanilla result can always be recovered exactly (and is cross-checked in
+tests): a modification target is *live* iff it was live and not modified
+away, or some live source mapped onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..core.expr import Expr, ZERO, minus, plus_i, plus_m, ssum, times_m, var
+from ..core.normal_form import Contribution, NormalForm
+from ..db.database import Database
+from ..errors import EngineError
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, UpdateQuery
+
+__all__ = [
+    "Executor",
+    "VanillaExecutor",
+    "NaiveExecutor",
+    "NormalFormExecutor",
+    "AnnotatedExecutor",
+]
+
+
+class Executor:
+    """Interface every policy executor implements."""
+
+    #: registry name, e.g. ``"naive"``; subclasses override.
+    policy = "abstract"
+    #: whether the executor maintains provenance annotations.
+    tracks_provenance = True
+
+    def apply(self, query: UpdateQuery) -> tuple[int, int]:
+        """Apply one query; returns ``(rows matched, rows created)``."""
+        if isinstance(query, Insert):
+            return self.apply_insert(query)
+        if isinstance(query, Delete):
+            return self.apply_delete(query)
+        if isinstance(query, Modify):
+            return self.apply_modify(query)
+        raise EngineError(f"unknown query type {type(query).__name__}")
+
+    def apply_insert(self, query: Insert) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def apply_delete(self, query: Delete) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def apply_modify(self, query: Modify) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def on_transaction_end(self, name: str) -> None:
+        """Hook invoked after a whole :class:`Transaction` was applied."""
+
+    # -- inspection -----------------------------------------------------------
+
+    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
+        raise NotImplementedError
+
+    def result(self) -> Database:
+        """The live contents as a plain database (standard set semantics)."""
+        raise NotImplementedError
+
+    def support_count(self) -> int:
+        """Number of stored rows including tombstones."""
+        raise NotImplementedError
+
+    def live_count(self) -> int:
+        raise NotImplementedError
+
+    def provenance_size(self) -> int:
+        """Total expanded provenance size over all stored rows.
+
+        Counts every annotation as a *tree* (shared sub-expressions with
+        multiplicity) — the formula-length metric of Proposition 5.1.  May
+        be astronomically large for the naive policy; it is computed with
+        memoized big-int arithmetic, never by materializing the tree.
+        """
+        return 0
+
+    def provenance_dag_size(self) -> int:
+        """Total *stored* provenance size: distinct expression nodes.
+
+        Shared sub-expressions count once across the whole database.  This
+        is what an implementation holding annotations as objects (like the
+        paper's Python prototype, and like this one) physically keeps in
+        memory, and the metric the Section 6 memory-overhead figures use.
+        """
+        return 0
+
+    def provenance_items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
+        """Yields ``(row, expression, live)`` for every stored row."""
+        raise NotImplementedError
+
+    def tuple_var(self, relation: str, row: tuple) -> str | None:
+        """The base annotation name assigned to an initial row, if any."""
+        return None
+
+    def tuple_var_names(self) -> frozenset[str]:
+        """All annotation names assigned to initial rows."""
+        return frozenset()
+
+
+class VanillaExecutor(Executor):
+    """Set semantics, physical deletes, no annotations ("No provenance").
+
+    Rows live in per-relation dicts (insertion-ordered, value-less) — the
+    same container the annotated executors use — so runtime comparisons
+    against the provenance policies measure provenance work, not a
+    set-vs-dict iteration artifact.
+    """
+
+    policy = "none"
+    tracks_provenance = False
+
+    def __init__(self, database: Database):
+        self.schema = database.schema
+        self._rows: dict[str, dict[tuple, None]] = {
+            name: dict.fromkeys(database.rows(name)) for name in database.relations()
+        }
+
+    def _relation_rows(self, name: str) -> dict[tuple, None]:
+        try:
+            return self._rows[name]
+        except KeyError:
+            raise EngineError(f"unknown relation {name!r}") from None
+
+    def apply_insert(self, query: Insert) -> tuple[int, int]:
+        rows = self._relation_rows(query.relation)
+        row = self.schema.relation(query.relation).check_row(query.row)
+        created = 0 if row in rows else 1
+        rows[row] = None
+        return (0, created)
+
+    def apply_delete(self, query: Delete) -> tuple[int, int]:
+        rows = self._relation_rows(query.relation)
+        pattern = query.pattern
+        matched = [row for row in rows if pattern.matches(row)]
+        for row in matched:
+            del rows[row]
+        return (len(matched), 0)
+
+    def apply_modify(self, query: Modify) -> tuple[int, int]:
+        rows = self._relation_rows(query.relation)
+        pattern = query.pattern
+        matched = [row for row in rows if pattern.matches(row)]
+        images = {query.apply_to_row(row) for row in matched}
+        for row in matched:
+            del rows[row]
+        created = sum(1 for image in images if image not in rows)
+        rows.update(dict.fromkeys(images))
+        return (len(matched), created)
+
+    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
+        return set(self._relation_rows(relation))
+
+    def result(self) -> Database:
+        db = Database(self.schema)
+        for name, rows in self._rows.items():
+            db.extend(name, rows)
+        return db
+
+    def support_count(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def live_count(self) -> int:
+        return self.support_count()
+
+    def provenance_items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
+        for row in self._relation_rows(relation):
+            yield row, ZERO, True
+
+
+class _RowState:
+    """Mutable per-row state of an annotated executor."""
+
+    __slots__ = ("ann", "live")
+
+    def __init__(self, ann: object, live: bool):
+        self.ann = ann
+        self.live = live
+
+
+class AnnotatedExecutor(Executor):
+    """Shared machinery of the naive and normal-form policies.
+
+    Subclasses provide the annotation algebra through five hooks
+    (:meth:`_initial`, :meth:`_insert_ann`, :meth:`_delete_ann`,
+    :meth:`_contribution`, :meth:`_absorb`) plus :meth:`_expr_of`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        annotate: Callable[[str, tuple, int], str] | None = None,
+    ):
+        self.schema = database.schema
+        self._states: dict[str, dict[tuple, _RowState]] = {}
+        self._tuple_vars: dict[str, dict[tuple, str]] = {}
+        namer = annotate or (lambda rel, row, i: f"x{i}")
+        counter = 0
+        for name in database.relations():
+            states: dict[tuple, _RowState] = {}
+            names: dict[tuple, str] = {}
+            for row in sorted(database.rows(name), key=repr):
+                counter += 1
+                ann_name = namer(name, row, counter)
+                names[row] = ann_name
+                states[row] = _RowState(self._initial(ann_name), True)
+            self._states[name] = states
+            self._tuple_vars[name] = names
+
+    # -- algebra hooks --------------------------------------------------------
+
+    def _initial(self, ann_name: str) -> object:
+        raise NotImplementedError
+
+    def _insert_ann(self, ann: object | None, p: Expr) -> object:
+        raise NotImplementedError
+
+    def _delete_ann(self, ann: object, p: Expr) -> object:
+        raise NotImplementedError
+
+    def _contribution(self, ann: object, p: Expr) -> object:
+        raise NotImplementedError
+
+    def _merge(self, contributions: list[object]) -> object:
+        raise NotImplementedError
+
+    def _absorb(self, ann: object | None, contribution: object, p: Expr) -> object:
+        raise NotImplementedError
+
+    def _expr_of(self, ann: object) -> Expr:
+        raise NotImplementedError
+
+    # -- query application ------------------------------------------------------
+
+    def _relation_states(self, name: str) -> dict[tuple, _RowState]:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise EngineError(f"unknown relation {name!r}") from None
+
+    def apply_insert(self, query: Insert) -> tuple[int, int]:
+        states = self._relation_states(query.relation)
+        row = self.schema.relation(query.relation).check_row(query.row)
+        p = var(query._check_annotation())
+        state = states.get(row)
+        created = 0
+        if state is None:
+            states[row] = _RowState(self._insert_ann(None, p), True)
+            created = 1
+        else:
+            state.ann = self._insert_ann(state.ann, p)
+            state.live = True
+        return (0, created)
+
+    def apply_delete(self, query: Delete) -> tuple[int, int]:
+        states = self._relation_states(query.relation)
+        p = var(query._check_annotation())
+        pattern = query.pattern
+        matched = 0
+        for row, state in states.items():
+            if pattern.matches(row):
+                state.ann = self._delete_ann(state.ann, p)
+                state.live = False
+                matched += 1
+        return (matched, 0)
+
+    def apply_modify(self, query: Modify) -> tuple[int, int]:
+        states = self._relation_states(query.relation)
+        p = var(query._check_annotation())
+        pattern = query.pattern
+        # Phase 1: select sources over the whole support (tombstones
+        # included) and collect their *pre-state* contributions.
+        matched: list[tuple[tuple, _RowState]] = [
+            (row, state) for row, state in states.items() if pattern.matches(row)
+        ]
+        by_target: dict[tuple, list[object]] = {}
+        live_target: dict[tuple, bool] = {}
+        for row, state in matched:
+            target = query.apply_to_row(row)
+            by_target.setdefault(target, []).append(self._contribution(state.ann, p))
+            live_target[target] = live_target.get(target, False) or state.live
+        # Phase 2: sources are modified away (deleted).
+        for _row, state in matched:
+            state.ann = self._delete_ann(state.ann, p)
+            state.live = False
+        # Phase 3: targets absorb the merged contributions.
+        created = 0
+        for target, contributions in by_target.items():
+            merged = self._merge(contributions)
+            state = states.get(target)
+            if state is None:
+                ann = self._absorb(None, merged, p)
+                if self._expr_of(ann).is_zero and not live_target[target]:
+                    # All sources were deleted under this very annotation:
+                    # the target's annotation is 0, i.e. it never enters the
+                    # support (Rule 3 firing on an absent target).
+                    continue
+                state = _RowState(ann, False)
+                states[target] = state
+                created += 1
+            else:
+                state.ann = self._absorb(state.ann, merged, p)
+            state.live = state.live or live_target[target]
+        return (len(matched), created)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
+        return {row for row, state in self._relation_states(relation).items() if state.live}
+
+    def result(self) -> Database:
+        db = Database(self.schema)
+        for name, states in self._states.items():
+            db.extend(name, (row for row, state in states.items() if state.live))
+        return db
+
+    def support_count(self) -> int:
+        return sum(len(states) for states in self._states.values())
+
+    def live_count(self) -> int:
+        return sum(
+            1 for states in self._states.values() for state in states.values() if state.live
+        )
+
+    def provenance_size(self) -> int:
+        return sum(
+            self._expr_of(state.ann).size()
+            for states in self._states.values()
+            for state in states.values()
+        )
+
+    def provenance_dag_size(self) -> int:
+        seen: set[int] = set()
+        stack: list[Expr] = []
+        for states in self._states.values():
+            for state in states.values():
+                root = self._expr_of(state.ann)
+                if id(root) not in seen:
+                    stack.append(root)
+                # One shared visited set across all rows: shared sub-DAGs are
+                # neither re-counted nor re-traversed.
+                while stack:
+                    node = stack.pop()
+                    if id(node) in seen:
+                        continue
+                    seen.add(id(node))
+                    stack.extend(c for c in node.children if id(c) not in seen)
+        return len(seen)
+
+    def provenance_items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
+        for row, state in self._relation_states(relation).items():
+            yield row, self._expr_of(state.ann), state.live
+
+    def tuple_var(self, relation: str, row: tuple) -> str | None:
+        return self._tuple_vars.get(relation, {}).get(tuple(row))
+
+    def tuple_var_names(self) -> frozenset[str]:
+        return frozenset(
+            name for names in self._tuple_vars.values() for name in names.values()
+        )
+
+
+class NaiveExecutor(AnnotatedExecutor):
+    """The literal Section 3.1 construction ("No axioms")."""
+
+    policy = "naive"
+
+    def _initial(self, ann_name: str) -> Expr:
+        return var(ann_name)
+
+    def _insert_ann(self, ann: Expr | None, p: Expr) -> Expr:
+        return plus_i(ann if ann is not None else ZERO, p)
+
+    def _delete_ann(self, ann: Expr, p: Expr) -> Expr:
+        return minus(ann, p)
+
+    def _contribution(self, ann: Expr, p: Expr) -> Expr:
+        return ann
+
+    def _merge(self, contributions: list[Expr]) -> Expr:
+        return ssum(contributions)
+
+    def _absorb(self, ann: Expr | None, contribution: Expr, p: Expr) -> Expr:
+        return plus_m(ann if ann is not None else ZERO, times_m(contribution, p))
+
+    def _expr_of(self, ann: Expr) -> Expr:
+        return ann
+
+
+class NormalFormExecutor(AnnotatedExecutor):
+    """Incremental Theorem 5.3 normal forms ("Normal form")."""
+
+    policy = "normal_form"
+
+    def _initial(self, ann_name: str) -> NormalForm:
+        return NormalForm.untouched(var(ann_name))
+
+    def _insert_ann(self, ann: NormalForm | None, p: Expr) -> NormalForm:
+        return (ann if ann is not None else NormalForm.absent()).on_insert(p)
+
+    def _delete_ann(self, ann: NormalForm, p: Expr) -> NormalForm:
+        return ann.on_delete(p)
+
+    def _contribution(self, ann: NormalForm, p: Expr) -> Contribution:
+        return ann.contribution(p)
+
+    def _merge(self, contributions: list[Contribution]) -> Contribution:
+        acc = Contribution()
+        for c in contributions:
+            acc = acc.merge(c)
+        return acc
+
+    def _absorb(
+        self, ann: NormalForm | None, contribution: Contribution, p: Expr
+    ) -> NormalForm:
+        return (ann if ann is not None else NormalForm.absent()).absorb(contribution, p)
+
+    def _expr_of(self, ann: NormalForm) -> Expr:
+        return ann.to_expr()

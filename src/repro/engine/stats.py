@@ -1,0 +1,53 @@
+"""Execution statistics collected by the engine.
+
+The paper's evaluation (Section 6) reports runtime, database-size overhead
+(tombstones) and provenance size; :class:`EngineStats` accumulates the raw
+counters those series are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated while applying update queries."""
+
+    queries: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    modifies: int = 0
+    transactions: int = 0
+    rows_matched: int = 0
+    rows_created: int = 0
+    wall_time: float = 0.0
+    per_query_time: list[float] = field(default_factory=list, repr=False)
+
+    def record(self, kind: str, matched: int, created: int, elapsed: float) -> None:
+        self.queries += 1
+        if kind == "insert":
+            self.inserts += 1
+        elif kind == "delete":
+            self.deletes += 1
+        else:
+            self.modifies += 1
+        self.rows_matched += matched
+        self.rows_created += created
+        self.wall_time += elapsed
+        self.per_query_time.append(elapsed)
+
+    def snapshot(self) -> dict[str, float | int]:
+        """A plain-dict summary (stable keys for reports and benches)."""
+        return {
+            "queries": self.queries,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "modifies": self.modifies,
+            "transactions": self.transactions,
+            "rows_matched": self.rows_matched,
+            "rows_created": self.rows_created,
+            "wall_time": self.wall_time,
+        }

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package."""
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "ParseError",
+    "EngineError",
+    "StructureError",
+    "StorageError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all repro errors."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema, unknown relation/attribute, arity mismatch."""
+
+
+class QueryError(ReproError):
+    """Ill-formed hyperplane update query."""
+
+
+class ParseError(ReproError):
+    """Syntax error in the SQL fragment or the datalog-style language."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class EngineError(ReproError):
+    """Engine misuse (unknown policy, annotation clashes, ...)."""
+
+
+class StructureError(ReproError):
+    """A candidate Update-Structure violates the required axioms."""
+
+
+class StorageError(ReproError):
+    """Serialization / persistence failures."""

@@ -1,0 +1,59 @@
+"""Karabeg-Vianu set-equivalence rewrites and transaction equivalence tests."""
+
+from .equivalence import (
+    find_set_difference_witness,
+    provenance_equivalent,
+    provenance_equivalent_randomized,
+    random_database_for,
+    set_equivalent,
+    transaction_constants,
+)
+from .generator import (
+    equivalent_pair,
+    exhaustive_variants,
+    random_equivalent_variant,
+    random_query,
+    random_transaction,
+)
+from .rules import (
+    ALL_KV_RULES,
+    CommuteIndependent,
+    DeleteIdempotent,
+    DeleteThenModify,
+    IdentityModElimination,
+    InsertIdempotent,
+    InsertThenDelete,
+    InsertThenModify,
+    KVRule,
+    ModThenDelete,
+    ModThenModCompose,
+    applicable_rewrites,
+    rewrite_transaction,
+)
+
+__all__ = [
+    "ALL_KV_RULES",
+    "CommuteIndependent",
+    "DeleteIdempotent",
+    "DeleteThenModify",
+    "IdentityModElimination",
+    "InsertIdempotent",
+    "InsertThenDelete",
+    "InsertThenModify",
+    "KVRule",
+    "ModThenDelete",
+    "ModThenModCompose",
+    "applicable_rewrites",
+    "equivalent_pair",
+    "exhaustive_variants",
+    "find_set_difference_witness",
+    "provenance_equivalent",
+    "provenance_equivalent_randomized",
+    "random_database_for",
+    "random_equivalent_variant",
+    "random_query",
+    "random_transaction",
+    "rewrite_transaction",
+    "set_equivalent",
+    "transaction_constants",
+]

@@ -1,0 +1,170 @@
+"""Testing set equivalence and provenance equivalence of transactions.
+
+Two complementary testers:
+
+* :func:`set_equivalent` — randomized refutation of ``T1 ≡_B T2`` by
+  running both transactions (vanilla semantics) over generated databases
+  whose active domain covers the constants mentioned by either transaction
+  plus fresh values (the standard argument: over an infinite domain,
+  differences manifest on such instances).
+* :func:`provenance_equivalent` — the Proposition 3.5 property: run both
+  transactions with provenance tracking over the *same* annotated database
+  and compare the provenance of every row exactly (BDD equivalence under
+  the Boolean structure; rows absent from one support count as ``0``).
+
+Together they power the headline property test: for every KV rewrite,
+``set_equivalent`` and ``provenance_equivalent`` must both hold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..core.equivalence import equivalent_boolean
+from ..core.expr import ZERO
+from ..db.database import Database
+from ..db.schema import Relation, Schema
+from ..engine.engine import Engine
+from ..queries.updates import Delete, Insert, Modify, Transaction
+
+__all__ = [
+    "transaction_constants",
+    "random_database_for",
+    "set_equivalent",
+    "provenance_equivalent",
+    "provenance_equivalent_randomized",
+    "find_set_difference_witness",
+]
+
+
+def transaction_constants(
+    transactions: Iterable[Transaction],
+) -> dict[str, tuple[int, dict[int, set[object]]]]:
+    """Per relation: arity and the constants each position mentions."""
+    info: dict[str, tuple[int, dict[int, set[object]]]] = {}
+
+    def bucket(relation: str, arity: int) -> dict[int, set[object]]:
+        if relation not in info:
+            info[relation] = (arity, {i: set() for i in range(arity)})
+        return info[relation][1]
+
+    for txn in transactions:
+        for q in txn.queries:
+            if isinstance(q, Insert):
+                positions = bucket(q.relation, len(q.row))
+                for i, v in enumerate(q.row):
+                    positions[i].add(v)
+            elif isinstance(q, Delete):
+                positions = bucket(q.relation, q.pattern.arity)
+                for i, v in q.pattern.eq.items():
+                    positions[i].add(v)
+                for i, excluded in q.pattern.neq.items():
+                    positions[i].update(excluded)
+            elif isinstance(q, Modify):
+                positions = bucket(q.relation, q.pattern.arity)
+                for i, v in q.pattern.eq.items():
+                    positions[i].add(v)
+                for i, excluded in q.pattern.neq.items():
+                    positions[i].update(excluded)
+                for i, v in q.assignments.items():
+                    positions[i].add(v)
+    return info
+
+
+def random_database_for(
+    transactions: Sequence[Transaction],
+    rng: random.Random,
+    rows_per_relation: int = 8,
+    fresh_values: int = 2,
+) -> Database:
+    """A random database over the transactions' active domain + fresh values."""
+    info = transaction_constants(transactions)
+    schema = Schema(
+        Relation(name, [f"a{i}" for i in range(arity)]) for name, (arity, _) in info.items()
+    )
+    db = Database(schema)
+    for name, (arity, positions) in info.items():
+        pools = []
+        for i in range(arity):
+            pool = sorted(positions[i], key=repr)
+            pool.extend(f"fresh_{i}_{k}" for k in range(fresh_values))
+            pools.append(pool)
+        rows = set()
+        for _ in range(rows_per_relation):
+            rows.add(tuple(rng.choice(pools[i]) for i in range(arity)))
+        db.extend(name, rows)
+    return db
+
+
+def set_equivalent(
+    t1: Transaction,
+    t2: Transaction,
+    rng: random.Random | None = None,
+    trials: int = 20,
+    rows_per_relation: int = 8,
+) -> bool:
+    """Randomized test of ``T1 ≡_B T2`` (standard set semantics)."""
+    return (
+        find_set_difference_witness(t1, t2, rng, trials, rows_per_relation) is None
+    )
+
+
+def find_set_difference_witness(
+    t1: Transaction,
+    t2: Transaction,
+    rng: random.Random | None = None,
+    trials: int = 20,
+    rows_per_relation: int = 8,
+) -> Database | None:
+    """A database on which the two transactions' results differ, if found."""
+    rng = rng or random.Random(0)
+    for _ in range(trials):
+        db = random_database_for([t1, t2], rng, rows_per_relation)
+        r1 = Engine(db, policy="none").apply(t1).result()
+        r2 = Engine(db, policy="none").apply(t2).result()
+        if not r1.same_contents(r2):
+            return db
+    return None
+
+
+def provenance_equivalent(
+    t1: Transaction,
+    t2: Transaction,
+    db: Database,
+    policy: str = "normal_form",
+) -> bool:
+    """Proposition 3.5 check on one database: per-row UP[X] equivalence.
+
+    Both transactions must carry the same annotation (the proposition
+    compares ``T1^p`` with ``T2^p``).  Rows stored by only one run count as
+    ``0`` on the other side; comparison is exact Boolean equivalence.
+    """
+    if t1.name != t2.name:
+        raise ValueError("compare transactions under the same annotation")
+    e1 = Engine(db, policy=policy).apply(t1)
+    e2 = Engine(db, policy=policy).apply(t2)
+    for relation in db.schema.names:
+        prov1 = {row: expr for row, expr, _ in e1.provenance(relation)}
+        prov2 = {row: expr for row, expr, _ in e2.provenance(relation)}
+        for row in set(prov1) | set(prov2):
+            if not equivalent_boolean(prov1.get(row, ZERO), prov2.get(row, ZERO)):
+                return False
+    return True
+
+
+def provenance_equivalent_randomized(
+    t1: Transaction,
+    t2: Transaction,
+    rng: random.Random | None = None,
+    trials: int = 5,
+    rows_per_relation: int = 6,
+    policy: str = "normal_form",
+) -> bool:
+    """Proposition 3.5 over several random databases."""
+    rng = rng or random.Random(0)
+    for _ in range(trials):
+        db = random_database_for([t1, t2], rng, rows_per_relation)
+        if not provenance_equivalent(t1, t2, db, policy=policy):
+            return False
+    return True

@@ -1,0 +1,126 @@
+"""Generators of random transactions and KV-equivalent variants.
+
+Used by the property-test suite and by benchmarks that need structured
+equivalent-transaction pairs: :func:`random_transaction` builds hyperplane
+transactions over a relation's domain, and :func:`random_equivalent_variant`
+walks the KV rewrite system to produce a provably set-equivalent sibling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..db.schema import Relation
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, Transaction, UpdateQuery
+from .rules import ALL_KV_RULES, KVRule, applicable_rewrites, rewrite_transaction
+
+__all__ = [
+    "random_transaction",
+    "random_equivalent_variant",
+    "equivalent_pair",
+    "exhaustive_variants",
+]
+
+
+def _random_pattern(relation: Relation, rng: random.Random, domain: Sequence[object]) -> Pattern:
+    eq: dict[int, object] = {}
+    neq: dict[int, set[object]] = {}
+    for i in range(relation.arity):
+        roll = rng.random()
+        if roll < 0.45:
+            eq[i] = rng.choice(domain)
+        elif roll < 0.6:
+            neq[i] = {rng.choice(domain)}
+    return Pattern(relation.arity, eq=eq, neq=neq)
+
+
+def random_query(
+    relation: Relation,
+    rng: random.Random,
+    domain: Sequence[object],
+    weights: tuple[float, float, float] = (0.3, 0.3, 0.4),
+) -> UpdateQuery:
+    """A random hyperplane query; ``weights`` are (insert, delete, modify)."""
+    roll = rng.random()
+    if roll < weights[0]:
+        return Insert(relation.name, tuple(rng.choice(domain) for _ in range(relation.arity)))
+    if roll < weights[0] + weights[1]:
+        return Delete(relation.name, _random_pattern(relation, rng, domain))
+    pattern = _random_pattern(relation, rng, domain)
+    n_assign = rng.randint(1, relation.arity)
+    positions = rng.sample(range(relation.arity), n_assign)
+    assignments = {i: rng.choice(domain) for i in positions}
+    return Modify(relation.name, pattern, assignments)
+
+
+def random_transaction(
+    relation: Relation,
+    rng: random.Random,
+    length: int = 6,
+    domain: Sequence[object] = (0, 1, 2),
+    name: str = "p",
+) -> Transaction:
+    """A random transaction of hyperplane queries over one relation."""
+    return Transaction(name, [random_query(relation, rng, domain) for _ in range(length)])
+
+
+def random_equivalent_variant(
+    transaction: Transaction,
+    rng: random.Random,
+    steps: int = 3,
+    rules: Sequence[KVRule] = ALL_KV_RULES,
+) -> tuple[Transaction, list[str]]:
+    """Random walk over the KV rewrite system.
+
+    Returns the rewritten transaction together with the applied rule names
+    (possibly empty when no rule matched anywhere — the variant then is the
+    original transaction).
+    """
+    current = transaction
+    trail: list[str] = []
+    for _ in range(steps):
+        options = applicable_rewrites(current, rules)
+        if not options:
+            break
+        position, rule, replacement = rng.choice(options)
+        current = rewrite_transaction(current, position, rule, replacement)
+        trail.append(rule.name)
+    return current, trail
+
+
+def equivalent_pair(
+    relation: Relation,
+    rng: random.Random,
+    length: int = 6,
+    domain: Sequence[object] = (0, 1, 2),
+    steps: int = 3,
+) -> tuple[Transaction, Transaction, list[str]]:
+    """A random transaction and a KV-equivalent variant of it."""
+    t1 = random_transaction(relation, rng, length=length, domain=domain)
+    t2, trail = random_equivalent_variant(t1, rng, steps=steps)
+    return t1, t2, trail
+
+
+def exhaustive_variants(
+    transaction: Transaction,
+    max_depth: int = 2,
+    rules: Sequence[KVRule] = ALL_KV_RULES,
+    limit: int = 200,
+) -> list[Transaction]:
+    """All transactions reachable in at most ``max_depth`` rewrites."""
+    seen = {transaction}
+    frontier = [transaction]
+    for _ in range(max_depth):
+        next_frontier: list[Transaction] = []
+        for txn in frontier:
+            for position, rule, replacement in applicable_rewrites(txn, rules):
+                variant = rewrite_transaction(txn, position, rule, replacement)
+                if variant not in seen:
+                    seen.add(variant)
+                    next_frontier.append(variant)
+                    if len(seen) >= limit:
+                        return list(seen)
+        frontier = next_frontier
+    return list(seen)

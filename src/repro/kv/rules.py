@@ -1,0 +1,284 @@
+"""Karabeg-Vianu set-equivalence rewrites for hyperplane transactions.
+
+[Karabeg & Vianu 1991] gave simplification rules and a sound & complete
+axiomatization of set equivalence for this transaction fragment; the
+paper's axioms (Figure 3) are the provenance images of those rules.  This
+module implements a catalog of transaction-level rewrites, each of which
+preserves set equivalence (``T1 ≡_B T2``); together with Proposition 3.5
+they are the generator behind the library's headline property tests: any
+variant produced here must yield UP[X]-equivalent provenance on every
+database (``tests/kv/test_prop_3_5.py``).
+
+Each rule inspects a window of one or two adjacent queries and returns the
+replacement sequences it licenses.  Conditions use the pattern algebra
+(:meth:`~repro.queries.pattern.Pattern.subsumes`,
+:meth:`~repro.queries.pattern.Pattern.disjoint_from`), sound over the
+paper's infinite domain assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, Transaction, UpdateQuery
+
+__all__ = [
+    "KVRule",
+    "ModThenDelete",
+    "DeleteIdempotent",
+    "InsertIdempotent",
+    "InsertThenDelete",
+    "InsertThenModify",
+    "DeleteThenModify",
+    "ModThenModCompose",
+    "IdentityModElimination",
+    "CommuteIndependent",
+    "ALL_KV_RULES",
+    "applicable_rewrites",
+    "rewrite_transaction",
+]
+
+
+class KVRule:
+    """A set-equivalence-preserving rewrite over a window of queries."""
+
+    #: window width (1 or 2 adjacent queries).
+    width = 2
+    name = "abstract"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        """Replacement sequences for the window, or ``None`` if inapplicable."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ModThenDelete(KVRule):
+    """``mod(u1->u2); del(u)`` with images inside ``u``  =>  ``del(u1); del(u)``.
+
+    The paper's Example 3.3: deleting the modification's output wholesale is
+    the same as deleting its input wholesale.
+    """
+
+    name = "mod_then_delete"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if not (isinstance(q1, Modify) and isinstance(q2, Delete)):
+            return None
+        if q1.relation != q2.relation:
+            return None
+        if not q2.pattern.subsumes(q1.image_pattern()):
+            return None
+        return [[Delete(q1.relation, q1.pattern), q2]]
+
+
+class DeleteIdempotent(KVRule):
+    """``del(u); del(u)``  =>  ``del(u)`` (the axiom 4 source)."""
+
+    name = "delete_idempotent"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if (
+            isinstance(q1, Delete)
+            and isinstance(q2, Delete)
+            and q1.relation == q2.relation
+            and q1.pattern == q2.pattern
+        ):
+            return [[q1]]
+        return None
+
+
+class InsertIdempotent(KVRule):
+    """``ins(t); ins(t)``  =>  ``ins(t)``."""
+
+    name = "insert_idempotent"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if (
+            isinstance(q1, Insert)
+            and isinstance(q2, Insert)
+            and q1.relation == q2.relation
+            and q1.row == q2.row
+        ):
+            return [[q1]]
+        return None
+
+
+class InsertThenDelete(KVRule):
+    """``ins(t); del(u)`` with ``t |= u``  =>  ``del(u)`` (axiom 7 source)."""
+
+    name = "insert_then_delete"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if (
+            isinstance(q1, Insert)
+            and isinstance(q2, Delete)
+            and q1.relation == q2.relation
+            and q2.pattern.matches(q1.row)
+        ):
+            return [[q2]]
+        return None
+
+
+class InsertThenModify(KVRule):
+    """``ins(t); mod(u1->u2)`` with ``t |= u1``  =>  ``mod(u1->u2); ins(t')``.
+
+    The inserted tuple is swept along by the modification; inserting its
+    image after the modification is equivalent (axiom 8's source).
+    """
+
+    name = "insert_then_modify"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if not (isinstance(q1, Insert) and isinstance(q2, Modify)):
+            return None
+        if q1.relation != q2.relation or not q2.pattern.matches(q1.row):
+            return None
+        return [[q2, Insert(q1.relation, q2.apply_to_row(q1.row))]]
+
+
+class DeleteThenModify(KVRule):
+    """``del(u); mod(u1->u2)`` with ``u1`` inside ``u``  =>  ``del(u)``.
+
+    All the modification's potential sources were just deleted (the axiom 5
+    / Rule 3 source).
+    """
+
+    name = "delete_then_modify"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if not (isinstance(q1, Delete) and isinstance(q2, Modify)):
+            return None
+        if q1.relation != q2.relation or not q1.pattern.subsumes(q2.pattern):
+            return None
+        return [[q1]]
+
+
+class ModThenModCompose(KVRule):
+    """``mod(u1->u2); mod(u2'->u3)`` with images of the first inside ``u2'``
+    =>  ``mod(u1->composed); mod(u2'->u3)`` (the paper's Figure 2a/2b pair).
+    """
+
+    name = "mod_then_mod_compose"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if not (isinstance(q1, Modify) and isinstance(q2, Modify)):
+            return None
+        if q1.relation != q2.relation:
+            return None
+        if not q2.pattern.subsumes(q1.image_pattern()):
+            return None
+        composed = Modify(q1.relation, q1.pattern, q1.compose_assignments(q2))
+        if composed == q1:
+            return None  # no progress (q2 changes nothing on q1's images)
+        return [[composed, q2]]
+
+
+class IdentityModElimination(KVRule):
+    """``mod(u->u)``  =>  (nothing): deleting and re-inserting each matching
+    tuple unchanged is a no-op under set semantics."""
+
+    width = 1
+    name = "identity_mod"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        (q,) = queries
+        if isinstance(q, Modify) and q.is_identity:
+            return [[]]
+        return None
+
+
+class CommuteIndependent(KVRule):
+    """Swap two adjacent queries whose read/write sets cannot interact."""
+
+    name = "commute"
+
+    def rewrite(self, queries: Sequence[UpdateQuery]) -> list[list[UpdateQuery]] | None:
+        q1, q2 = queries
+        if q1.relation != q2.relation:
+            return [[q2, q1]]
+        if self._commutes(q1, q2):
+            return [[q2, q1]]
+        return None
+
+    @staticmethod
+    def _touch_patterns(q: UpdateQuery) -> list[Pattern]:
+        """Patterns covering every tuple the query reads or writes."""
+        if isinstance(q, Insert):
+            return [Pattern.exact(q.row)]
+        if isinstance(q, Delete):
+            return [q.pattern]
+        assert isinstance(q, Modify)
+        return [q.pattern, q.image_pattern()]
+
+    @classmethod
+    def _commutes(cls, q1: UpdateQuery, q2: UpdateQuery) -> bool:
+        # Deletions always commute with each other, insertions likewise.
+        if isinstance(q1, Delete) and isinstance(q2, Delete):
+            return True
+        if isinstance(q1, Insert) and isinstance(q2, Insert):
+            return True
+        # Otherwise require full independence of touched hyperplanes,
+        # except that two modifications' images may coincide.
+        pats1 = cls._touch_patterns(q1)
+        pats2 = cls._touch_patterns(q2)
+        both_mod = isinstance(q1, Modify) and isinstance(q2, Modify)
+        for i, a in enumerate(pats1):
+            for j, b in enumerate(pats2):
+                if both_mod and i == 1 and j == 1:
+                    continue  # image/image overlap is harmless
+                if not a.disjoint_from(b):
+                    return False
+        return True
+
+
+ALL_KV_RULES: tuple[KVRule, ...] = (
+    ModThenDelete(),
+    DeleteIdempotent(),
+    InsertIdempotent(),
+    InsertThenDelete(),
+    InsertThenModify(),
+    DeleteThenModify(),
+    ModThenModCompose(),
+    IdentityModElimination(),
+    CommuteIndependent(),
+)
+
+
+def applicable_rewrites(
+    transaction: Transaction,
+    rules: Sequence[KVRule] = ALL_KV_RULES,
+) -> list[tuple[int, KVRule, list[UpdateQuery]]]:
+    """All ``(position, rule, replacement)`` rewrites of the transaction."""
+    queries = list(transaction.queries)
+    out: list[tuple[int, KVRule, list[UpdateQuery]]] = []
+    for rule in rules:
+        width = rule.width
+        for i in range(len(queries) - width + 1):
+            window = queries[i : i + width]
+            replacements = rule.rewrite(window)
+            if replacements:
+                for replacement in replacements:
+                    out.append((i, rule, replacement))
+    return out
+
+
+def rewrite_transaction(
+    transaction: Transaction,
+    position: int,
+    rule: KVRule,
+    replacement: list[UpdateQuery],
+) -> Transaction:
+    """The transaction with the window at ``position`` replaced."""
+    queries = list(transaction.queries)
+    queries[position : position + rule.width] = replacement
+    return Transaction(transaction.name, queries)

@@ -1,0 +1,29 @@
+"""Textual front-ends for hyperplane update queries.
+
+Two surface syntaxes, both compiling to the same
+:mod:`repro.queries` objects:
+
+* :mod:`repro.lang.datalog` — the paper's datalog-style notation, e.g.
+  ``products-,p(a, "Fashion", b) :-``;
+* :mod:`repro.lang.sql` — the SQL fragment the paper's Section 2 "Note"
+  identifies (single-row ``INSERT``, ``DELETE``/``UPDATE`` with
+  conjunctions of ``attr = c`` / ``attr <> c``), plus
+  ``BEGIN TRANSACTION .. COMMIT`` blocks for annotated transactions.
+"""
+
+from .datalog import format_program as format_datalog_program
+from .datalog import format_query as format_datalog
+from .datalog import parse_program as parse_datalog_program
+from .datalog import parse_query as parse_datalog
+from .sql import format_sql, format_sql_script, parse_sql, parse_sql_script
+
+__all__ = [
+    "format_datalog",
+    "format_datalog_program",
+    "format_sql",
+    "format_sql_script",
+    "parse_datalog",
+    "parse_datalog_program",
+    "parse_sql",
+    "parse_sql_script",
+]

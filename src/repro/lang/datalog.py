@@ -1,0 +1,306 @@
+"""The paper's datalog-style query notation.
+
+Grammar (Section 2 / Section 3.1 of the paper, examples 2.1-2.4)::
+
+    query      :=  relation marker [ "," annotation ] "(" terms ")" [ ":-" ]
+    marker     :=  "+" | "-" | "M"
+    terms      :=  term { "," term }
+    term       :=  constant                       -- "Sport", 120
+                |  variable                       -- a, b, c
+                |  "[" variable { "!=" constant } "]"   -- [p != "Kids mnt bike"]
+
+Examples accepted verbatim from the paper::
+
+    products+,p("Lego bricks", "Kids", 90) :-
+    products-,p(a, "Fashion", b) :-
+    productsM,p("Kids mnt bike", a, b, "Kids mnt bike", "Bicycles", b) :-
+    products-([p != "Kids mnt bike"], "Sport", c) :-
+
+For a modification the term list holds ``u1`` followed by ``u2`` (twice the
+relation's arity); per the paper's definition every ``u2`` entry either
+repeats the corresponding ``u1`` variable (the value is kept) or is a
+constant (the value is assigned).
+
+The hyperplane restriction is enforced: a variable may occur at most once
+in ``u1`` (repeating it would express an inter-attribute equality, which
+the fragment excludes).
+
+A *program* is a sequence of queries, optionally grouped into transactions
+with ``transaction <name> { ... }`` blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..db.schema import Relation, Schema
+from ..errors import ParseError
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, Transaction, UpdateQuery
+from .tokens import TokenStream
+
+__all__ = ["parse_query", "parse_program", "format_query", "format_program"]
+
+
+# Markers that cannot start an annotation or a term; "M" is special-cased
+# because it is also a valid variable name.
+_MARKERS = {"+": "insert", "-": "delete", "M": "modify"}
+
+
+class _Const:
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+
+class _Var:
+    __slots__ = ("name", "excluded")
+
+    def __init__(self, name: str, excluded: frozenset[object] = frozenset()):
+        self.name = name
+        self.excluded = excluded
+
+
+_Term = _Const | _Var
+
+
+def _parse_term(stream: TokenStream) -> _Term:
+    if stream.at("STRING") or stream.at("NUMBER"):
+        return _Const(stream.next().value)
+    if stream.accept("OP", "["):
+        name_token = stream.expect("NAME")
+        name = str(name_token.value)
+        excluded: set[object] = set()
+        while True:
+            if not (stream.accept("OP", "!=") or stream.accept("OP", "<>")):
+                raise stream.error(f"expected != after variable {name!r}")
+            const = stream.peek()
+            if const.kind not in ("STRING", "NUMBER"):
+                raise stream.error("disequality needs a constant right-hand side")
+            excluded.add(stream.next().value)
+            if not stream.accept("OP", ","):
+                break
+            repeat = stream.expect("NAME")
+            if str(repeat.value) != name:
+                raise stream.error(
+                    f"all disequalities in one bracket constrain the same variable "
+                    f"(got {repeat.value!r}, expected {name!r})"
+                )
+        stream.expect("OP", "]")
+        return _Var(name, frozenset(excluded))
+    if stream.at("NAME"):
+        return _Var(str(stream.next().value))
+    raise stream.error("expected a constant, a variable or a [var != const] term")
+
+
+def _parse_head(stream: TokenStream) -> tuple[str, str, str | None]:
+    """Parse ``relation marker [, annotation]`` and return the triple."""
+    relation = str(stream.expect("NAME").value)
+    kind: str | None = None
+    # The modification marker "M" may be glued onto the relation name
+    # (``productsM``) as in the paper's typesetting, or stand alone.
+    if stream.at("OP", "+") or stream.at("OP", "-"):
+        kind = _MARKERS[str(stream.next().value)]
+    elif stream.at("NAME", "M"):
+        stream.next()
+        kind = "modify"
+    elif relation.endswith("M") and len(relation) > 1 and stream.at("OP", ","):
+        relation, kind = relation[:-1], "modify"
+    elif relation.endswith("M") and len(relation) > 1 and stream.at("OP", "("):
+        relation, kind = relation[:-1], "modify"
+    if kind is None:
+        raise stream.error(f"relation {relation!r} needs an update marker (+, - or M)")
+    annotation: str | None = None
+    if stream.accept("OP", ","):
+        annotation = str(stream.expect("NAME").value)
+    return relation, kind, annotation
+
+
+def _build_insert(
+    relation: Relation, terms: Sequence[_Term], annotation: str | None, stream: TokenStream
+) -> Insert:
+    row = []
+    for i, term in enumerate(terms):
+        if not isinstance(term, _Const):
+            raise stream.error(
+                f"insertion into {relation.name!r} requires constants; "
+                f"position {i} ({relation.attributes[i]}) is a variable"
+            )
+        row.append(term.value)
+    return Insert(relation.name, row, annotation)
+
+
+def _pattern_of(relation: Relation, terms: Sequence[_Term], stream: TokenStream) -> Pattern:
+    eq: dict[int, object] = {}
+    neq: dict[int, frozenset[object]] = {}
+    seen_vars: dict[str, int] = {}
+    for i, term in enumerate(terms):
+        if isinstance(term, _Const):
+            eq[i] = term.value
+            continue
+        if term.name in seen_vars:
+            raise stream.error(
+                f"variable {term.name!r} occurs at positions {seen_vars[term.name]} and "
+                f"{i}; hyperplane queries cannot compare attributes"
+            )
+        seen_vars[term.name] = i
+        if term.excluded:
+            neq[i] = term.excluded
+    return Pattern(relation.arity, eq=eq, neq=neq)
+
+
+def _build_modify(
+    relation: Relation, terms: Sequence[_Term], annotation: str | None, stream: TokenStream
+) -> Modify:
+    arity = relation.arity
+    u1, u2 = terms[:arity], terms[arity:]
+    pattern = _pattern_of(relation, u1, stream)
+    assignments: dict[int, object] = {}
+    for i, (t1, t2) in enumerate(zip(u1, u2)):
+        if isinstance(t2, _Const):
+            if isinstance(t1, _Const) and t1.value == t2.value:
+                continue  # same constant on both sides: value kept
+            assignments[i] = t2.value
+        elif isinstance(t1, _Var) and t1.name == t2.name:
+            if t2.excluded and t2.excluded != t1.excluded:
+                raise stream.error(
+                    f"position {i}: disequalities belong on the u1 occurrence of "
+                    f"{t1.name!r}"
+                )
+            continue  # same variable: value kept
+        else:
+            raise stream.error(
+                f"position {i} of u2 must repeat u1's variable or be a constant"
+            )
+    if not assignments:
+        # The paper allows u1 = u2 (an identity modification); Modify requires
+        # at least one assignment, so pin one constrained position to itself.
+        for i, t1 in enumerate(u1):
+            if isinstance(t1, _Const):
+                assignments[i] = t1.value
+                break
+        else:
+            raise stream.error(
+                "identity modification with no constants cannot be represented"
+            )
+    return Modify(relation.name, pattern, assignments, annotation)
+
+
+def parse_query(text: str, schema: Schema) -> UpdateQuery:
+    """Parse one datalog-style query against ``schema``."""
+    stream = TokenStream(text)
+    query = _parse_one(stream, schema)
+    stream.expect_end()
+    return query
+
+
+def _parse_one(stream: TokenStream, schema: Schema) -> UpdateQuery:
+    relation_name, kind, annotation = _parse_head(stream)
+    relation = schema.relation(relation_name)
+    stream.expect("OP", "(")
+    terms: list[_Term] = [_parse_term(stream)]
+    while stream.accept("OP", ","):
+        terms.append(_parse_term(stream))
+    stream.expect("OP", ")")
+    stream.accept("OP", ":-")
+    expected = relation.arity * (2 if kind == "modify" else 1)
+    if len(terms) != expected:
+        raise stream.error(
+            f"{kind} on {relation.name!r} needs {expected} terms, got {len(terms)}"
+        )
+    if kind == "insert":
+        return _build_insert(relation, terms, annotation, stream)
+    if kind == "delete":
+        return Delete(relation.name, _pattern_of(relation, terms, stream), annotation)
+    return _build_modify(relation, terms, annotation, stream)
+
+
+def parse_program(text: str, schema: Schema) -> list[UpdateQuery | Transaction]:
+    """Parse a sequence of queries and ``transaction <name> { ... }`` blocks."""
+    stream = TokenStream(text)
+    out: list[UpdateQuery | Transaction] = []
+    while not stream.at("END"):
+        if stream.at_name("TRANSACTION"):
+            stream.next()
+            name = str(stream.expect("NAME").value)
+            stream.expect("NAME", "do") if stream.at("NAME", "do") else None
+            if not stream.accept("OP", "("):
+                raise stream.error("transaction body must be parenthesized: transaction p ( ... )")
+            queries: list[UpdateQuery] = []
+            while not stream.at("OP", ")"):
+                queries.append(_parse_one(stream, schema))
+            stream.expect("OP", ")")
+            out.append(Transaction(name, queries))
+        else:
+            out.append(_parse_one(stream, schema))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Formatting (the inverse direction)
+# ---------------------------------------------------------------------------
+
+
+def _format_constant(value: object) -> str:
+    if isinstance(value, str):
+        return '"' + value.replace('"', '""') + '"'
+    return repr(value)
+
+
+def _variable_names(n: int) -> list[str]:
+    """a, b, ..., z, v26, v27, ... — fresh per-query variable names."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    return [alphabet[i] if i < 26 else f"v{i}" for i in range(n)]
+
+
+def _format_pattern_terms(pattern: Pattern) -> list[str]:
+    names = _variable_names(pattern.arity)
+    terms: list[str] = []
+    for i in range(pattern.arity):
+        if i in pattern.eq:
+            terms.append(_format_constant(pattern.eq[i]))
+        elif i in pattern.neq:
+            conditions = ", ".join(
+                f"{names[i]} != {_format_constant(v)}" for v in sorted(pattern.neq[i], key=repr)
+            )
+            terms.append(f"[{conditions}]")
+        else:
+            terms.append(names[i])
+    return terms
+
+
+def format_query(query: UpdateQuery) -> str:
+    """Render a query in the paper's notation (inverse of :func:`parse_query`)."""
+    p = f",{query.annotation}" if query.annotation else ""
+    if isinstance(query, Insert):
+        body = ", ".join(_format_constant(v) for v in query.row)
+        return f"{query.relation}+{p}({body}) :-"
+    if isinstance(query, Delete):
+        body = ", ".join(_format_pattern_terms(query.pattern))
+        return f"{query.relation}-{p}({body}) :-"
+    assert isinstance(query, Modify)
+    u1 = _format_pattern_terms(query.pattern)
+    names = _variable_names(query.pattern.arity)
+    u2: list[str] = []
+    for i in range(query.pattern.arity):
+        if i in query.assignments:
+            u2.append(_format_constant(query.assignments[i]))
+        elif i in query.pattern.eq:
+            u2.append(_format_constant(query.pattern.eq[i]))
+        else:
+            u2.append(names[i])
+    return f"{query.relation}M{p}({', '.join(u1)}, {', '.join(u2)}) :-"
+
+
+def format_program(items: Sequence[UpdateQuery | Transaction]) -> str:
+    """Render queries/transactions as a parseable program."""
+    lines: list[str] = []
+    for item in items:
+        if isinstance(item, Transaction):
+            lines.append(f"transaction {item.name} (")
+            lines.extend(f"    {format_query(q)}" for q in item.queries)
+            lines.append(")")
+        else:
+            lines.append(format_query(item))
+    return "\n".join(lines)

@@ -1,0 +1,312 @@
+"""The SQL fragment corresponding to hyperplane queries.
+
+Paper Section 2, "Note": hyperplane queries correspond to
+
+1. single-row insertions — ``INSERT INTO R VALUES (c1, ..., cn)``;
+2. deletions — ``DELETE FROM R WHERE s1 AND ... AND sm`` where every
+   ``si`` is ``attribute op constant`` with ``op`` in ``{=, <>}``;
+3. updates — ``UPDATE R SET l1, ..., ln WHERE s1 AND ... AND sm`` with
+   the same restriction on the ``li`` and ``si``.
+
+This module parses exactly that fragment (rejecting anything richer —
+joins, subqueries, inter-attribute comparisons — with a pointed error),
+plus two conveniences:
+
+* ``BEGIN TRANSACTION <name>; ...; COMMIT;`` groups statements into an
+  annotated :class:`~repro.queries.updates.Transaction`;
+* a trailing ``-- @<annotation>`` comment annotates a single statement
+  (comments are otherwise skipped, so the annotation marker is scanned
+  textually before tokenization).
+
+``<>`` and ``!=`` are both accepted for disequality; string literals use
+single quotes with ``''`` as the escape; ``WHERE`` may be omitted
+(matching every row).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from ..db.schema import Relation, Schema
+from ..errors import ParseError
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, Transaction, UpdateQuery
+from .tokens import TokenStream
+
+__all__ = ["parse_sql", "parse_sql_script", "format_sql", "format_sql_script"]
+
+_ANNOTATION_COMMENT = re.compile(r"--\s*@([A-Za-z_][A-Za-z0-9_.']*)")
+
+
+def _constant(stream: TokenStream) -> object:
+    token = stream.peek()
+    if token.kind in ("STRING", "NUMBER"):
+        return stream.next().value
+    if stream.at_name("NULL"):
+        stream.next()
+        return None
+    if stream.at_name("TRUE"):
+        stream.next()
+        return True
+    if stream.at_name("FALSE"):
+        stream.next()
+        return False
+    raise stream.error("expected a constant (string, number, NULL, TRUE or FALSE)")
+
+
+def _parse_condition(stream: TokenStream, relation: Relation) -> tuple[int, str, object]:
+    attr_token = stream.expect("NAME")
+    attribute = str(attr_token.value)
+    position = relation.index_of(attribute)
+    if stream.accept("OP", "="):
+        op = "="
+    elif stream.accept("OP", "<>") or stream.accept("OP", "!="):
+        op = "<>"
+    else:
+        raise stream.error(
+            "hyperplane conditions allow only = and <> against constants "
+            "(no joins, ranges or subqueries)"
+        )
+    if stream.at("NAME") and not stream.at_name("NULL", "TRUE", "FALSE"):
+        raise stream.error(
+            f"right-hand side of {attribute} {op} ... must be a constant; "
+            "comparisons between attributes are outside the hyperplane fragment"
+        )
+    return position, op, _constant(stream)
+
+
+def _parse_where(stream: TokenStream, relation: Relation) -> Pattern:
+    eq: dict[int, object] = {}
+    neq: dict[int, set[object]] = {}
+    if not stream.accept_name("WHERE"):
+        return Pattern(relation.arity)
+    while True:
+        position, op, value = _parse_condition(stream, relation)
+        if op == "=":
+            if position in eq and eq[position] != value:
+                raise stream.error(
+                    f"contradictory equalities on {relation.attributes[position]}"
+                )
+            eq[position] = value
+        else:
+            neq.setdefault(position, set()).add(value)
+        if stream.accept_name("AND"):
+            continue
+        if stream.at_name("OR"):
+            raise stream.error("OR is outside the hyperplane fragment; use two statements")
+        break
+    return Pattern(relation.arity, eq=eq, neq=neq)
+
+
+def _parse_insert(stream: TokenStream, schema: Schema, annotation: str | None) -> Insert:
+    stream.expect_name("INTO")
+    relation = schema.relation(str(stream.expect("NAME").value))
+    columns: list[str] | None = None
+    if stream.accept("OP", "("):
+        columns = [str(stream.expect("NAME").value)]
+        while stream.accept("OP", ","):
+            columns.append(str(stream.expect("NAME").value))
+        stream.expect("OP", ")")
+    stream.expect_name("VALUES")
+    stream.expect("OP", "(")
+    values: list[object] = [_constant(stream)]
+    while stream.accept("OP", ","):
+        values.append(_constant(stream))
+    stream.expect("OP", ")")
+    if columns is not None:
+        if len(columns) != len(values):
+            raise stream.error(
+                f"{len(columns)} columns but {len(values)} values in INSERT"
+            )
+        if set(columns) != set(relation.attributes):
+            missing = [a for a in relation.attributes if a not in columns]
+            raise stream.error(
+                f"single-row INSERT must set every attribute; missing {missing}"
+            )
+        by_name = dict(zip(columns, values))
+        values = [by_name[a] for a in relation.attributes]
+    elif len(values) != relation.arity:
+        raise stream.error(
+            f"INSERT into {relation.name!r} needs {relation.arity} values, got {len(values)}"
+        )
+    return Insert(relation.name, values, annotation)
+
+
+def _parse_delete(stream: TokenStream, schema: Schema, annotation: str | None) -> Delete:
+    stream.expect_name("FROM")
+    relation = schema.relation(str(stream.expect("NAME").value))
+    pattern = _parse_where(stream, relation)
+    return Delete(relation.name, pattern, annotation)
+
+
+def _parse_update(stream: TokenStream, schema: Schema, annotation: str | None) -> Modify:
+    relation = schema.relation(str(stream.expect("NAME").value))
+    stream.expect_name("SET")
+    assignments: dict[int, object] = {}
+    while True:
+        attribute = str(stream.expect("NAME").value)
+        position = relation.index_of(attribute)
+        stream.expect("OP", "=")
+        if stream.at("NAME") and not stream.at_name("NULL", "TRUE", "FALSE"):
+            raise stream.error(
+                f"SET {attribute} = ... must assign a constant (hyperplane fragment)"
+            )
+        assignments[position] = _constant(stream)
+        if not stream.accept("OP", ","):
+            break
+    pattern = _parse_where(stream, relation)
+    return Modify(relation.name, pattern, assignments, annotation)
+
+
+def _parse_statement(stream: TokenStream, schema: Schema, annotation: str | None) -> UpdateQuery:
+    if stream.accept_name("INSERT"):
+        return _parse_insert(stream, schema, annotation)
+    if stream.accept_name("DELETE"):
+        return _parse_delete(stream, schema, annotation)
+    if stream.accept_name("UPDATE"):
+        return _parse_update(stream, schema, annotation)
+    token = stream.peek()
+    if token.kind == "NAME" and str(token.value).upper() in ("SELECT", "MERGE", "CREATE", "DROP"):
+        raise stream.error(
+            f"{str(token.value).upper()} is not an update statement of the hyperplane fragment"
+        )
+    raise stream.error("expected INSERT, DELETE or UPDATE")
+
+
+def parse_sql(
+    text: str, schema: Schema, annotation: str | None = None
+) -> UpdateQuery:
+    """Parse a single SQL statement of the hyperplane fragment.
+
+    A ``-- @p`` comment in ``text`` annotates the statement (an explicit
+    ``annotation`` argument wins).
+    """
+    if annotation is None:
+        match = _ANNOTATION_COMMENT.search(text)
+        if match:
+            annotation = match.group(1)
+    stream = TokenStream(text)
+    query = _parse_statement(stream, schema, annotation)
+    stream.accept("OP", ";")
+    stream.expect_end()
+    return query
+
+
+def parse_sql_script(
+    text: str, schema: Schema
+) -> list[UpdateQuery | Transaction]:
+    """Parse a ``;``-separated script with optional transaction blocks.
+
+    ``BEGIN TRANSACTION <name>; ... COMMIT;`` produces a
+    :class:`~repro.queries.updates.Transaction` whose annotation is the
+    block name; bare statements keep their ``-- @p`` annotations (if any).
+    """
+    # Annotation comments apply to the statement that precedes them on the
+    # same line; collect them by offset before the lexer strips comments.
+    annotations = [(m.start(), m.group(1)) for m in _ANNOTATION_COMMENT.finditer(text)]
+
+    def annotation_after(position: int, limit: int) -> str | None:
+        for offset, name in annotations:
+            if position <= offset < limit:
+                return name
+        return None
+
+    stream = TokenStream(text)
+    out: list[UpdateQuery | Transaction] = []
+    while not stream.at("END"):
+        if stream.accept("OP", ";"):
+            continue
+        if stream.at_name("BEGIN"):
+            stream.next()
+            stream.accept_name("TRANSACTION")
+            name = str(stream.expect("NAME").value)
+            stream.accept("OP", ";")
+            queries: list[UpdateQuery] = []
+            while not stream.at_name("COMMIT"):
+                if stream.at("END"):
+                    raise stream.error(f"transaction {name!r} is missing COMMIT")
+                queries.append(_parse_statement(stream, schema, None))
+                stream.accept("OP", ";")
+            stream.expect_name("COMMIT")
+            stream.accept("OP", ";")
+            out.append(Transaction(name, queries))
+            continue
+        start = stream.peek().position
+        query = _parse_statement(stream, schema, None)
+        stream.accept("OP", ";")
+        end = stream.peek().position
+        note = annotation_after(start, end if end > start else len(text))
+        if note is not None:
+            query = query.annotated(note)
+        out.append(query)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+def _format_where(pattern: Pattern, relation: Relation) -> str:
+    conditions: list[str] = []
+    for i in range(pattern.arity):
+        name = relation.attributes[i]
+        if i in pattern.eq:
+            conditions.append(f"{name} = {_format_value(pattern.eq[i])}")
+        elif i in pattern.neq:
+            conditions.extend(
+                f"{name} <> {_format_value(v)}" for v in sorted(pattern.neq[i], key=repr)
+            )
+    if not conditions:
+        return ""
+    return " WHERE " + " AND ".join(conditions)
+
+
+def format_sql(query: UpdateQuery, schema: Schema, with_annotation: bool = True) -> str:
+    """Render a query as a SQL statement (inverse of :func:`parse_sql`)."""
+    relation = schema.relation(query.relation)
+    note = ""
+    if with_annotation and query.annotation:
+        note = f"  -- @{query.annotation}"
+    if isinstance(query, Insert):
+        values = ", ".join(_format_value(v) for v in query.row)
+        return f"INSERT INTO {query.relation} VALUES ({values});{note}"
+    if isinstance(query, Delete):
+        return f"DELETE FROM {query.relation}{_format_where(query.pattern, relation)};{note}"
+    assert isinstance(query, Modify)
+    sets = ", ".join(
+        f"{relation.attributes[i]} = {_format_value(v)}"
+        for i, v in sorted(query.assignments.items())
+    )
+    where = _format_where(query.pattern, relation)
+    return f"UPDATE {query.relation} SET {sets}{where};{note}"
+
+
+def format_sql_script(
+    items: Sequence[UpdateQuery | Transaction], schema: Schema
+) -> str:
+    """Render queries/transactions as a script :func:`parse_sql_script` accepts."""
+    lines: list[str] = []
+    for item in items:
+        if isinstance(item, Transaction):
+            lines.append(f"BEGIN TRANSACTION {item.name};")
+            lines.extend(
+                f"    {format_sql(q, schema, with_annotation=False)}" for q in item.queries
+            )
+            lines.append("COMMIT;")
+        else:
+            lines.append(format_sql(item, schema))
+    return "\n".join(lines)

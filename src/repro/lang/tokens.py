@@ -1,0 +1,207 @@
+"""A small shared tokenizer for the two query languages.
+
+Token kinds:
+
+=========  ==========================================================
+``NAME``   identifiers (relation/attribute/variable/keyword names)
+``STRING`` quoted literals — double quotes in datalog, single in SQL
+           (both accepted by the lexer; the escape is a doubled quote)
+``NUMBER`` integer or decimal literals (kept as ``int``/``float``)
+``OP``     punctuation and operators (``(``, ``)``, ``,``, ``=``,
+           ``!=``, ``<>``, ``:-``, ``[``, ``]``, ``;``, ``*``, ``.``)
+``END``    end of input (always the last token)
+=========  ==========================================================
+
+Comments — ``-- line`` and ``/* block */`` — are skipped.  Positions are
+byte offsets into the original text, which :class:`~repro.errors.ParseError`
+turns into line/column coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "TokenStream"]
+
+_OPERATORS = (
+    ":-",
+    "!=",
+    "<>",
+    "<=",
+    ">=",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ";",
+    "=",
+    "*",
+    ".",
+    "+",
+    "-",
+    "<",
+    ">",
+)
+
+_NAME_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | frozenset("0123456789'")
+_DIGITS = frozenset("0123456789")
+
+
+class Token(NamedTuple):
+    """One lexical token."""
+
+    kind: str  # NAME | STRING | NUMBER | OP | END
+    value: object
+    position: int
+
+    def matches(self, kind: str, value: object = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def _scan_string(text: str, start: int, quote: str) -> tuple[str, int]:
+    """Scan a quoted literal; the escape for a quote is doubling it."""
+    out: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == quote:
+            if i + 1 < n and text[i + 1] == quote:
+                out.append(quote)
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", position=start, text=text)
+
+
+def _scan_number(text: str, start: int) -> tuple[object, int]:
+    i = start
+    n = len(text)
+    if text[i] == "-":
+        i += 1
+    while i < n and text[i] in _DIGITS:
+        i += 1
+    is_float = False
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1] in _DIGITS:
+        is_float = True
+        i += 1
+        while i < n and text[i] in _DIGITS:
+            i += 1
+    literal = text[start:i]
+    return (float(literal) if is_float else int(literal)), i
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Tokenize ``text``; always ends with an ``END`` token."""
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise ParseError("unterminated block comment", position=i, text=text)
+            i = end + 2
+            continue
+        if ch in ("'", '"'):
+            value, i_next = _scan_string(text, i, ch)
+            yield Token("STRING", value, i)
+            i = i_next
+            continue
+        if ch in _DIGITS or (
+            ch == "-" and i + 1 < n and text[i + 1] in _DIGITS and not text.startswith("--", i)
+        ):
+            value, i_next = _scan_number(text, i)
+            yield Token("NUMBER", value, i)
+            i = i_next
+            continue
+        if ch in _NAME_START:
+            j = i + 1
+            while j < n and text[j] in _NAME_CONT:
+                j += 1
+            yield Token("NAME", text[i:j], i)
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                yield Token("OP", op, i)
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", position=i, text=text)
+    yield Token("END", None, n)
+
+
+class TokenStream:
+    """A peekable token cursor with error reporting helpers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "END":
+            self._pos += 1
+        return token
+
+    def at(self, kind: str, value: object = None) -> bool:
+        return self.peek().matches(kind, value)
+
+    def at_name(self, *names: str) -> bool:
+        """True if the next token is one of the given keywords (case-insensitive)."""
+        token = self.peek()
+        return token.kind == "NAME" and str(token.value).upper() in names
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def accept_name(self, *names: str) -> Token | None:
+        if self.at_name(*names):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        token = self.peek()
+        if not token.matches(kind, value):
+            wanted = value if value is not None else kind
+            raise self.error(f"expected {wanted!r}, found {self._describe(token)}")
+        return self.next()
+
+    def expect_name(self, *names: str) -> Token:
+        token = self.peek()
+        if not token.kind == "NAME" or str(token.value).upper() not in names:
+            raise self.error(f"expected {'/'.join(names)}, found {self._describe(token)}")
+        return self.next()
+
+    def expect_end(self) -> None:
+        if not self.at("END"):
+            raise self.error(f"trailing input: {self._describe(self.peek())}")
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, position=self.peek().position, text=self.text)
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.kind == "END":
+            return "end of input"
+        return repr(token.value)

@@ -1,0 +1,6 @@
+"""The MV-semiring baseline model [Arab et al. 2016] (paper Section 6.4)."""
+
+from .expr import MVString, MVTree, OPS, Unv, parse_mv_string
+from .policy import MVExecutor, MVVersion
+
+__all__ = ["MVExecutor", "MVString", "MVTree", "MVVersion", "OPS", "Unv", "parse_mv_string"]

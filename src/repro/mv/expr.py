@@ -1,0 +1,204 @@
+"""MV-semiring (multi-version semiring) annotations [Arab et al., CIKM'16].
+
+The comparison baseline of paper Section 6.4.  An MV-annotation encodes the
+*derivation history* of a tuple version: a version operation
+``X^id_{T,nu}(k)`` records that operation ``X`` (U/I/D/C — update, insert,
+delete, commit) was executed at time ``nu`` by transaction ``T`` on the
+tuple ``id`` whose previous annotation was ``k``.  Unlike UP[X], the
+structure of the expression pins the exact update sequence, which is why
+equivalent transactions yield *different* MV annotations (paper Example
+3.10) and why no normal-form compression applies.
+
+Two implementations mirror the paper's two baselines:
+
+* :class:`MVTree` — node-based trees.  Like the paper's ``anytree``
+  implementation, nodes are single-parent, so wrapping an annotation
+  re-creates (copies) the wrapped subtree; the recursion over deep
+  histories is the overhead Figure 10b attributes to this variant.
+* :class:`MVString` — the annotation is kept as its string rendering and
+  wrapping is string concatenation; using it requires re-parsing
+  (:func:`parse_mv_string`), the "edge" the paper concedes to this variant.
+
+Both report the same semantic :meth:`length` (number of version operations
+plus leaf variables), so Figure 10a's memory comparison is
+representation-independent, as in the paper.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ReproError
+
+__all__ = ["MVTree", "MVString", "Unv", "parse_mv_string", "OPS"]
+
+OPS = ("U", "I", "D", "C")
+
+
+class MVTree:
+    """Tree representation of an MV-annotation."""
+
+    __slots__ = ("op", "tuple_id", "txn", "time", "child", "var")
+
+    def __init__(
+        self,
+        op: str | None,
+        tuple_id: int | None = None,
+        txn: str | None = None,
+        time: int | None = None,
+        child: "MVTree | None" = None,
+        var: str | None = None,
+    ):
+        if op is None:
+            if var is None:
+                raise ReproError("leaf MV node needs a variable name")
+        elif op not in OPS:
+            raise ReproError(f"unknown MV operation {op!r}")
+        self.op = op
+        self.tuple_id = tuple_id
+        self.txn = txn
+        self.time = time
+        self.child = child
+        self.var = var
+
+    @classmethod
+    def leaf(cls, var: str) -> "MVTree":
+        return cls(None, var=var)
+
+    def copy(self) -> "MVTree":
+        """Deep copy (iterative), mimicking single-parent tree re-parenting."""
+        # Collect the spine leaf-first, then rebuild.
+        spine: list[MVTree] = []
+        node: MVTree | None = self
+        while node is not None:
+            spine.append(node)
+            node = node.child
+        rebuilt: MVTree | None = None
+        for original in reversed(spine):
+            if original.op is None:
+                rebuilt = MVTree.leaf(original.var)  # type: ignore[arg-type]
+            else:
+                rebuilt = MVTree(
+                    original.op, original.tuple_id, original.txn, original.time, rebuilt
+                )
+        assert rebuilt is not None
+        return rebuilt
+
+    def wrap(self, op: str, tuple_id: int, txn: str, time: int) -> "MVTree":
+        """``X^id_{T,nu}(self)`` — copies the subtree (single-parent nodes)."""
+        return MVTree(op, tuple_id, txn, time, self.copy())
+
+    def length(self) -> int:
+        """Number of version operations plus the leaf variable."""
+        n = 0
+        node: MVTree | None = self
+        while node is not None:
+            n += 1
+            node = node.child
+        return n
+
+    def unv(self) -> str:
+        """The underlying semiring element with history stripped (paper's Unv)."""
+        node = self
+        while node.child is not None:
+            node = node.child
+        assert node.var is not None
+        return node.var
+
+    def to_string(self) -> str:
+        parts: list[str] = []
+        node: MVTree | None = self
+        closing = 0
+        while node is not None:
+            if node.op is None:
+                parts.append(node.var)  # type: ignore[arg-type]
+            else:
+                parts.append(f"{node.op}^{node.tuple_id}_{{{node.txn},{node.time}}}(")
+                closing += 1
+            node = node.child
+        parts.append(")" * closing)
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"MVTree({self.to_string()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MVTree):
+            return NotImplemented
+        return self.to_string() == other.to_string()
+
+    def __hash__(self) -> int:
+        return hash(self.to_string())
+
+
+class MVString:
+    """String representation of an MV-annotation."""
+
+    __slots__ = ("text", "ops")
+
+    def __init__(self, text: str, ops: int):
+        self.text = text
+        self.ops = ops
+
+    @classmethod
+    def leaf(cls, var: str) -> "MVString":
+        return cls(var, 1)
+
+    def wrap(self, op: str, tuple_id: int, txn: str, time: int) -> "MVString":
+        return MVString(f"{op}^{tuple_id}_{{{txn},{time}}}({self.text})", self.ops + 1)
+
+    def length(self) -> int:
+        return self.ops
+
+    def unv(self) -> str:
+        """Requires parsing — the pre-processing cost of the string variant."""
+        return parse_mv_string(self.text).unv()
+
+    def to_string(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"MVString({self.text})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MVString):
+            return NotImplemented
+        return self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+
+_OP_RE = re.compile(r"([UIDC])\^(\d+)_\{([^,}]*),(\d+)\}\($")
+_VAR_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.:\-]*")
+
+
+def parse_mv_string(text: str) -> MVTree:
+    """Parse the string rendering back into a tree (the string variant's Unv)."""
+    ops: list[tuple[str, int, str, int]] = []
+    pos = 0
+    while True:
+        open_paren = text.find("(", pos)
+        if open_paren == -1:
+            break
+        head = _OP_RE.search(text, pos, open_paren + 1)
+        if head is None:
+            raise ReproError(f"malformed MV annotation near {text[pos:open_paren + 1]!r}")
+        ops.append((head.group(1), int(head.group(2)), head.group(3), int(head.group(4))))
+        pos = open_paren + 1
+    tail = text[pos:]
+    match = _VAR_RE.match(tail)
+    if match is None:
+        raise ReproError(f"malformed MV annotation leaf {tail!r}")
+    var = match.group(0)
+    if tail[len(var):] != ")" * len(ops):
+        raise ReproError(f"unbalanced MV annotation {text!r}")
+    node = MVTree.leaf(var)
+    for op, tid, txn, time in reversed(ops):
+        node = MVTree(op, tid, txn, time, node)
+    return node
+
+
+def Unv(annotation: MVTree | MVString) -> str:
+    """The paper's Unv operation: strip the version history."""
+    return annotation.unv()

@@ -1,0 +1,6 @@
+"""Hyperplane update queries and transactions (paper Section 2)."""
+
+from .pattern import Pattern
+from .updates import Delete, Insert, Modify, Transaction, UpdateQuery
+
+__all__ = ["Delete", "Insert", "Modify", "Pattern", "Transaction", "UpdateQuery"]

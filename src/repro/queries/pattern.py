@@ -1,0 +1,211 @@
+"""Hyperplane selection patterns.
+
+A hyperplane pattern over a relation constrains each attribute position
+independently: a position either must equal a constant, or is a variable
+optionally restricted by a *disequality set* (the paper's ``[A != a]``
+conditions).  This is exactly the "domain-based" selection class of
+Abiteboul & Vianu used by the paper — no joins, no inter-attribute
+comparisons.
+
+Patterns are index-resolved (positions, not attribute names) so matching a
+row is a handful of tuple lookups; the builders accept attribute names via
+a :class:`~repro.db.schema.Relation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..db.schema import Relation
+from ..errors import QueryError
+
+__all__ = ["Pattern"]
+
+
+class Pattern:
+    """An index-resolved hyperplane pattern.
+
+    Attributes:
+        arity: arity of the relation the pattern speaks about.
+        eq: ``{position: constant}`` equality constraints.
+        neq: ``{position: frozenset(excluded constants)}`` disequalities.
+    """
+
+    __slots__ = ("arity", "eq", "neq", "_eq_items", "_neq_items")
+
+    def __init__(
+        self,
+        arity: int,
+        eq: Mapping[int, object] | None = None,
+        neq: Mapping[int, Iterable[object]] | None = None,
+    ):
+        self.arity = arity
+        self.eq = dict(eq or {})
+        self.neq = {i: frozenset(vals) for i, vals in (neq or {}).items() if vals}
+        for i in (*self.eq, *self.neq):
+            if not 0 <= i < arity:
+                raise QueryError(f"pattern position {i} out of range for arity {arity}")
+        overlap = set(self.eq) & set(self.neq)
+        for i in overlap:
+            if self.eq[i] in self.neq[i]:
+                raise QueryError(
+                    f"contradictory pattern: position {i} equals {self.eq[i]!r} "
+                    f"but excludes it"
+                )
+            # The equality subsumes the disequalities.
+            del self.neq[i]
+        # Pre-materialized items for the hot matching loop.
+        self._eq_items = tuple(self.eq.items())
+        self._neq_items = tuple(self.neq.items())
+
+    # -- builders -------------------------------------------------------------
+
+    @classmethod
+    def any(cls, arity: int) -> "Pattern":
+        """The pattern matching every row of the given arity."""
+        return cls(arity)
+
+    @classmethod
+    def exact(cls, row: Sequence[object]) -> "Pattern":
+        """The pattern matching exactly ``row``."""
+        t = tuple(row)
+        return cls(len(t), eq=dict(enumerate(t)))
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        where: Mapping[str, object] | None = None,
+        where_not: Mapping[str, object | Iterable[object]] | None = None,
+    ) -> "Pattern":
+        """Name-based builder: ``where`` are equalities, ``where_not`` disequalities.
+
+        ``where_not`` values may be single constants or iterables of
+        constants (sets and tuples are treated as several disequalities;
+        strings count as single constants).
+        """
+        eq = {relation.index_of(a): v for a, v in (where or {}).items()}
+        neq: dict[int, set[object]] = {}
+        for attr, value in (where_not or {}).items():
+            values = (
+                set(value)
+                if isinstance(value, (set, frozenset, list, tuple))
+                else {value}
+            )
+            neq.setdefault(relation.index_of(attr), set()).update(values)
+        return cls(relation.arity, eq=eq, neq=neq)
+
+    # -- matching -------------------------------------------------------------
+
+    def matches(self, row: tuple[object, ...]) -> bool:
+        """True if ``row`` satisfies the pattern (paper's ``t |= u``)."""
+        for i, v in self._eq_items:
+            if row[i] != v:
+                return False
+        for i, excluded in self._neq_items:
+            if row[i] in excluded:
+                return False
+        return True
+
+    @property
+    def is_exact(self) -> bool:
+        """True if the pattern pins every position to a constant."""
+        return len(self.eq) == self.arity
+
+    def as_row(self) -> tuple[object, ...]:
+        """The single row an exact pattern matches."""
+        if not self.is_exact:
+            raise QueryError("pattern is not exact")
+        return tuple(self.eq[i] for i in range(self.arity))
+
+    # -- algebra (used by the Karabeg-Vianu rewrites) ---------------------------
+
+    def subsumes(self, other: "Pattern") -> bool:
+        """True if every row matching ``other`` matches ``self``.
+
+        Sound and complete over an infinite domain: a constant at a position
+        can only be subsumed by the same constant or by a variable whose
+        disequalities avoid it; a variable only by a variable with a subset
+        of the disequalities.
+        """
+        if self.arity != other.arity:
+            return False
+        for i, v in self._eq_items:
+            if other.eq.get(i, _MISSING) != v:
+                return False
+        for i, excluded in self._neq_items:
+            if i in other.eq:
+                if other.eq[i] in excluded:
+                    return False
+            elif not excluded <= other.neq.get(i, frozenset()):
+                return False
+        return True
+
+    def disjoint_from(self, other: "Pattern") -> bool:
+        """True if no row can match both patterns.
+
+        Sufficient (and over an infinite domain, complete) condition: some
+        position has two different constants, or a constant on one side
+        excluded on the other.  Variable/variable positions always overlap.
+        """
+        if self.arity != other.arity:
+            return True
+        for i, v in self._eq_items:
+            if i in other.eq and other.eq[i] != v:
+                return True
+            if v in other.neq.get(i, frozenset()):
+                return True
+        for i, excluded in self._neq_items:
+            if other.eq.get(i, _MISSING) in excluded:
+                return True
+        return False
+
+    def intersect(self, other: "Pattern") -> "Pattern | None":
+        """The pattern matching exactly the rows both match, or ``None``."""
+        if self.arity != other.arity or self.disjoint_from(other):
+            return None
+        eq = dict(self.eq)
+        eq.update(other.eq)
+        neq: dict[int, set[object]] = {}
+        for source in (self.neq, other.neq):
+            for i, excluded in source.items():
+                if i in eq:
+                    continue
+                neq.setdefault(i, set()).update(excluded)
+        return Pattern(self.arity, eq=eq, neq=neq)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def key(self) -> tuple:
+        return (
+            self.arity,
+            tuple(sorted(self.eq.items(), key=lambda kv: kv[0])),
+            tuple(sorted((i, tuple(sorted(map(repr, s)))) for i, s in self.neq.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.arity == other.arity and self.eq == other.eq and self.neq == other.neq
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def describe(self, relation: Relation | None = None) -> str:
+        """Human-readable rendering, with attribute names when available."""
+        parts = []
+        for i in range(self.arity):
+            name = relation.attributes[i] if relation else f"${i}"
+            if i in self.eq:
+                parts.append(f"{name}={self.eq[i]!r}")
+            elif i in self.neq:
+                parts.append(
+                    " and ".join(f"{name}!={v!r}" for v in sorted(self.neq[i], key=repr))
+                )
+        return " and ".join(parts) if parts else "true"
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.describe()})"
+
+
+_MISSING = object()

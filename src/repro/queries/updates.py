@@ -1,0 +1,291 @@
+"""Hyperplane update queries: insertion, deletion, modification.
+
+The three query forms of paper Section 2, restricted exactly as there:
+
+* :class:`Insert` adds one constant tuple (``R+(u):-``);
+* :class:`Delete` removes all tuples satisfying a hyperplane pattern
+  (``R-(u):-``);
+* :class:`Modify` rewrites all tuples satisfying a pattern by assigning
+  constants to a subset of positions (``RM(u1, u2):-`` where ``u2`` either
+  repeats ``u1``'s entry or is a constant).
+
+Every query carries an *annotation* — the ``p`` of ``R+,p(u):-`` — which
+the provenance semantics propagates to the tuples the query touches.  A
+:class:`Transaction` is a named sequence of queries sharing one annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..db.schema import Relation
+from ..errors import QueryError
+from .pattern import Pattern
+
+__all__ = ["UpdateQuery", "Insert", "Delete", "Modify", "Transaction"]
+
+
+class UpdateQuery:
+    """Base class for the three hyperplane update query forms."""
+
+    __slots__ = ("relation", "annotation")
+
+    kind = "update"
+
+    def __init__(self, relation: str, annotation: str | None = None):
+        if not relation:
+            raise QueryError("query needs a relation name")
+        self.relation = relation
+        self.annotation = annotation
+
+    def annotated(self, annotation: str) -> "UpdateQuery":
+        """A copy of this query carrying ``annotation``."""
+        raise NotImplementedError
+
+    def _check_annotation(self) -> str:
+        if self.annotation is None:
+            raise QueryError(
+                f"query {self!r} has no annotation; wrap it in a Transaction or "
+                "use .annotated(p)"
+            )
+        return self.annotation
+
+
+class Insert(UpdateQuery):
+    """``R+,p(t):-`` — insert the constant tuple ``t``."""
+
+    __slots__ = ("row",)
+
+    kind = "insert"
+
+    def __init__(self, relation: str, row: Sequence[object], annotation: str | None = None):
+        super().__init__(relation, annotation)
+        self.row = tuple(row)
+
+    @classmethod
+    def values(
+        cls,
+        relation: Relation,
+        row: Mapping[str, object] | Sequence[object],
+        annotation: str | None = None,
+    ) -> "Insert":
+        """Name-based builder; ``row`` may be a mapping or a full tuple."""
+        if isinstance(row, Mapping):
+            missing = [a for a in relation.attributes if a not in row]
+            if missing:
+                raise QueryError(f"insert into {relation.name!r} misses attributes {missing}")
+            values = tuple(row[a] for a in relation.attributes)
+        else:
+            values = relation.check_row(row)
+        return cls(relation.name, values, annotation)
+
+    def annotated(self, annotation: str) -> "Insert":
+        return Insert(self.relation, self.row, annotation)
+
+    def __repr__(self) -> str:
+        p = f",{self.annotation}" if self.annotation else ""
+        return f"{self.relation}+{p}{self.row!r}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Insert):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.row == other.row
+            and self.annotation == other.annotation
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.row, self.annotation))
+
+
+class Delete(UpdateQuery):
+    """``R-,p(u):-`` — delete all tuples satisfying the pattern ``u``."""
+
+    __slots__ = ("pattern",)
+
+    kind = "delete"
+
+    def __init__(self, relation: str, pattern: Pattern, annotation: str | None = None):
+        super().__init__(relation, annotation)
+        self.pattern = pattern
+
+    @classmethod
+    def where(
+        cls,
+        relation: Relation,
+        where: Mapping[str, object] | None = None,
+        where_not: Mapping[str, object | Iterable[object]] | None = None,
+        annotation: str | None = None,
+    ) -> "Delete":
+        return cls(relation.name, Pattern.build(relation, where, where_not), annotation)
+
+    def annotated(self, annotation: str) -> "Delete":
+        return Delete(self.relation, self.pattern, annotation)
+
+    def __repr__(self) -> str:
+        p = f",{self.annotation}" if self.annotation else ""
+        return f"{self.relation}-{p}[{self.pattern.describe()}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delete):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.pattern == other.pattern
+            and self.annotation == other.annotation
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.pattern, self.annotation))
+
+
+class Modify(UpdateQuery):
+    """``RM,p(u1, u2):-`` — update all tuples satisfying ``u1``.
+
+    ``assignments`` maps attribute positions to the constants ``u2``
+    prescribes; unassigned positions keep their value (``u1_i = u2_i``).
+    """
+
+    __slots__ = ("pattern", "assignments", "_assignment_items")
+
+    kind = "modify"
+
+    def __init__(
+        self,
+        relation: str,
+        pattern: Pattern,
+        assignments: Mapping[int, object],
+        annotation: str | None = None,
+    ):
+        super().__init__(relation, annotation)
+        if not assignments:
+            raise QueryError("modification must assign at least one attribute")
+        for i in assignments:
+            if not 0 <= i < pattern.arity:
+                raise QueryError(f"assignment position {i} out of range for arity {pattern.arity}")
+        # Canonicalize: assigning a position to the very constant the
+        # pattern pins it to is a no-op; drop such assignments so that
+        # semantically identical queries compare equal.  If *all*
+        # assignments were no-ops (an identity modification), keep the
+        # canonical self-assignment on the smallest pinned position.
+        effective = {i: v for i, v in assignments.items() if pattern.eq.get(i, _MISSING) != v}
+        if not effective:
+            anchor = min(pattern.eq)
+            effective = {anchor: pattern.eq[anchor]}
+        self.pattern = pattern
+        self.assignments = effective
+        self._assignment_items = tuple(self.assignments.items())
+
+    @classmethod
+    def set(
+        cls,
+        relation: Relation,
+        set_values: Mapping[str, object],
+        where: Mapping[str, object] | None = None,
+        where_not: Mapping[str, object | Iterable[object]] | None = None,
+        annotation: str | None = None,
+    ) -> "Modify":
+        """Name-based builder mirroring ``UPDATE .. SET .. WHERE ..``."""
+        pattern = Pattern.build(relation, where, where_not)
+        assignments = {relation.index_of(a): v for a, v in set_values.items()}
+        return cls(relation.name, pattern, assignments, annotation)
+
+    def annotated(self, annotation: str) -> "Modify":
+        return Modify(self.relation, self.pattern, self.assignments, annotation)
+
+    # -- semantics helpers ------------------------------------------------------
+
+    def apply_to_row(self, row: tuple[object, ...]) -> tuple[object, ...]:
+        """The image ``t'`` of a matching row ``t`` (paper's ``t ~> t'``)."""
+        out = list(row)
+        for i, v in self._assignment_items:
+            out[i] = v
+        return tuple(out)
+
+    @property
+    def is_identity(self) -> bool:
+        """True if the image always equals the source (``u1 = u2``).
+
+        Holds when every assigned position is pinned by the pattern to the
+        assigned constant.
+        """
+        return all(self.pattern.eq.get(i, _MISSING) == v for i, v in self._assignment_items)
+
+    def image_pattern(self) -> Pattern:
+        """The pattern describing the set of images of matching rows.
+
+        Assigned positions become the assigned constants; the remaining
+        positions inherit the source pattern's constraints.
+        """
+        eq = {i: v for i, v in self.pattern.eq.items() if i not in self.assignments}
+        eq.update(self.assignments)
+        neq = {i: s for i, s in self.pattern.neq.items() if i not in self.assignments}
+        return Pattern(self.pattern.arity, eq=eq, neq=neq)
+
+    def compose_assignments(self, later: "Modify") -> dict[int, object]:
+        """Assignments of applying ``self`` then ``later`` (later wins)."""
+        merged = dict(self.assignments)
+        merged.update(later.assignments)
+        return merged
+
+    def __repr__(self) -> str:
+        p = f",{self.annotation}" if self.annotation else ""
+        sets = ", ".join(f"${i}:={v!r}" for i, v in sorted(self.assignments.items()))
+        return f"{self.relation}M{p}[{self.pattern.describe()} -> {sets}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Modify):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.pattern == other.pattern
+            and self.assignments == other.assignments
+            and self.annotation == other.annotation
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.relation, self.pattern, tuple(sorted(self.assignments.items(), key=repr)), self.annotation)
+        )
+
+
+_MISSING = object()
+
+
+class Transaction:
+    """A named sequence of update queries sharing one annotation.
+
+    The paper annotates all queries of a transaction with a single ``p``
+    (Section 3.1, "Provenance of a transaction"); the constructor stamps the
+    transaction's annotation onto every query.
+    """
+
+    __slots__ = ("name", "queries")
+
+    def __init__(self, name: str, queries: Iterable[UpdateQuery]):
+        if not name:
+            raise QueryError("transaction needs a non-empty name/annotation")
+        self.name = name
+        self.queries = tuple(q.annotated(name) for q in queries)
+
+    @property
+    def annotation(self) -> str:
+        return self.name
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.name!r}, {len(self.queries)} queries)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return self.name == other.name and self.queries == other.queries
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.queries))

@@ -1,0 +1,46 @@
+"""Concrete Update-Structures, semirings and homomorphisms (Section 4)."""
+
+from .boolean import BooleanStructure
+from .from_semiring import (
+    SemiringUpdateStructure,
+    boolean_algebra_minus,
+    structure_from_semiring,
+)
+from .posbool import PosBoolStructure
+from .semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    NaturalsSemiring,
+    PowerSetSemiring,
+    Semiring,
+    WhySemiring,
+    satisfies_theorem_4_5,
+    semiring_violations,
+)
+from .sets import SetStructure
+from .structure import Homomorphism, UpdateStructure, Valuation
+from .trust import TRUSTED, UNTRUSTED, TrustStructure, TrustValue
+
+__all__ = [
+    "BooleanSemiring",
+    "BooleanStructure",
+    "FuzzySemiring",
+    "Homomorphism",
+    "NaturalsSemiring",
+    "PosBoolStructure",
+    "PowerSetSemiring",
+    "Semiring",
+    "SemiringUpdateStructure",
+    "SetStructure",
+    "TRUSTED",
+    "TrustStructure",
+    "TrustValue",
+    "UNTRUSTED",
+    "UpdateStructure",
+    "Valuation",
+    "WhySemiring",
+    "boolean_algebra_minus",
+    "satisfies_theorem_4_5",
+    "semiring_violations",
+    "structure_from_semiring",
+]

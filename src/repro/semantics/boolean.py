@@ -1,0 +1,36 @@
+"""The Boolean Update-Structure (deletion propagation / abortion, §4.1).
+
+``+M = +I = + = or``, ``*M = and``, ``a - b = a and not b``, ``0 = False``.
+Assigning ``False`` to a tuple annotation deletes the tuple from the input;
+assigning ``False`` to a transaction annotation aborts the transaction —
+evaluating the provenance then tells whether each tuple survives, without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+from .structure import UpdateStructure
+
+__all__ = ["BooleanStructure"]
+
+
+class BooleanStructure(UpdateStructure):
+    """Booleans with or/and/and-not (the paper's deletion-propagation semantics)."""
+
+    zero = False
+    name = "boolean"
+
+    def plus_i(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def plus_m(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times_m(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def minus(self, a: bool, b: bool) -> bool:
+        return a and not b

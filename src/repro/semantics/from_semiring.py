@@ -1,0 +1,85 @@
+"""Building Update-Structures from commutative semirings (Theorem 4.5).
+
+Given an admissible semiring (``a + 1 = 1``, ``a . a = a``) and a minus
+operation compatible with the Figure 3 axioms, :func:`structure_from_semiring`
+produces an :class:`~repro.semantics.structure.UpdateStructure` with
+``+I = +M = + = +K`` and ``*M = .K``.
+
+For semirings whose carrier is a Boolean algebra — the shipped admissible
+instances — the natural minus is ``a - b = a . complement(b)``;
+:func:`boolean_algebra_minus` builds it from a complement function.  The
+paper points out (after Theorem 4.5) that the *monus* of Geerts & Poggi
+does **not** work in general: ``tests/semantics/test_from_semiring.py``
+exhibits the failing axiom 10 instance for the fuzzy semiring's truncated
+monus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import StructureError
+from .semirings import Semiring, semiring_violations
+from .structure import UpdateStructure
+
+__all__ = ["SemiringUpdateStructure", "structure_from_semiring", "boolean_algebra_minus"]
+
+
+class SemiringUpdateStructure(UpdateStructure):
+    """The Theorem 4.5 structure for an admissible semiring and minus."""
+
+    def __init__(self, semiring: Semiring, minus: Callable[[object, object], object]):
+        self.semiring = semiring
+        self._minus = minus
+        self.zero = semiring.zero
+        self.name = f"from_semiring({semiring.name})"
+
+    def plus_i(self, a, b):
+        return self.semiring.plus(a, b)
+
+    def plus_m(self, a, b):
+        return self.semiring.plus(a, b)
+
+    def plus(self, a, b):
+        return self.semiring.plus(a, b)
+
+    def times_m(self, a, b):
+        return self.semiring.times(a, b)
+
+    def minus(self, a, b):
+        return self._minus(a, b)
+
+    def equal(self, a, b) -> bool:
+        return self.semiring.equal(a, b)
+
+
+def boolean_algebra_minus(
+    semiring: Semiring, complement: Callable[[object], object]
+) -> Callable[[object, object], object]:
+    """The minus ``a - b = a . complement(b)`` of a Boolean-algebra carrier."""
+    return lambda a, b: semiring.times(a, complement(b))
+
+
+def structure_from_semiring(
+    semiring: Semiring,
+    minus: Callable[[object, object], object],
+    elements: Sequence[object] | None = None,
+    validate: bool = True,
+) -> SemiringUpdateStructure:
+    """Theorem 4.5 constructor with optional validation.
+
+    With ``validate=True`` and sample ``elements``, both the admissibility
+    conditions of the semiring and the full Figure 3 axiom set of the
+    resulting structure are checked; a violation raises
+    :class:`~repro.errors.StructureError` naming the failing law.
+    """
+    structure = SemiringUpdateStructure(semiring, minus)
+    if validate and elements:
+        problems = semiring_violations(semiring, elements)
+        if problems:
+            raise StructureError(
+                f"semiring {semiring.name!r} is not Theorem 4.5 admissible: {problems[0]}"
+            )
+        structure.check_zero_axioms(list(elements))
+        structure.check_axioms(list(elements))
+    return structure

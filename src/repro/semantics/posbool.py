@@ -1,0 +1,65 @@
+"""PosBool[X]: the symbolic Boolean Update-Structure, carried by BDDs.
+
+Example 4.6 names PosBool (Boolean expressions over variables) with
+``a - b = a and not b`` as an axiom-satisfying structure.  Representing the
+carrier by reduced ordered BDD nodes makes equality canonical: two
+specializations are the same Boolean function iff they are the same node.
+
+This structure powers *symbolic* provenance usage: map every annotation to
+its own BDD variable (or fix some to constants) and evaluate; the result
+per tuple is a Boolean function of the still-symbolic annotations, on which
+deletion-propagation/abortion questions become BDD queries (restrict,
+sat-count, model enumeration) instead of re-runs.
+"""
+
+from __future__ import annotations
+
+from ..bdd import Bdd
+from .structure import UpdateStructure
+
+__all__ = ["PosBoolStructure"]
+
+
+class PosBoolStructure(UpdateStructure):
+    """Boolean functions represented as nodes of a shared BDD manager."""
+
+    name = "posbool"
+
+    def __init__(self, bdd: Bdd | None = None):
+        self.bdd = bdd or Bdd()
+        self.zero = self.bdd.FALSE
+        self.one = self.bdd.TRUE
+
+    def var(self, name: str) -> int:
+        """The symbolic value of annotation ``name``."""
+        return self.bdd.var(name)
+
+    def env(self, fixed: dict[str, bool] | None = None):
+        """A valuation mapping annotations to BDD variables.
+
+        Annotations in ``fixed`` become constants; everything else stays
+        symbolic.
+        """
+        fixed = fixed or {}
+
+        def lookup(name: str) -> int:
+            if name in fixed:
+                return self.bdd.TRUE if fixed[name] else self.bdd.FALSE
+            return self.bdd.var(name)
+
+        return lookup
+
+    def plus_i(self, a: int, b: int) -> int:
+        return self.bdd.apply_or(a, b)
+
+    def plus_m(self, a: int, b: int) -> int:
+        return self.bdd.apply_or(a, b)
+
+    def plus(self, a: int, b: int) -> int:
+        return self.bdd.apply_or(a, b)
+
+    def times_m(self, a: int, b: int) -> int:
+        return self.bdd.apply_and(a, b)
+
+    def minus(self, a: int, b: int) -> int:
+        return self.bdd.apply_diff(a, b)

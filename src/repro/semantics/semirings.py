@@ -1,0 +1,188 @@
+"""Commutative semirings and the Theorem 4.5 admissibility conditions.
+
+Theorem 4.5: a commutative semiring ``(K, +, ., 0, 1)`` satisfying
+
+* absorption   ``a + 1 = 1``  and
+* multiplicative idempotence  ``a . a = a``
+
+extends to an UP[X] Update-Structure by taking ``+I = +M = + = +K`` and
+``*M = .K`` together with any compatible minus (see
+:mod:`repro.semantics.from_semiring`).  This module provides the semiring
+abstraction, admissible instances (Boolean, power-set, fuzzy/Gödel), and —
+deliberately — *inadmissible* ones (counting ``N``, Why(X)) used as
+negative tests: the conditions really are necessary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Semiring",
+    "BooleanSemiring",
+    "PowerSetSemiring",
+    "FuzzySemiring",
+    "NaturalsSemiring",
+    "WhySemiring",
+    "semiring_violations",
+    "satisfies_theorem_4_5",
+]
+
+
+class Semiring:
+    """A commutative semiring ``(K, plus, times, zero, one)``."""
+
+    zero: object
+    one: object
+    name = "abstract"
+
+    def plus(self, a, b):
+        raise NotImplementedError
+
+    def times(self, a, b):
+        raise NotImplementedError
+
+    def equal(self, a, b) -> bool:
+        return a == b
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BooleanSemiring(Semiring):
+    """``({False, True}, or, and, False, True)`` — PosBool's quotient."""
+
+    zero = False
+    one = True
+    name = "bool"
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+
+class PowerSetSemiring(Semiring):
+    """``(P(C), union, intersection, {}, C)`` — Example 4.6's access control."""
+
+    name = "powerset"
+
+    def __init__(self, universe: Iterable[object]):
+        self.universe = frozenset(universe)
+        self.zero = frozenset()
+        self.one = self.universe
+
+    def plus(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def times(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def elements(self) -> list[frozenset]:
+        """The full carrier (for exhaustive axiom checks; small universes)."""
+        items = sorted(self.universe, key=repr)
+        out = []
+        for r in range(len(items) + 1):
+            out.extend(frozenset(c) for c in itertools.combinations(items, r))
+        return out
+
+
+class FuzzySemiring(Semiring):
+    """``([0, 1], max, min, 0, 1)`` — Gödel / Viterbi-style confidences."""
+
+    zero = 0.0
+    one = 1.0
+    name = "fuzzy"
+
+    def plus(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return min(a, b)
+
+
+class NaturalsSemiring(Semiring):
+    """``(N, +, x, 0, 1)`` — counting.  *Not* Theorem 4.5 admissible."""
+
+    zero = 0
+    one = 1
+    name = "naturals"
+
+    def plus(self, a: int, b: int) -> int:
+        return a + b
+
+    def times(self, a: int, b: int) -> int:
+        return a * b
+
+
+class WhySemiring(Semiring):
+    """Why(X): sets of witness sets.  *Not* Theorem 4.5 admissible.
+
+    ``plus`` is union, ``times`` is pairwise union of witness sets; ``one``
+    is ``{{}}``.  Fails absorption (``a + 1 != 1``) — kept as a negative
+    example showing why not every provenance semiring supports updates.
+    """
+
+    zero = frozenset()
+    one = frozenset({frozenset()})
+    name = "why"
+
+    def plus(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def times(self, a: frozenset, b: frozenset) -> frozenset:
+        return frozenset(x | y for x in a for y in b)
+
+
+def semiring_violations(
+    semiring: Semiring,
+    elements: Sequence[object],
+    max_cases: int = 50_000,
+    rng: random.Random | None = None,
+) -> list[str]:
+    """Violated semiring laws / Theorem 4.5 conditions on sampled elements."""
+    rng = rng or random.Random(0)
+    eq = semiring.equal
+    plus, times = semiring.plus, semiring.times
+    zero, one = semiring.zero, semiring.one
+    problems: list[str] = []
+
+    def triples():
+        total = len(elements) ** 3
+        if total <= max_cases:
+            yield from itertools.product(elements, repeat=3)
+        else:
+            for _ in range(max_cases):
+                yield tuple(rng.choice(elements) for _ in range(3))
+
+    laws = [
+        ("plus commutative", lambda a, b, c: eq(plus(a, b), plus(b, a))),
+        ("plus associative", lambda a, b, c: eq(plus(plus(a, b), c), plus(a, plus(b, c)))),
+        ("times commutative", lambda a, b, c: eq(times(a, b), times(b, a))),
+        ("times associative", lambda a, b, c: eq(times(times(a, b), c), times(a, times(b, c)))),
+        ("distributivity", lambda a, b, c: eq(times(a, plus(b, c)), plus(times(a, b), times(a, c)))),
+        ("zero neutral", lambda a, b, c: eq(plus(a, zero), a)),
+        ("one neutral", lambda a, b, c: eq(times(a, one), a)),
+        ("zero annihilates", lambda a, b, c: eq(times(a, zero), zero)),
+        ("absorption a+1=1", lambda a, b, c: eq(plus(a, one), one)),
+        ("idempotence a.a=a", lambda a, b, c: eq(times(a, a), a)),
+    ]
+    failed: set[str] = set()
+    for a, b, c in triples():
+        for label, law in laws:
+            if label not in failed and not law(a, b, c):
+                failed.add(label)
+                problems.append(f"{label} fails at a={a!r}, b={b!r}, c={c!r}")
+    return problems
+
+
+def satisfies_theorem_4_5(
+    semiring: Semiring,
+    elements: Sequence[object],
+    max_cases: int = 50_000,
+) -> bool:
+    """True if all semiring laws plus the two Theorem 4.5 conditions hold."""
+    return not semiring_violations(semiring, elements, max_cases=max_cases)

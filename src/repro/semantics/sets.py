@@ -1,0 +1,52 @@
+"""The access-control Update-Structure (Section 4.1).
+
+Annotations are sets (e.g. of country names): a user from country ``c``
+sees a tuple iff ``c`` is in the tuple's specialized annotation.  The
+operations are ``+M = +I = + = union``, ``*M = intersection``,
+``- = set difference``, ``0 = the empty set`` — the structure obtained by
+Theorem 4.5 from the semiring ``(P(C), union, intersection, {}, C)``
+(Example 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .structure import UpdateStructure
+
+__all__ = ["SetStructure"]
+
+
+class SetStructure(UpdateStructure):
+    """Sets with union/intersection/difference (access control)."""
+
+    zero: frozenset = frozenset()
+    name = "sets"
+
+    def __init__(self, universe: Iterable[object] = ()):
+        #: the full credential set ``C`` (the semiring's 1); only needed by
+        #: helpers, the operations themselves are universe-independent.
+        self.universe = frozenset(universe)
+
+    def value(self, items: Iterable[object]) -> frozenset:
+        """Normalize an annotation value to a frozenset."""
+        return frozenset(items)
+
+    def top(self) -> frozenset:
+        """The annotation visible to everybody (the whole universe)."""
+        return self.universe
+
+    def plus_i(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def plus_m(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def plus(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def times_m(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def minus(self, a: frozenset, b: frozenset) -> frozenset:
+        return a - b

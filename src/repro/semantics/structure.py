@@ -1,0 +1,180 @@
+"""Update-Structures: concrete semantics for UP[X] operators (Section 4).
+
+An Update-Structure is a tuple ``(K, +M, *M, -, +I, +, 0)`` giving concrete
+meaning to the abstract provenance operations.  Specialization of an
+abstract provenance expression into a structure is performed by
+:func:`repro.core.expr.evaluate`; Proposition 4.2 (provenance propagation
+commutes with homomorphisms) is what makes evaluating the *abstract*
+expression equivalent to having tracked provenance directly in the
+concrete structure — tested in ``tests/semantics/test_homomorphism.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..core.axioms import axiom_violations
+from ..errors import StructureError
+
+__all__ = ["UpdateStructure", "Homomorphism", "Valuation"]
+
+
+class UpdateStructure:
+    """Base class for concrete Update-Structures.
+
+    Subclasses define :attr:`zero` and the five operations.  ``plus`` is
+    the disjunction used for modification-source sums (the paper stresses
+    it is distinct from ``+M``/``+I``, even though most concrete instances
+    interpret them identically).
+    """
+
+    #: the interpretation of the special element ``0``.
+    zero: object = None
+    #: human-readable name used in reports.
+    name = "abstract"
+
+    def plus_i(self, a, b):
+        raise NotImplementedError
+
+    def plus_m(self, a, b):
+        raise NotImplementedError
+
+    def times_m(self, a, b):
+        raise NotImplementedError
+
+    def minus(self, a, b):
+        raise NotImplementedError
+
+    def plus(self, a, b):
+        raise NotImplementedError
+
+    def equal(self, a, b) -> bool:
+        """Equality of structure values (override for non-canonical carriers)."""
+        return a == b
+
+    # -- axiom checking ----------------------------------------------------------
+
+    def check_axioms(
+        self,
+        elements: Sequence[object],
+        max_cases: int = 20_000,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Raise :class:`StructureError` if a Figure 3 axiom fails on a sample.
+
+        Exhaustive when ``len(elements) ** arity`` stays under ``max_cases``
+        — for finite carriers listed in full this is a decision procedure.
+        """
+        violations = axiom_violations(self, elements, max_cases=max_cases, rng=rng)
+        if violations:
+            name, values = violations[0]
+            raise StructureError(
+                f"structure {self.name!r} violates {name} at {values!r}"
+                + (f" (and {len(violations) - 1} more)" if len(violations) > 1 else "")
+            )
+
+    def check_zero_axioms(self, elements: Sequence[object]) -> None:
+        """Verify the Section 3.1 zero-related axioms on sample elements."""
+        zero = self.zero
+        for a in elements:
+            checks = [
+                ("0 - a = 0", self.minus(zero, a), zero),
+                ("0 +M a = a", self.plus_m(zero, a), a),
+                ("0 +I a = a", self.plus_i(zero, a), a),
+                ("a - 0 = a", self.minus(a, zero), a),
+                ("a +M 0 = a", self.plus_m(a, zero), a),
+                ("a +I 0 = a", self.plus_i(a, zero), a),
+                ("a *M 0 = 0", self.times_m(a, zero), zero),
+                ("0 *M a = 0", self.times_m(zero, a), zero),
+            ]
+            for label, got, expected in checks:
+                if not self.equal(got, expected):
+                    raise StructureError(
+                        f"structure {self.name!r} violates zero axiom {label} at a={a!r}: "
+                        f"got {got!r}, expected {expected!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Homomorphism:
+    """A mapping between Update-Structures (Definition 4.1).
+
+    Wraps a callable ``h`` together with its source and target structures;
+    :meth:`check` samples the six commutation conditions, and
+    :meth:`compose_env` turns a valuation into the source structure into
+    one into the target (the practical use of Proposition 4.2).
+    """
+
+    def __init__(self, source: UpdateStructure, target: UpdateStructure, fn: Callable):
+        self.source = source
+        self.target = target
+        self.fn = fn
+
+    def __call__(self, value):
+        return self.fn(value)
+
+    def check(self, elements: Iterable[object]) -> None:
+        """Raise :class:`StructureError` on the first violated condition."""
+        elements = list(elements)
+        h, s, t = self.fn, self.source, self.target
+        if not t.equal(h(s.zero), t.zero):
+            raise StructureError(f"h(0) = {h(s.zero)!r} != 0 = {t.zero!r}")
+        ops = [
+            ("+I", s.plus_i, t.plus_i),
+            ("+M", s.plus_m, t.plus_m),
+            ("*M", s.times_m, t.times_m),
+            ("-", s.minus, t.minus),
+            ("+", s.plus, t.plus),
+        ]
+        for a in elements:
+            for b in elements:
+                for label, src_op, tgt_op in ops:
+                    left = h(src_op(a, b))
+                    right = tgt_op(h(a), h(b))
+                    if not t.equal(left, right):
+                        raise StructureError(
+                            f"h(a {label} b) != h(a) {label} h(b) at a={a!r}, b={b!r}: "
+                            f"{left!r} != {right!r}"
+                        )
+
+    def compose_env(self, env: Mapping[str, object] | Callable[[str], object]):
+        """The valuation ``name -> h(env(name))`` into the target structure."""
+        lookup = env if callable(env) else env.__getitem__
+        return lambda name: self.fn(lookup(name))
+
+
+class Valuation:
+    """A convenient valuation: explicit assignments over a default factory.
+
+    ``Valuation(default=True, p1=False)`` maps ``p1`` to ``False`` and
+    everything else to ``True`` — the shape deletion-propagation and
+    abortion what-ifs need.
+    """
+
+    def __init__(self, default=None, default_factory: Callable[[str], object] | None = None, **named):
+        if default is not None and default_factory is not None:
+            raise ValueError("pass either default or default_factory")
+        self._named = dict(named)
+        if default_factory is not None:
+            self._factory = default_factory
+        elif default is not None:
+            self._factory = lambda _name: default
+        else:
+            self._factory = None
+
+    def set(self, name: str, value) -> "Valuation":
+        self._named[name] = value
+        return self
+
+    def __call__(self, name: str):
+        if name in self._named:
+            return self._named[name]
+        if self._factory is None:
+            raise KeyError(f"no value for annotation {name!r} and no default")
+        return self._factory(name)
+
+    def __repr__(self) -> str:
+        return f"Valuation({self._named})"

@@ -1,0 +1,83 @@
+"""The tuple/transaction certification Update-Structure (Section 4.1).
+
+Annotations are pairs ``(v, r)`` where ``v`` is a trust score in ``[0, 1]``
+and ``r`` is a trust status: ``T`` (trusted), ``F`` (untrusted) or ``U``
+(unknown — trusted iff ``v`` exceeds the threshold ``L``).  The paper's
+``trusted(x)`` macro is ``x.r == T or (x.r == U and x.v > L)``; the
+operations evaluate to the canonical values ``(1, T)`` / ``(0, F)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StructureError
+from .structure import UpdateStructure
+
+__all__ = ["TrustValue", "TrustStructure", "TRUSTED", "UNTRUSTED"]
+
+
+@dataclass(frozen=True)
+class TrustValue:
+    """A trust annotation ``(v, r)``."""
+
+    v: float
+    r: str  # "T", "F" or "U"
+
+    def __post_init__(self):
+        if self.r not in ("T", "F", "U"):
+            raise StructureError(f"trust status must be T/F/U, got {self.r!r}")
+        if not 0.0 <= self.v <= 1.0:
+            raise StructureError(f"trust score must be in [0, 1], got {self.v!r}")
+
+    @classmethod
+    def unknown(cls, score: float) -> "TrustValue":
+        """An input annotation: trustworthiness score, status to be decided."""
+        return cls(score, "U")
+
+
+TRUSTED = TrustValue(1.0, "T")
+UNTRUSTED = TrustValue(0.0, "F")
+
+
+class TrustStructure(UpdateStructure):
+    """Certification with respect to a minimal trust level ``L``."""
+
+    zero = UNTRUSTED
+    name = "trust"
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0.0 <= threshold <= 1.0:
+            raise StructureError(f"threshold must be in [0, 1], got {threshold!r}")
+        self.threshold = threshold
+
+    def trusted(self, x: TrustValue) -> bool:
+        """The paper's ``trusted(x)`` macro."""
+        return x.r == "T" or (x.r == "U" and x.v > self.threshold)
+
+    def _of(self, flag: bool) -> TrustValue:
+        return TRUSTED if flag else UNTRUSTED
+
+    def plus_i(self, a: TrustValue, b: TrustValue) -> TrustValue:
+        return self._of(self.trusted(a) or self.trusted(b))
+
+    def plus_m(self, a: TrustValue, b: TrustValue) -> TrustValue:
+        return self._of(self.trusted(a) or self.trusted(b))
+
+    def plus(self, a: TrustValue, b: TrustValue) -> TrustValue:
+        return self._of(self.trusted(a) or self.trusted(b))
+
+    def times_m(self, a: TrustValue, b: TrustValue) -> TrustValue:
+        return self._of(self.trusted(a) and self.trusted(b))
+
+    def minus(self, a: TrustValue, b: TrustValue) -> TrustValue:
+        return self._of(self.trusted(a) and not self.trusted(b))
+
+    def equal(self, a: TrustValue, b: TrustValue) -> bool:
+        """Trusted-equivalence: the structure is a quotient by ``trusted``.
+
+        Input annotations like ``(0.9, U)`` are not canonical; the axioms
+        (and the zero axioms) hold modulo whether a value is trusted, which
+        is the only observable the certification application uses.
+        """
+        return self.trusted(a) == self.trusted(b)

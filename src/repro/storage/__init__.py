@@ -1,0 +1,26 @@
+"""Serialization and persistence: expression JSON, sqlite snapshots, CSV."""
+
+from .csvio import dump_csv, load_csv
+from .exprjson import (
+    expr_from_dict,
+    expr_from_json,
+    expr_from_nested,
+    expr_to_dict,
+    expr_to_json,
+    expr_to_nested,
+)
+from .snapshot import AnnotatedSnapshot, load_snapshot, save_snapshot
+
+__all__ = [
+    "AnnotatedSnapshot",
+    "dump_csv",
+    "expr_from_dict",
+    "expr_from_json",
+    "expr_from_nested",
+    "expr_to_dict",
+    "expr_to_json",
+    "expr_to_nested",
+    "load_csv",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,74 @@
+"""CSV loading and dumping for plain databases.
+
+Minimal, dependency-free I/O so examples and users can feed real tables
+into the engine.  Values are strings by default; ``types`` converts
+columns on load (e.g. ``{"price": int}``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from ..db.database import Database
+from ..db.schema import Relation, Schema
+from ..errors import StorageError
+
+__all__ = ["load_csv", "dump_csv"]
+
+
+def load_csv(
+    path: str | Path,
+    relation: str,
+    types: Mapping[str, Callable[[str], object]] | None = None,
+    database: Database | None = None,
+) -> Database:
+    """Load a headered CSV file as one relation.
+
+    The header row names the attributes.  With ``database`` given, the
+    relation is added to it (the schema must not already contain it);
+    otherwise a fresh single-relation database is returned.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no CSV file at {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"{path} is empty (a header row is required)") from None
+        converters: list[Callable[[str], object] | None] = [
+            (types or {}).get(column) for column in header
+        ]
+        rows: list[tuple[object, ...]] = []
+        for lineno, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise StorageError(
+                    f"{path}:{lineno}: expected {len(header)} fields, got {len(record)}"
+                )
+            try:
+                rows.append(
+                    tuple(
+                        convert(value) if convert else value
+                        for convert, value in zip(converters, record)
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise StorageError(f"{path}:{lineno}: {exc}") from exc
+    db = database or Database()
+    db.add_relation(Relation(relation, header))
+    db.extend(relation, rows)
+    return db
+
+
+def dump_csv(database: Database, relation: str, path: str | Path) -> None:
+    """Write one relation (header + sorted rows) to a CSV file."""
+    rel = database.schema.relation(relation)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(rel.attributes)
+        for row in sorted(database.rows(relation), key=repr):
+            writer.writerow(row)

@@ -1,0 +1,171 @@
+"""JSON serialization of UP[X] expressions.
+
+Two encodings:
+
+* :func:`expr_to_json` / :func:`expr_from_json` — a *DAG* encoding: a node
+  table in topological order plus a root index.  Sharing is preserved, so
+  even the naive construction's exponential-expansion expressions
+  round-trip in space proportional to their DAG size.
+* :func:`expr_to_nested` / :func:`expr_from_nested` — a human-readable
+  nested encoding (lists), convenient for small expressions and fixtures;
+  sharing is lost.
+
+Both decoders rebuild through the smart constructors, so zero axioms are
+re-applied; on expressions produced by this library that is the identity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from ..core.expr import (
+    Expr,
+    MINUS,
+    PLUS_I,
+    PLUS_M,
+    SUM,
+    TIMES_M,
+    VAR,
+    ZERO,
+    ZERO_KIND,
+    minus,
+    plus_i,
+    plus_m,
+    postorder,
+    ssum,
+    times_m,
+    var,
+)
+from ..errors import StorageError
+
+__all__ = [
+    "expr_to_dict",
+    "expr_from_dict",
+    "expr_to_json",
+    "expr_from_json",
+    "expr_to_nested",
+    "expr_from_nested",
+]
+
+_BUILDERS = {
+    PLUS_I: plus_i,
+    MINUS: minus,
+    PLUS_M: plus_m,
+    TIMES_M: times_m,
+}
+
+
+def expr_to_dict(expr: Expr) -> dict[str, object]:
+    """The DAG encoding as a JSON-ready dict."""
+    index: dict[int, int] = {}
+    nodes: list[object] = []
+    for node in postorder(expr):
+        if node.kind == VAR:
+            encoded: object = ["var", node.name]
+        elif node.kind == ZERO_KIND:
+            encoded = ["zero"]
+        else:
+            encoded = [node.kind, *(index[id(c)] for c in node.children)]
+        index[id(node)] = len(nodes)
+        nodes.append(encoded)
+    return {"nodes": nodes, "root": index[id(expr)]}
+
+
+def expr_from_dict(data: Mapping[str, object]) -> Expr:
+    """Inverse of :func:`expr_to_dict` (rebuilds through smart constructors)."""
+    try:
+        nodes: Sequence[Sequence[object]] = data["nodes"]  # type: ignore[assignment]
+        root = int(data["root"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed expression payload: {exc}") from exc
+    built: list[Expr] = []
+    for position, encoded in enumerate(nodes):
+        if not encoded:
+            raise StorageError(f"empty node record at index {position}")
+        kind = encoded[0]
+        if kind == "var":
+            built.append(var(str(encoded[1])))
+        elif kind == "zero":
+            built.append(ZERO)
+        else:
+            try:
+                children = [built[int(i)] for i in encoded[1:]]
+            except (IndexError, ValueError) as exc:
+                raise StorageError(
+                    f"node {position} references an undefined child: {encoded!r}"
+                ) from exc
+            if kind == SUM:
+                built.append(ssum(children))
+            elif kind in _BUILDERS:
+                if len(children) != 2:
+                    raise StorageError(f"{kind} node needs 2 children, got {len(children)}")
+                built.append(_BUILDERS[kind](*children))
+            else:
+                raise StorageError(f"unknown node kind {kind!r}")
+    if not 0 <= root < len(built):
+        raise StorageError(f"root index {root} out of range")
+    return built[root]
+
+
+def expr_to_json(expr: Expr, indent: int | None = None) -> str:
+    return json.dumps(expr_to_dict(expr), indent=indent)
+
+
+def expr_from_json(text: str) -> Expr:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"invalid expression JSON: {exc}") from exc
+    return expr_from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Nested encoding
+# ---------------------------------------------------------------------------
+
+
+def expr_to_nested(expr: Expr) -> object:
+    """Readable nested lists: ``["+M", ["var", "p1"], ...]``; sharing lost."""
+    memo: dict[int, object] = {}
+    for node in postorder(expr):
+        if node.kind == VAR:
+            memo[id(node)] = ["var", node.name]
+        elif node.kind == ZERO_KIND:
+            memo[id(node)] = ["zero"]
+        else:
+            memo[id(node)] = [node.kind, *(memo[id(c)] for c in node.children)]
+    return memo[id(expr)]
+
+
+def expr_from_nested(data: object) -> Expr:
+    """Inverse of :func:`expr_to_nested` (iterative, deep-chain safe)."""
+    if not isinstance(data, (list, tuple)) or not data:
+        raise StorageError(f"malformed nested expression: {data!r}")
+    # Iterative post-order over the nested lists.
+    results: dict[int, Expr] = {}
+    stack: list[tuple[object, bool]] = [(data, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not isinstance(node, (list, tuple)) or not node:
+            raise StorageError(f"malformed nested expression node: {node!r}")
+        kind = node[0]
+        if kind == "var":
+            results[id(node)] = var(str(node[1]))
+            continue
+        if kind == "zero":
+            results[id(node)] = ZERO
+            continue
+        if expanded:
+            children = [results[id(c)] for c in node[1:]]
+            if kind == SUM:
+                results[id(node)] = ssum(children)
+            elif kind in _BUILDERS and len(children) == 2:
+                results[id(node)] = _BUILDERS[kind](*children)
+            else:
+                raise StorageError(f"unknown or malformed node {node[:1]!r}")
+        else:
+            stack.append((node, True))
+            for child in node[1:]:
+                stack.append((child, False))
+    return results[id(data)]

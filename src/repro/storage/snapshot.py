@@ -1,0 +1,201 @@
+"""Annotated-database snapshots and their sqlite3 persistence.
+
+An :class:`AnnotatedSnapshot` is the provenance-bearing state of an engine
+at a point in time: per relation, every stored row with its UP[X]
+expression and its set-semantics liveness.  Snapshots detach provenance
+from the engine that produced it — they can be saved to a sqlite3 file,
+re-loaded later (or elsewhere), specialized, minimized and queried without
+replaying the log.
+
+Sqlite layout (one file per snapshot)::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)
+    relations(name TEXT PRIMARY KEY, attributes TEXT)       -- JSON list
+    rows(relation TEXT, row TEXT, live INTEGER, expr TEXT)  -- JSON row/DAG
+
+Expression DAGs are serialized per row; sharing across rows is therefore
+not preserved on disk (the common case — normal-form snapshots — has
+little cross-row sharing to lose, and the format stays row-independent).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+from ..core.expr import Expr, evaluate
+from ..core.minimize import minimize
+from ..db.database import Database
+from ..db.schema import Relation, Schema
+from ..errors import StorageError
+from .exprjson import expr_from_dict, expr_to_dict
+
+__all__ = ["AnnotatedSnapshot", "save_snapshot", "load_snapshot"]
+
+
+class AnnotatedSnapshot:
+    """Per-relation ``{row: (expression, live)}`` plus the schema."""
+
+    def __init__(self, schema: Schema, meta: Mapping[str, object] | None = None):
+        self.schema = schema
+        self.meta: dict[str, object] = dict(meta or {})
+        self._rows: dict[str, dict[tuple, tuple[Expr, bool]]] = {
+            relation.name: {} for relation in schema
+        }
+
+    @classmethod
+    def from_engine(cls, engine, meta: Mapping[str, object] | None = None) -> "AnnotatedSnapshot":
+        """Capture the current annotated state of a provenance engine."""
+        snapshot = cls(engine.executor.schema, meta)
+        for name in engine.executor.schema.names:
+            bucket = snapshot._rows[name]
+            for row, expr, live in engine.provenance(name):
+                if not isinstance(expr, Expr):
+                    raise StorageError(
+                        f"policy {engine.policy!r} stores {type(expr).__name__} "
+                        "annotations; snapshots hold UP[X] expressions"
+                    )
+                bucket[row] = (expr, live)
+        return snapshot
+
+    # -- content access ---------------------------------------------------------
+
+    def set(self, relation: str, row: tuple, expr: Expr, live: bool) -> None:
+        self.schema.relation(relation).check_row(row)
+        self._rows[relation][tuple(row)] = (expr, live)
+
+    def annotation(self, relation: str, row: tuple) -> Expr | None:
+        entry = self._rows.get(relation, {}).get(tuple(row))
+        return entry[0] if entry else None
+
+    def items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
+        for row, (expr, live) in self._rows[relation].items():
+            yield row, expr, live
+
+    def live_database(self) -> Database:
+        db = Database(self.schema)
+        for name, rows in self._rows.items():
+            db.extend(name, (row for row, (_expr, live) in rows.items() if live))
+        return db
+
+    def row_count(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def provenance_size(self) -> int:
+        return sum(
+            expr.size() for rows in self._rows.values() for (expr, _live) in rows.values()
+        )
+
+    # -- transformations -----------------------------------------------------------
+
+    def minimized(self) -> "AnnotatedSnapshot":
+        """A copy with every annotation put through Proposition 5.5."""
+        out = AnnotatedSnapshot(self.schema, self.meta)
+        for name, rows in self._rows.items():
+            out._rows[name] = {
+                row: (minimize(expr), live) for row, (expr, live) in rows.items()
+            }
+        return out
+
+    def specialize(
+        self,
+        structure,
+        env: Mapping[str, object] | Callable[[str], object],
+    ) -> dict[str, dict[tuple, object]]:
+        """Evaluate every annotation in a concrete Update-Structure."""
+        return {
+            name: {row: evaluate(expr, structure, env) for row, (expr, _live) in rows.items()}
+            for name, rows in self._rows.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnnotatedSnapshot):
+            return NotImplemented
+        return (
+            {r.name: r.attributes for r in self.schema}
+            == {r.name: r.attributes for r in other.schema}
+            and self._rows == other._rows
+        )
+
+    def __repr__(self) -> str:
+        return f"AnnotatedSnapshot({self.row_count()} rows, size={self.provenance_size()})"
+
+
+# ---------------------------------------------------------------------------
+# Sqlite persistence
+# ---------------------------------------------------------------------------
+
+_SCHEMA_SQL = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE relations (name TEXT PRIMARY KEY, attributes TEXT NOT NULL);
+CREATE TABLE rows (
+    relation TEXT NOT NULL REFERENCES relations(name),
+    row TEXT NOT NULL,
+    live INTEGER NOT NULL,
+    expr TEXT NOT NULL,
+    PRIMARY KEY (relation, row)
+);
+"""
+
+
+def save_snapshot(snapshot: AnnotatedSnapshot, path: str | Path) -> None:
+    """Write a snapshot to a sqlite3 file (replacing any existing file)."""
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    conn = sqlite3.connect(path)
+    try:
+        conn.executescript(_SCHEMA_SQL)
+        conn.executemany(
+            "INSERT INTO meta VALUES (?, ?)",
+            ((key, json.dumps(value)) for key, value in snapshot.meta.items()),
+        )
+        conn.executemany(
+            "INSERT INTO relations VALUES (?, ?)",
+            ((r.name, json.dumps(list(r.attributes))) for r in snapshot.schema),
+        )
+        conn.executemany(
+            "INSERT INTO rows VALUES (?, ?, ?, ?)",
+            (
+                (name, json.dumps(list(row)), int(live), json.dumps(expr_to_dict(expr)))
+                for name in snapshot.schema.names
+                for row, expr, live in snapshot.items(name)
+            ),
+        )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def load_snapshot(path: str | Path) -> AnnotatedSnapshot:
+    """Read a snapshot back from a sqlite3 file."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no snapshot at {path}")
+    conn = sqlite3.connect(path)
+    try:
+        try:
+            relations = [
+                Relation(name, json.loads(attrs))
+                for name, attrs in conn.execute("SELECT name, attributes FROM relations")
+            ]
+            meta = {
+                key: json.loads(value) for key, value in conn.execute("SELECT key, value FROM meta")
+            }
+            snapshot = AnnotatedSnapshot(Schema(relations), meta)
+            for name, row_json, live, expr_json in conn.execute(
+                "SELECT relation, row, live, expr FROM rows"
+            ):
+                snapshot.set(
+                    name,
+                    tuple(json.loads(row_json)),
+                    expr_from_dict(json.loads(expr_json)),
+                    bool(live),
+                )
+        except (sqlite3.DatabaseError, json.JSONDecodeError, KeyError) as exc:
+            raise StorageError(f"corrupt snapshot {path}: {exc}") from exc
+        return snapshot
+    finally:
+        conn.close()

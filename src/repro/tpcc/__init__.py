@@ -1,0 +1,43 @@
+"""A TPC-C substrate emitting hyperplane update logs (paper Section 6.1).
+
+The paper drove its evaluation with the TPC-C benchmark: the py-tpcc
+implementation generated transaction logs (up to ~2000 update queries)
+that were executed on the authors' provenance-tracking in-memory database.
+This package is our from-scratch equivalent:
+
+* :mod:`repro.tpcc.schema` — the nine TPC-C tables;
+* :mod:`repro.tpcc.randoms` — the spec's random primitives (NURand,
+  a-strings, customer last names);
+* :mod:`repro.tpcc.loader` — scaled spec-style population;
+* :mod:`repro.tpcc.transactions` — the five transaction profiles
+  (New-Order, Payment, Order-Status, Delivery, Stock-Level) run against a
+  lightweight shadow state to emit *concrete* hyperplane update queries;
+* :mod:`repro.tpcc.driver` — the standard-mix driver producing an
+  :class:`~repro.workloads.logs.UpdateLog`.
+
+Every value an emitted query mentions is a constant computed by the
+driver, which is exactly what executing a log means: the hyperplane
+fragment (equality/disequality selections, constant assignments) covers
+all TPC-C write statements.
+"""
+
+from .driver import TPCCWorkload, generate_tpcc
+from .loader import TPCCScale, TPCCState, load_tpcc
+from .randoms import NURand, random_a_string, random_last_name
+from .schema import TPCC_TABLES, tpcc_schema
+from .transactions import STANDARD_MIX, TRANSACTION_TYPES
+
+__all__ = [
+    "NURand",
+    "STANDARD_MIX",
+    "TPCCScale",
+    "TPCCState",
+    "TPCCWorkload",
+    "TPCC_TABLES",
+    "TRANSACTION_TYPES",
+    "generate_tpcc",
+    "load_tpcc",
+    "random_a_string",
+    "random_last_name",
+    "tpcc_schema",
+]

@@ -1,0 +1,93 @@
+"""The TPC-C driver: standard-mix transaction streams as update logs.
+
+:func:`generate_tpcc` plays the role of the paper's py-tpcc setup: it
+populates the database, then draws transactions from the standard mix and
+records the hyperplane update queries each one performs.  The result is an
+:class:`~repro.workloads.logs.UpdateLog` whose items are annotated
+:class:`~repro.queries.updates.Transaction` objects (annotation =
+transaction id), ready to be replayed under any provenance policy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..db.database import Database
+from ..db.schema import Schema
+from ..errors import ReproError
+from ..queries.updates import Transaction
+from ..workloads.logs import UpdateLog
+from .loader import TPCCScale, TPCCState, load_tpcc
+from .transactions import STANDARD_MIX, TRANSACTION_TYPES
+
+__all__ = ["TPCCWorkload", "generate_tpcc"]
+
+
+@dataclass
+class TPCCWorkload:
+    """The populated database, the emitted log, and generation metadata."""
+
+    scale: TPCCScale
+    database: Database = field(repr=False)
+    log: UpdateLog = field(repr=False)
+    state: TPCCState = field(repr=False)
+    mix_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def schema(self) -> Schema:
+        return self.database.schema
+
+
+def generate_tpcc(
+    scale: TPCCScale | None = None,
+    n_queries: int = 500,
+    seed: int = 42,
+    mix: Sequence[tuple[str, float]] = STANDARD_MIX,
+    include_empty: bool = False,
+) -> TPCCWorkload:
+    """Populate TPC-C and emit a standard-mix log of ``>= n_queries`` queries.
+
+    Transactions are drawn until the query budget is reached; the last
+    transaction may overshoot it (a transaction is never split here — use
+    :meth:`UpdateLog.prefix` for exact query-count sweeps).  Read-only
+    transactions (order-status, stock-level) consume their slot in the mix
+    but contribute no queries; with ``include_empty`` they appear in the
+    log as empty transactions (handy when counting transactions, useless
+    when counting queries).
+    """
+    scale = scale or TPCCScale()
+    for name, _weight in mix:
+        if name not in TRANSACTION_TYPES:
+            raise ReproError(f"unknown TPC-C transaction type {name!r}")
+    database, state = load_tpcc(scale, seed=seed)
+    rng = random.Random(seed + 1)
+    names = [name for name, _ in mix]
+    weights = [weight for _, weight in mix]
+
+    items: list[Transaction] = []
+    mix_counts = {name: 0 for name in names}
+    emitted = 0
+    txn_id = 0
+    while emitted < n_queries:
+        name = rng.choices(names, weights=weights, k=1)[0]
+        mix_counts[name] += 1
+        queries = TRANSACTION_TYPES[name](state, rng)
+        if not queries and not include_empty:
+            continue
+        txn_id += 1
+        items.append(Transaction(f"{name}_{txn_id}", queries))
+        emitted += len(queries)
+    log = UpdateLog(
+        items,
+        meta={
+            "name": "tpcc",
+            "warehouses": scale.warehouses,
+            "initial_tuples": database.total_rows(),
+            "n_queries": emitted,
+            "seed": seed,
+            "mix": dict(mix_counts),
+        },
+    )
+    return TPCCWorkload(scale, database, log, state, mix_counts)

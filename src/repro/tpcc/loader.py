@@ -1,0 +1,257 @@
+"""Scaled TPC-C population (spec clause 4.3.3).
+
+:func:`load_tpcc` builds the initial database *and* the shadow
+:class:`TPCCState` the transaction profiles consult (next order ids,
+stock quantities, customer balances, undelivered orders, per-order
+amounts).  The state mirrors exactly the values stored in the database, so
+the emitted constant-only hyperplane queries are consistent with what a
+real TPC-C engine would have written.
+
+Scaling: :class:`TPCCScale` shrinks the spec's cardinalities (3000
+customers/district, 100k items, ...) by configurable factors while keeping
+all structural invariants (orders 2101..3000 undelivered, ``O_OL_CNT``
+order lines per order, one stock row per item and warehouse).  The paper's
+2.1M-tuple instance corresponds to the spec's scale; the default here is
+laptop/test-friendly and every count is a knob.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..db.database import Database
+from ..errors import ReproError
+from .randoms import (
+    NURand,
+    make_c_constants,
+    random_a_string,
+    random_last_name,
+    random_money_cents,
+    random_n_string,
+)
+from .schema import tpcc_schema
+
+__all__ = ["TPCCScale", "TPCCState", "load_tpcc"]
+
+#: Sentinel for "no carrier assigned yet" (spec uses SQL NULL).
+NO_CARRIER = 0
+
+#: Sentinel for "order line not delivered yet".
+NOT_DELIVERED = 0
+
+
+@dataclass(frozen=True)
+class TPCCScale:
+    """Cardinality knobs (defaults ≈ 1/100 of the spec per warehouse)."""
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 100
+    initial_orders_per_district: int = 30
+    #: fraction of the newest orders that are still undelivered (spec: last 900
+    #: of 3000, i.e. 30%).
+    undelivered_fraction: float = 0.3
+
+    def __post_init__(self):
+        if min(
+            self.warehouses,
+            self.districts_per_warehouse,
+            self.customers_per_district,
+            self.items,
+            self.initial_orders_per_district,
+        ) <= 0:
+            raise ReproError("all TPC-C scale knobs must be positive")
+        if not 0.0 <= self.undelivered_fraction <= 1.0:
+            raise ReproError("undelivered_fraction must be in [0, 1]")
+        if self.initial_orders_per_district > self.customers_per_district:
+            raise ReproError(
+                "initial orders per district cannot exceed customers per district "
+                "(each initial order belongs to a distinct customer, spec 4.3.3.1)"
+            )
+
+
+@dataclass
+class TPCCState:
+    """Shadow state the transaction profiles read and update.
+
+    Everything here duplicates values present in the database; keeping it
+    in plain dicts lets the log generator run without querying any engine.
+    """
+
+    scale: TPCCScale
+    c_constants: dict[int, int]
+    #: logical clock used for entry/delivery/history dates.
+    clock: int = 0
+    next_o_id: dict[tuple[int, int], int] = field(default_factory=dict)
+    w_ytd: dict[int, int] = field(default_factory=dict)
+    d_ytd: dict[tuple[int, int], int] = field(default_factory=dict)
+    stock_qty: dict[tuple[int, int], int] = field(default_factory=dict)
+    stock_ytd: dict[tuple[int, int], int] = field(default_factory=dict)
+    stock_order_cnt: dict[tuple[int, int], int] = field(default_factory=dict)
+    stock_remote_cnt: dict[tuple[int, int], int] = field(default_factory=dict)
+    customer_balance: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    customer_ytd_payment: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    customer_payment_cnt: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    customer_delivery_cnt: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    item_price: dict[int, int] = field(default_factory=dict)
+    #: FIFO of undelivered order ids per (warehouse, district).
+    undelivered: dict[tuple[int, int], list[int]] = field(default_factory=dict)
+    #: order -> (customer, order line count, total amount in cents).
+    order_info: dict[tuple[int, int, int], tuple[int, int, int]] = field(default_factory=dict)
+
+    def tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+
+def load_tpcc(scale: TPCCScale | None = None, seed: int = 42) -> tuple[Database, TPCCState]:
+    """Populate the nine tables and the matching shadow state."""
+    scale = scale or TPCCScale()
+    rng = random.Random(seed)
+    db = Database(tpcc_schema())
+    state = TPCCState(scale=scale, c_constants=make_c_constants(rng))
+
+    _load_items(db, state, rng)
+    for w_id in range(1, scale.warehouses + 1):
+        _load_warehouse(db, state, rng, w_id)
+        _load_stock(db, state, rng, w_id)
+        for d_id in range(1, scale.districts_per_warehouse + 1):
+            _load_district(db, state, rng, w_id, d_id)
+            _load_customers(db, state, rng, w_id, d_id)
+            _load_orders(db, state, rng, w_id, d_id)
+    return db, state
+
+
+def _load_items(db: Database, state: TPCCState, rng: random.Random) -> None:
+    rows = db.rows("ITEM")
+    for i_id in range(1, state.scale.items + 1):
+        price = random_money_cents(rng, 100, 10_000)
+        state.item_price[i_id] = price
+        rows.add((i_id, rng.randint(1, 10_000), random_a_string(rng, 14, 24), price))
+
+
+def _load_warehouse(db: Database, state: TPCCState, rng: random.Random, w_id: int) -> None:
+    ytd = 30_000_000  # spec: W_YTD = 300,000.00
+    state.w_ytd[w_id] = ytd
+    db.rows("WAREHOUSE").add(
+        (
+            w_id,
+            random_a_string(rng, 6, 10),
+            random_a_string(rng, 10, 20),
+            random_a_string(rng, 10, 20),
+            random_a_string(rng, 2, 2).upper(),
+            random_n_string(rng, 4, 4) + "11111",
+            rng.randint(0, 2000),  # W_TAX in basis points
+            ytd,
+        )
+    )
+
+
+def _load_stock(db: Database, state: TPCCState, rng: random.Random, w_id: int) -> None:
+    rows = db.rows("STOCK")
+    for i_id in range(1, state.scale.items + 1):
+        quantity = rng.randint(10, 100)
+        state.stock_qty[(w_id, i_id)] = quantity
+        state.stock_ytd[(w_id, i_id)] = 0
+        state.stock_order_cnt[(w_id, i_id)] = 0
+        state.stock_remote_cnt[(w_id, i_id)] = 0
+        rows.add((i_id, w_id, quantity, 0, 0, 0))
+
+
+def _load_district(db: Database, state: TPCCState, rng: random.Random, w_id: int, d_id: int) -> None:
+    next_o_id = state.scale.initial_orders_per_district + 1
+    state.next_o_id[(w_id, d_id)] = next_o_id
+    state.d_ytd[(w_id, d_id)] = 3_000_000  # spec: D_YTD = 30,000.00
+    db.rows("DISTRICT").add(
+        (
+            w_id,
+            d_id,
+            random_a_string(rng, 6, 10),
+            random_a_string(rng, 10, 20),
+            random_a_string(rng, 10, 20),
+            random_a_string(rng, 2, 2).upper(),
+            random_n_string(rng, 4, 4) + "11111",
+            rng.randint(0, 2000),
+            3_000_000,
+            next_o_id,
+        )
+    )
+
+
+def _load_customers(db: Database, state: TPCCState, rng: random.Random, w_id: int, d_id: int) -> None:
+    rows = db.rows("CUSTOMER")
+    history = db.rows("HISTORY")
+    for c_id in range(1, state.scale.customers_per_district + 1):
+        # Spec 4.3.3.1: the first 1000 customers get the deterministic
+        # syllable names, the rest NURand names; scaled, the cut is at 1/3.
+        if c_id <= max(1, state.scale.customers_per_district // 3):
+            last = random_last_name(c_id - 1)
+        else:
+            last = random_last_name(NURand(rng, 255, 0, 999, state.c_constants[255]))
+        balance = -1000  # spec: C_BALANCE = -10.00
+        key = (w_id, d_id, c_id)
+        state.customer_balance[key] = balance
+        state.customer_ytd_payment[key] = 1000
+        state.customer_payment_cnt[key] = 1
+        state.customer_delivery_cnt[key] = 0
+        rows.add(
+            (
+                w_id,
+                d_id,
+                c_id,
+                random_a_string(rng, 8, 16),
+                "OE",
+                last,
+                "BC" if rng.random() < 0.10 else "GC",
+                rng.randint(0, 5000),  # C_DISCOUNT in basis points
+                balance,
+                1000,
+                1,
+                0,
+            )
+        )
+        history.add((c_id, d_id, w_id, d_id, w_id, state.tick(), 1000))
+
+
+def _load_orders(db: Database, state: TPCCState, rng: random.Random, w_id: int, d_id: int) -> None:
+    orders = db.rows("ORDERS")
+    order_lines = db.rows("ORDER_LINE")
+    new_orders = db.rows("NEW_ORDER")
+    n_orders = state.scale.initial_orders_per_district
+    first_undelivered = n_orders - int(n_orders * state.scale.undelivered_fraction) + 1
+    # Spec: O_C_ID is a permutation — every initial order belongs to a
+    # distinct customer.
+    customer_ids = list(range(1, state.scale.customers_per_district + 1))
+    rng.shuffle(customer_ids)
+    state.undelivered.setdefault((w_id, d_id), [])
+    for o_id in range(1, n_orders + 1):
+        c_id = customer_ids[o_id - 1]
+        entry_d = state.tick()
+        ol_cnt = rng.randint(5, 15)
+        delivered = o_id < first_undelivered
+        carrier = rng.randint(1, 10) if delivered else NO_CARRIER
+        orders.add((o_id, d_id, w_id, c_id, entry_d, carrier, ol_cnt, 1))
+        total = 0
+        for number in range(1, ol_cnt + 1):
+            i_id = rng.randint(1, state.scale.items)
+            amount = 0 if delivered else random_money_cents(rng, 1, 999_999)
+            total += amount
+            order_lines.add(
+                (
+                    o_id,
+                    d_id,
+                    w_id,
+                    number,
+                    i_id,
+                    w_id,
+                    entry_d if delivered else NOT_DELIVERED,
+                    5,
+                    amount,
+                )
+            )
+        state.order_info[(w_id, d_id, o_id)] = (c_id, ol_cnt, total)
+        if not delivered:
+            new_orders.add((o_id, d_id, w_id))
+            state.undelivered[(w_id, d_id)].append(o_id)

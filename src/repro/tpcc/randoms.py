@@ -1,0 +1,65 @@
+"""TPC-C random primitives (spec clause 2.1 and 4.3).
+
+* :func:`NURand` — the non-uniform random distribution used to pick
+  customers and items (``NURand(A, x, y) = (((random(0,A) | random(x,y))
+  + C) % (y - x + 1)) + x``);
+* :func:`random_last_name` — customer last names built from the spec's
+  ten syllables;
+* :func:`random_a_string` / :func:`random_n_string` — alphanumeric and
+  numeric filler strings;
+* :func:`random_money_cents` — uniform money amounts in integer cents.
+
+All functions take an explicit :class:`random.Random` so workload
+generation is reproducible under a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "SYLLABLES",
+    "NURand",
+    "make_c_constants",
+    "random_a_string",
+    "random_last_name",
+    "random_money_cents",
+    "random_n_string",
+]
+
+#: The spec's last-name syllables (clause 4.3.2.3).
+SYLLABLES = ("BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING")
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+_DIGITS = "0123456789"
+
+
+def make_c_constants(rng: random.Random) -> dict[int, int]:
+    """The per-run ``C`` constants for the three NURand uses (clause 2.1.6.1)."""
+    return {255: rng.randint(0, 255), 1023: rng.randint(0, 1023), 8191: rng.randint(0, 8191)}
+
+
+def NURand(rng: random.Random, A: int, x: int, y: int, C: int) -> int:
+    """Non-uniform random over ``[x, y]`` (spec clause 2.1.6)."""
+    return (((rng.randint(0, A) | rng.randint(x, y)) + C) % (y - x + 1)) + x
+
+
+def random_last_name(number: int) -> str:
+    """The deterministic syllable name for ``number`` in ``[0, 999]``."""
+    number %= 1000
+    return SYLLABLES[number // 100] + SYLLABLES[(number // 10) % 10] + SYLLABLES[number % 10]
+
+
+def random_a_string(rng: random.Random, low: int, high: int) -> str:
+    """A random alphanumeric string of length in ``[low, high]``."""
+    return "".join(rng.choice(_ALPHA) for _ in range(rng.randint(low, high)))
+
+
+def random_n_string(rng: random.Random, low: int, high: int) -> str:
+    """A random numeric string of length in ``[low, high]`` (zip codes)."""
+    return "".join(rng.choice(_DIGITS) for _ in range(rng.randint(low, high)))
+
+
+def random_money_cents(rng: random.Random, low_cents: int, high_cents: int) -> int:
+    """A uniform amount in integer cents."""
+    return rng.randint(low_cents, high_cents)

@@ -1,0 +1,106 @@
+"""The nine TPC-C tables.
+
+Column lists follow the TPC-C specification (v5.11, clause 1.3) with a few
+wide filler columns dropped — they never appear in a WHERE clause or a SET
+list of any transaction profile, so omitting them changes no behaviour the
+provenance evaluation observes, only the bytes-per-row constant.
+
+Key layout notes:
+
+* all keys are composite ``(warehouse, district, entity)`` prefixes, as in
+  the spec; the transaction profiles select rows by equality on exactly
+  these columns — hyperplane selections;
+* money columns hold integer *cents* (the spec's values scaled by 100) so
+  that rows stay exactly hashable and serialization round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+from ..db.schema import Relation, Schema
+
+__all__ = ["TPCC_TABLES", "tpcc_schema"]
+
+#: name -> ordered column list of the nine tables.
+TPCC_TABLES: dict[str, tuple[str, ...]] = {
+    "WAREHOUSE": (
+        "W_ID",
+        "W_NAME",
+        "W_STREET_1",
+        "W_CITY",
+        "W_STATE",
+        "W_ZIP",
+        "W_TAX",
+        "W_YTD",
+    ),
+    "DISTRICT": (
+        "D_W_ID",
+        "D_ID",
+        "D_NAME",
+        "D_STREET_1",
+        "D_CITY",
+        "D_STATE",
+        "D_ZIP",
+        "D_TAX",
+        "D_YTD",
+        "D_NEXT_O_ID",
+    ),
+    "CUSTOMER": (
+        "C_W_ID",
+        "C_D_ID",
+        "C_ID",
+        "C_FIRST",
+        "C_MIDDLE",
+        "C_LAST",
+        "C_CREDIT",
+        "C_DISCOUNT",
+        "C_BALANCE",
+        "C_YTD_PAYMENT",
+        "C_PAYMENT_CNT",
+        "C_DELIVERY_CNT",
+    ),
+    "HISTORY": (
+        "H_C_ID",
+        "H_C_D_ID",
+        "H_C_W_ID",
+        "H_D_ID",
+        "H_W_ID",
+        "H_DATE",
+        "H_AMOUNT",
+    ),
+    "NEW_ORDER": ("NO_O_ID", "NO_D_ID", "NO_W_ID"),
+    "ORDERS": (
+        "O_ID",
+        "O_D_ID",
+        "O_W_ID",
+        "O_C_ID",
+        "O_ENTRY_D",
+        "O_CARRIER_ID",
+        "O_OL_CNT",
+        "O_ALL_LOCAL",
+    ),
+    "ORDER_LINE": (
+        "OL_O_ID",
+        "OL_D_ID",
+        "OL_W_ID",
+        "OL_NUMBER",
+        "OL_I_ID",
+        "OL_SUPPLY_W_ID",
+        "OL_DELIVERY_D",
+        "OL_QUANTITY",
+        "OL_AMOUNT",
+    ),
+    "ITEM": ("I_ID", "I_IM_ID", "I_NAME", "I_PRICE"),
+    "STOCK": (
+        "S_I_ID",
+        "S_W_ID",
+        "S_QUANTITY",
+        "S_YTD",
+        "S_ORDER_CNT",
+        "S_REMOTE_CNT",
+    ),
+}
+
+
+def tpcc_schema() -> Schema:
+    """A fresh :class:`~repro.db.schema.Schema` with the nine tables."""
+    return Schema(Relation(name, columns) for name, columns in TPCC_TABLES.items())

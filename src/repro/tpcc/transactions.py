@@ -1,0 +1,284 @@
+"""The five TPC-C transaction profiles as hyperplane-update emitters.
+
+Each profile is a function ``(state, rng) -> list[UpdateQuery]`` that
+draws its inputs per the spec (clause 2.4-2.8), updates the shadow
+:class:`~repro.tpcc.loader.TPCCState`, and returns the *write* statements
+as constant-only hyperplane queries — exactly the statements the paper's
+"Note" in Section 2 identifies as the SQL fragment:
+
+=============  ==================================================================
+New-Order      ``UPDATE DISTRICT SET D_NEXT_O_ID``, ``INSERT ORDERS``,
+               ``INSERT NEW_ORDER``, per item ``UPDATE STOCK`` +
+               ``INSERT ORDER_LINE``  (2.4.2)
+Payment        ``UPDATE WAREHOUSE/DISTRICT SET ytd``, ``UPDATE CUSTOMER SET
+               balance...``, ``INSERT HISTORY``  (2.5.2)
+Order-Status   read-only — no update queries  (2.6)
+Delivery       per district: ``DELETE NEW_ORDER``, ``UPDATE ORDERS SET
+               carrier``, ``UPDATE ORDER_LINE SET delivery date``,
+               ``UPDATE CUSTOMER SET balance``  (2.7.4)
+Stock-Level    read-only — no update queries  (2.8)
+=============  ==================================================================
+
+Reads (customer lookup by last name, stock level counts, ...) are served
+from the shadow state; only writes enter the log, because only writes have
+provenance under the update model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, UpdateQuery
+from .loader import NO_CARRIER, TPCCState
+from .randoms import NURand, random_money_cents
+from .schema import TPCC_TABLES
+
+__all__ = [
+    "STANDARD_MIX",
+    "TRANSACTION_TYPES",
+    "delivery",
+    "new_order",
+    "order_status",
+    "payment",
+    "stock_level",
+]
+
+_COLUMNS = {name: {c: i for i, c in enumerate(cols)} for name, cols in TPCC_TABLES.items()}
+_ARITY = {name: len(cols) for name, cols in TPCC_TABLES.items()}
+
+
+def _where(table: str, **eq: object) -> Pattern:
+    positions = _COLUMNS[table]
+    return Pattern(_ARITY[table], eq={positions[c]: v for c, v in eq.items()})
+
+
+def _set(table: str, **assignments: object) -> dict[int, object]:
+    positions = _COLUMNS[table]
+    return {positions[c]: v for c, v in assignments.items()}
+
+
+def _update(table: str, where: dict[str, object], sets: dict[str, object]) -> Modify:
+    return Modify(table, _where(table, **where), _set(table, **sets))
+
+
+# ---------------------------------------------------------------------------
+# Input generation helpers
+# ---------------------------------------------------------------------------
+
+
+def _pick_warehouse(state: TPCCState, rng: random.Random) -> int:
+    return rng.randint(1, state.scale.warehouses)
+
+
+def _pick_district(state: TPCCState, rng: random.Random) -> int:
+    return rng.randint(1, state.scale.districts_per_warehouse)
+
+
+def _scaled_a(span: int) -> int:
+    """The NURand ``A`` parameter scaled to a shrunken span.
+
+    The spec pairs A=1023 with 3000 customers and A=8191 with 100k items;
+    both make ``A`` a power-of-two-minus-one in the order of ``span / 4``.
+    Keeping that ratio preserves the *skew* (hot customers / hot items)
+    when the cardinalities are scaled down — mod-folding a fixed A=8191
+    into a span of 100 would flatten it to uniform.
+    """
+    a = 1
+    while a * 4 < span:
+        a = (a << 1) | 1
+    return a
+
+
+def _pick_customer(state: TPCCState, rng: random.Random) -> int:
+    span = state.scale.customers_per_district
+    return 1 + NURand(rng, _scaled_a(span), 0, span - 1, state.c_constants[1023] % span)
+
+
+def _pick_item(state: TPCCState, rng: random.Random) -> int:
+    span = state.scale.items
+    return 1 + NURand(rng, _scaled_a(span), 0, span - 1, state.c_constants[8191] % span)
+
+
+# ---------------------------------------------------------------------------
+# The profiles
+# ---------------------------------------------------------------------------
+
+
+def new_order(state: TPCCState, rng: random.Random) -> list[UpdateQuery]:
+    """Clause 2.4: enter an order, decrement stock, create order lines."""
+    w_id = _pick_warehouse(state, rng)
+    d_id = _pick_district(state, rng)
+    c_id = _pick_customer(state, rng)
+    ol_cnt = rng.randint(5, 15)
+    entry_d = state.tick()
+
+    o_id = state.next_o_id[(w_id, d_id)]
+    state.next_o_id[(w_id, d_id)] = o_id + 1
+    queries: list[UpdateQuery] = [
+        _update(
+            "DISTRICT",
+            where={"D_W_ID": w_id, "D_ID": d_id},
+            sets={"D_NEXT_O_ID": o_id + 1},
+        ),
+        Insert("ORDERS", (o_id, d_id, w_id, c_id, entry_d, NO_CARRIER, ol_cnt, 1)),
+        Insert("NEW_ORDER", (o_id, d_id, w_id)),
+    ]
+
+    total = 0
+    lines_seen: set[int] = set()
+    for number in range(1, ol_cnt + 1):
+        i_id = _pick_item(state, rng)
+        while i_id in lines_seen:  # one stock row per item and order
+            i_id = _pick_item(state, rng)
+        lines_seen.add(i_id)
+        quantity = rng.randint(1, 10)
+        key = (w_id, i_id)
+        s_qty = state.stock_qty[key]
+        s_qty = s_qty - quantity if s_qty - quantity >= 10 else s_qty - quantity + 91
+        state.stock_qty[key] = s_qty
+        state.stock_ytd[key] += quantity
+        state.stock_order_cnt[key] += 1
+        queries.append(
+            _update(
+                "STOCK",
+                where={"S_W_ID": w_id, "S_I_ID": i_id},
+                sets={
+                    "S_QUANTITY": s_qty,
+                    "S_YTD": state.stock_ytd[key],
+                    "S_ORDER_CNT": state.stock_order_cnt[key],
+                },
+            )
+        )
+        amount = quantity * state.item_price[i_id]
+        total += amount
+        queries.append(
+            Insert(
+                "ORDER_LINE",
+                (o_id, d_id, w_id, number, i_id, w_id, 0, quantity, amount),
+            )
+        )
+    state.order_info[(w_id, d_id, o_id)] = (c_id, ol_cnt, total)
+    state.undelivered[(w_id, d_id)].append(o_id)
+    return queries
+
+
+def payment(state: TPCCState, rng: random.Random) -> list[UpdateQuery]:
+    """Clause 2.5: pay a customer, bump warehouse/district YTD, log history."""
+    w_id = _pick_warehouse(state, rng)
+    d_id = _pick_district(state, rng)
+    # 85% home district / 15% remote (spec 2.5.1.2); with one warehouse the
+    # remote branch degenerates to home, which the spec also allows.
+    if rng.random() < 0.85 or state.scale.warehouses == 1:
+        c_w_id, c_d_id = w_id, d_id
+    else:
+        c_w_id = rng.choice([w for w in range(1, state.scale.warehouses + 1) if w != w_id])
+        c_d_id = _pick_district(state, rng)
+    c_id = _pick_customer(state, rng)
+    amount = random_money_cents(rng, 100, 500_000)
+
+    state.w_ytd[w_id] += amount
+    state.d_ytd[(w_id, d_id)] += amount
+    ckey = (c_w_id, c_d_id, c_id)
+    state.customer_balance[ckey] -= amount
+    state.customer_ytd_payment[ckey] += amount
+    state.customer_payment_cnt[ckey] += 1
+
+    return [
+        _update("WAREHOUSE", where={"W_ID": w_id}, sets={"W_YTD": state.w_ytd[w_id]}),
+        _update(
+            "DISTRICT",
+            where={"D_W_ID": w_id, "D_ID": d_id},
+            sets={"D_YTD": state.d_ytd[(w_id, d_id)]},
+        ),
+        _update(
+            "CUSTOMER",
+            where={"C_W_ID": c_w_id, "C_D_ID": c_d_id, "C_ID": c_id},
+            sets={
+                "C_BALANCE": state.customer_balance[ckey],
+                "C_YTD_PAYMENT": state.customer_ytd_payment[ckey],
+                "C_PAYMENT_CNT": state.customer_payment_cnt[ckey],
+            },
+        ),
+        Insert("HISTORY", (c_id, c_d_id, c_w_id, d_id, w_id, state.tick(), amount)),
+    ]
+
+
+def order_status(state: TPCCState, rng: random.Random) -> list[UpdateQuery]:
+    """Clause 2.6: read-only — drives the mix but emits no updates."""
+    _pick_customer(state, rng)  # consume randomness like a real driver
+    return []
+
+
+def delivery(state: TPCCState, rng: random.Random) -> list[UpdateQuery]:
+    """Clause 2.7: deliver the oldest undelivered order of every district."""
+    w_id = _pick_warehouse(state, rng)
+    carrier = rng.randint(1, 10)
+    delivery_d = state.tick()
+    queries: list[UpdateQuery] = []
+    for d_id in range(1, state.scale.districts_per_warehouse + 1):
+        pending = state.undelivered.get((w_id, d_id))
+        if not pending:
+            continue  # spec 2.7.4.2: skip districts with no undelivered order
+        o_id = pending.pop(0)
+        c_id, _ol_cnt, total = state.order_info[(w_id, d_id, o_id)]
+        ckey = (w_id, d_id, c_id)
+        state.customer_balance[ckey] += total
+        state.customer_delivery_cnt[ckey] += 1
+        queries.extend(
+            [
+                Delete(
+                    "NEW_ORDER",
+                    _where("NEW_ORDER", NO_O_ID=o_id, NO_D_ID=d_id, NO_W_ID=w_id),
+                ),
+                _update(
+                    "ORDERS",
+                    where={"O_ID": o_id, "O_D_ID": d_id, "O_W_ID": w_id},
+                    sets={"O_CARRIER_ID": carrier},
+                ),
+                # One statement delivers all of the order's lines — a
+                # hyperplane update touching OL_CNT rows at once.
+                _update(
+                    "ORDER_LINE",
+                    where={"OL_O_ID": o_id, "OL_D_ID": d_id, "OL_W_ID": w_id},
+                    sets={"OL_DELIVERY_D": delivery_d},
+                ),
+                _update(
+                    "CUSTOMER",
+                    where={"C_W_ID": w_id, "C_D_ID": d_id, "C_ID": c_id},
+                    sets={
+                        "C_BALANCE": state.customer_balance[ckey],
+                        "C_DELIVERY_CNT": state.customer_delivery_cnt[ckey],
+                    },
+                ),
+            ]
+        )
+    return queries
+
+
+def stock_level(state: TPCCState, rng: random.Random) -> list[UpdateQuery]:
+    """Clause 2.8: read-only — emits no updates."""
+    _pick_district(state, rng)
+    return []
+
+
+Profile = Callable[[TPCCState, random.Random], list[UpdateQuery]]
+
+#: name -> profile function.
+TRANSACTION_TYPES: dict[str, Profile] = {
+    "new_order": new_order,
+    "payment": payment,
+    "order_status": order_status,
+    "delivery": delivery,
+    "stock_level": stock_level,
+}
+
+#: The spec's standard mix (clause 5.2.3 minimums, new-order remainder).
+STANDARD_MIX: Sequence[tuple[str, float]] = (
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("order_status", 0.04),
+    ("delivery", 0.04),
+    ("stock_level", 0.04),
+)

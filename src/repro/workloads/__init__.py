@@ -1,0 +1,21 @@
+"""Evaluation workloads: update logs and the synthetic generator (§6.1)."""
+
+from .logs import UpdateLog, log_from_json, log_to_json
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticWorkload,
+    synthetic_database,
+    synthetic_log,
+    synthetic_workload,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "UpdateLog",
+    "log_from_json",
+    "log_to_json",
+    "synthetic_database",
+    "synthetic_log",
+    "synthetic_workload",
+]

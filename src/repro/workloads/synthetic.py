@@ -1,0 +1,213 @@
+"""The synthetic evaluation workload (paper Section 6.1).
+
+The paper's synthetic setup: a table populated with uniform random values
+from a fixed domain; a sequence of update queries whose type (insertion /
+deletion / modification) is uniform; deletions and modifications select on
+a numeric column; and a control knob for the number of *affected tuples* —
+the tuples the transaction sequence touches (0.02%–0.1% of the table in
+Figures 8/9a) — or, alternatively, for the number of tuples affected *per
+query* (Figure 9b).
+
+We realize the affected-tuple control with a numeric *selection column*
+``grp``: the affected set is partitioned into ``n_groups`` groups of
+``group_size`` rows sharing one ``grp`` value; every deletion/modification
+selects one group (``grp = g``), touching exactly ``group_size`` rows, and
+over the sequence the whole affected set of ``n_groups * group_size`` rows
+churns repeatedly.  Cold rows carry ``grp = -1`` and are never selected.
+That reproduces the quantity the paper varies:
+
+* total affected tuples = ``n_groups * group_size``   (Figure 9a)
+* affected tuples per query = ``group_size``           (Figure 9b)
+* updates per affected tuple grows with the query count for a fixed
+  affected set — the regime where the normal form pays off (§6.3).
+
+Everything is deterministic under ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..db.database import Database
+from ..db.schema import Relation, Schema
+from ..errors import QueryError
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, Transaction
+from .logs import UpdateLog
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "synthetic_database",
+    "synthetic_log",
+    "synthetic_workload",
+]
+
+#: Name of the generated relation.
+RELATION_NAME = "synthetic"
+
+#: Value columns carry uniform values from ``range(domain_size)``.
+COLD_GROUP = -1
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic database + update log.
+
+    Defaults give the paper's shape at test-friendly scale: the paper used
+    1M rows with 200 affected tuples (0.02%); scaling both down by ~20x
+    preserves every ratio the evaluation reports.
+    """
+
+    n_tuples: int = 50_000
+    n_value_columns: int = 3
+    domain_size: int = 1_000
+    n_groups: int = 20
+    group_size: int = 10
+    n_queries: int = 500
+    queries_per_transaction: int = 1
+    #: (insert, delete, modify) mix; the paper uses the uniform mix.
+    weights: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.n_tuples <= 0 or self.n_queries < 0:
+            raise QueryError("n_tuples must be positive and n_queries non-negative")
+        if self.n_groups <= 0 or self.group_size <= 0:
+            raise QueryError("n_groups and group_size must be positive")
+        if self.affected_tuples > self.n_tuples:
+            raise QueryError(
+                f"affected set ({self.affected_tuples}) exceeds table size ({self.n_tuples})"
+            )
+        if self.n_value_columns < 1:
+            raise QueryError("need at least one value column to modify")
+        if min(self.weights) < 0 or sum(self.weights) == 0:
+            raise QueryError("weights must be non-negative and not all zero")
+
+    @property
+    def affected_tuples(self) -> int:
+        """Total size of the affected set (the Figure 9a x-axis)."""
+        return self.n_groups * self.group_size
+
+    @property
+    def affected_fraction(self) -> float:
+        return self.affected_tuples / self.n_tuples
+
+    def with_affected(self, total: int, per_query: int | None = None) -> "SyntheticConfig":
+        """A copy with the affected set resized.
+
+        ``per_query`` is the group size (tuples touched by one query);
+        defaults to the current group size when it divides ``total``.
+        """
+        per_query = per_query or self.group_size
+        if total % per_query:
+            raise QueryError(f"total affected {total} not a multiple of per-query {per_query}")
+        return replace(self, n_groups=total // per_query, group_size=per_query)
+
+
+def synthetic_schema(config: SyntheticConfig) -> Schema:
+    """``synthetic(id, grp, v0, ..., v{k-1})``."""
+    attributes = ["id", "grp"] + [f"v{i}" for i in range(config.n_value_columns)]
+    return Schema([Relation(RELATION_NAME, attributes)])
+
+
+def synthetic_database(config: SyntheticConfig) -> Database:
+    """The populated table: hot rows first (grouped), then cold rows."""
+    rng = random.Random(config.seed)
+    schema = synthetic_schema(config)
+    db = Database(schema)
+    rows = db.rows(RELATION_NAME)
+    hot = config.affected_tuples
+    for row_id in range(config.n_tuples):
+        grp = row_id // config.group_size if row_id < hot else COLD_GROUP
+        values = tuple(rng.randrange(config.domain_size) for _ in range(config.n_value_columns))
+        rows.add((row_id, grp) + values)
+    return db
+
+
+def synthetic_log(config: SyntheticConfig) -> UpdateLog:
+    """The update log over the database of :func:`synthetic_database`.
+
+    Queries (uniform over the weighted kinds):
+
+    * **insert** — a fresh row in a random hot group (so it joins the
+      affected set and churns with it);
+    * **delete** — ``DELETE WHERE grp = g`` for a random hot group;
+    * **modify** — ``UPDATE SET v<j> = c WHERE grp = g``, a random value
+      column set to a random domain constant.
+
+    Queries are grouped into transactions of ``queries_per_transaction``
+    queries; each transaction carries a distinct annotation ``q<i>``.
+    """
+    rng = random.Random(config.seed + 1)
+    schema = synthetic_schema(config)
+    relation = schema.relation(RELATION_NAME)
+    arity = relation.arity
+    grp_pos = relation.index_of("grp")
+    next_id = config.n_tuples
+
+    total = sum(config.weights)
+    w_insert = config.weights[0] / total
+    w_delete = w_insert + config.weights[1] / total
+
+    def one_query():
+        nonlocal next_id
+        group = rng.randrange(config.n_groups)
+        roll = rng.random()
+        if roll < w_insert:
+            values = tuple(
+                rng.randrange(config.domain_size) for _ in range(config.n_value_columns)
+            )
+            row = (next_id, group) + values
+            next_id += 1
+            return Insert(RELATION_NAME, row)
+        if roll < w_delete:
+            return Delete(RELATION_NAME, Pattern(arity, eq={grp_pos: group}))
+        column = rng.randrange(config.n_value_columns)
+        position = relation.index_of(f"v{column}")
+        constant = rng.randrange(config.domain_size)
+        return Modify(RELATION_NAME, Pattern(arity, eq={grp_pos: group}), {position: constant})
+
+    items: list[Transaction] = []
+    queries_left = config.n_queries
+    txn_index = 0
+    while queries_left > 0:
+        take = min(config.queries_per_transaction, queries_left)
+        items.append(Transaction(f"q{txn_index}", [one_query() for _ in range(take)]))
+        txn_index += 1
+        queries_left -= take
+    meta = {
+        "name": "synthetic",
+        "n_tuples": config.n_tuples,
+        "affected_tuples": config.affected_tuples,
+        "group_size": config.group_size,
+        "n_queries": config.n_queries,
+        "seed": config.seed,
+    }
+    return UpdateLog(items, meta)
+
+
+@dataclass
+class SyntheticWorkload:
+    """A config together with its generated database and log."""
+
+    config: SyntheticConfig
+    database: Database = field(repr=False)
+    log: UpdateLog = field(repr=False)
+
+    @property
+    def schema(self) -> Schema:
+        return self.database.schema
+
+
+def synthetic_workload(config: SyntheticConfig | None = None, **overrides) -> SyntheticWorkload:
+    """Build database and log in one call.
+
+    Keyword overrides are applied to the (default) config, e.g.
+    ``synthetic_workload(n_tuples=10_000, n_queries=200)``.
+    """
+    config = replace(config or SyntheticConfig(), **overrides) if overrides else (
+        config or SyntheticConfig()
+    )
+    return SyntheticWorkload(config, synthetic_database(config), synthetic_log(config))

@@ -1,0 +1,177 @@
+"""The four Section 4.1 applications against their re-run baselines."""
+
+import pytest
+
+from repro.apps import (
+    AccessControl,
+    Certification,
+    DeletionPropagation,
+    ProvenanceRun,
+    TransactionAbortion,
+)
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import EngineError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.workloads.logs import UpdateLog
+
+
+@pytest.fixture
+def db():
+    return Database.from_rows("R", ["v", "grp"], [(i, i % 3) for i in range(9)])
+
+
+@pytest.fixture
+def log():
+    return UpdateLog(
+        [
+            Transaction("t1", [Modify("R", Pattern(2, eq={1: 0}), {1: 5})]),
+            Transaction("t2", [Delete("R", Pattern(2, eq={1: 1})), Insert("R", (100, 1))]),
+            Transaction("t3", [Modify("R", Pattern(2, eq={1: 5}), {0: 0})]),
+        ]
+    )
+
+
+class TestProvenanceRun:
+    def test_rejects_vanilla_policy(self, db, log):
+        with pytest.raises(EngineError):
+            ProvenanceRun(db, log, policy="none")
+
+    def test_tuple_annotation_resolution(self, db, log):
+        run = ProvenanceRun(db, log)
+        name = run.tuple_annotation("R", (0, 0))
+        assert name.startswith("tR.")
+        with pytest.raises(EngineError, match="not an initial tuple"):
+            run.tuple_annotation("R", (12345, 0))
+
+    def test_transaction_annotations(self, db, log):
+        run = ProvenanceRun(db, log)
+        assert run.transaction_annotations() == ["t1", "t2", "t3"]
+
+    def test_accepts_plain_iterables(self, db):
+        run = ProvenanceRun(db, [Transaction("t", [Insert("R", (50, 9))])])
+        assert (50, 9) in run.engine.live_rows("R")
+
+
+class TestDeletionPropagation:
+    @pytest.mark.parametrize("policy", ["naive", "normal_form"])
+    def test_matches_baseline_single_deletion(self, db, log, policy):
+        app = DeletionPropagation(db, log, policy=policy)
+        for row in [(0, 0), (4, 1), (8, 2)]:
+            result = app.propagate([("R", row)])
+            assert result.database.same_contents(app.baseline([("R", row)])), row
+
+    def test_matches_baseline_multiple_deletions(self, db, log):
+        app = DeletionPropagation(db, log)
+        deletions = [("R", (0, 0)), ("R", (3, 0)), ("R", (7, 1))]
+        assert app.propagate(deletions).database.same_contents(app.baseline(deletions))
+
+    def test_empty_deletion_reproduces_run(self, db, log):
+        app = DeletionPropagation(db, log)
+        assert app.propagate([]).database.same_contents(
+            Engine(db, policy="none").apply(log).result()
+        )
+
+    def test_survives_helper(self, db, log):
+        app = DeletionPropagation(db, log)
+        assert app.survives([("R", (2, 2))], "R", (1, 1)) in (True, False)
+
+    def test_usage_time_recorded(self, db, log):
+        result = DeletionPropagation(db, log).propagate([("R", (0, 0))])
+        assert result.usage_time > 0
+
+
+class TestTransactionAbortion:
+    @pytest.mark.parametrize("aborted", [["t1"], ["t2"], ["t3"], ["t1", "t3"]])
+    def test_matches_baseline(self, db, log, aborted):
+        app = TransactionAbortion(db, log)
+        assert app.abort(aborted).database.same_contents(app.baseline(aborted))
+
+    def test_unknown_transaction_rejected(self, db, log):
+        app = TransactionAbortion(db, log)
+        with pytest.raises(EngineError, match="unknown transaction"):
+            app.abort(["tX"])
+
+    def test_combined_tuple_and_transaction_whatif(self, db, log):
+        app = TransactionAbortion(db, log)
+        result = app.combined(["t2"], [("R", (0, 0))])
+        # Baseline: drop the tuple, skip t2, re-run.
+        modified = db.copy()
+        modified.discard("R", (0, 0))
+        expected = app.rerun_baseline(modified, skip_annotations={"t2"})
+        assert result.database.same_contents(expected)
+
+
+class TestAccessControl:
+    def test_unrestricted_user_sees_run_result(self, db, log):
+        app = AccessControl(db, log, universe={"EU", "US"})
+        full = Engine(db, policy="none").apply(log).result()
+        assert app.visible_to("EU").same_contents(full)
+
+    def test_restricted_transaction_equals_abortion_for_outsiders(self, db, log):
+        """A user without t1's credential sees the world as if t1 never ran."""
+        app = AccessControl(db, log, universe={"EU", "US"}, query_credentials={"t1": {"EU"}})
+        abortion = TransactionAbortion(db, log)
+        assert app.visible_to("US").same_contents(abortion.baseline(["t1"]))
+
+    def test_restricted_tuple_invisible(self, db, log):
+        app = AccessControl(
+            db, log, universe={"EU", "US"}, tuple_credentials={("R", (8, 2)): {"EU"}}
+        )
+        us_view = app.visible_to("US")
+        assert (8, 2) not in us_view.rows("R")
+        assert (8, 2) in app.visible_to("EU").rows("R")
+
+    def test_row_credentials(self, db, log):
+        app = AccessControl(db, log, universe={"EU"})
+        assert app.row_credentials("R", (8, 2)) == {"EU"}
+        assert app.row_credentials("R", (777, 0)) == frozenset()
+
+    def test_usage_time_measured_once(self, db, log):
+        app = AccessControl(db, log, universe={"EU"})
+        app.credentials()
+        first = app.usage_time
+        app.credentials()  # cached
+        assert app.usage_time == first
+
+
+class TestCertification:
+    def test_all_trusted_equals_full_run(self, db, log):
+        app = Certification(db, log, threshold=0.5)
+        full = Engine(db, policy="none").apply(log).result()
+        assert app.certify().same_contents(full)
+
+    def test_untrusted_transaction_matches_baseline(self, db, log):
+        app = Certification(db, log, threshold=0.5, query_scores={"t1": 0.2})
+        assert app.certify().same_contents(app.baseline())
+
+    def test_untrusted_tuples_match_baseline(self, db, log):
+        app = Certification(
+            db,
+            log,
+            threshold=0.5,
+            tuple_scores={("R", (0, 0)): 0.1, ("R", (4, 1)): 0.3},
+        )
+        assert app.certify().same_contents(app.baseline())
+
+    def test_mixed_scores_match_baseline(self, db, log):
+        app = Certification(
+            db,
+            log,
+            threshold=0.6,
+            tuple_scores={("R", (1, 1)): 0.55},
+            query_scores={"t3": 0.59, "t2": 0.61},
+        )
+        assert app.certify().same_contents(app.baseline())
+
+    def test_untouched_low_trust_tuple_excluded(self, db, log):
+        """The inclusion-predicate subtlety: an untouched untrusted input
+        row must not appear certified even though its value is not 0."""
+        app = Certification(db, log, threshold=0.5, tuple_scores={("R", (8, 2)): 0.2})
+        assert (8, 2) not in app.certify().rows("R")
+
+    def test_certificate_lookup(self, db, log):
+        app = Certification(db, log, threshold=0.5)
+        assert app.certificate("R", (8, 2)) is True
+        assert app.certificate("R", (424242, 0)) is False

@@ -1,0 +1,47 @@
+"""UP[X] expressions to BDDs under the Boolean structure."""
+
+import itertools
+
+from repro.bdd import Bdd, expr_to_bdd
+from repro.core.equivalence import BoolStructure
+from repro.core.expr import ZERO, evaluate, minus, plus_i, plus_m, ssum, times_m, var
+
+
+def test_bridge_matches_direct_evaluation():
+    a, b, p = var("a"), var("b"), var("p")
+    e = plus_m(minus(a, p), times_m(ssum([a, b]), p))
+    bdd = Bdd(sorted(e.variables()))
+    node = expr_to_bdd(e, bdd)
+    s = BoolStructure()
+    for bits in itertools.product([False, True], repeat=3):
+        env = dict(zip(sorted(e.variables()), bits))
+        assert bdd.evaluate(node, env) == evaluate(e, s, env)
+
+
+def test_zero_maps_to_false():
+    bdd = Bdd()
+    assert expr_to_bdd(ZERO, bdd) == bdd.FALSE
+
+
+def test_equivalent_expressions_same_node():
+    a, b, p = var("a"), var("b"), var("p")
+    bdd = Bdd(["a", "b", "p"])
+    e1 = minus(plus_m(a, times_m(b, p)), p)  # axiom 2 LHS
+    e2 = minus(a, p)  # axiom 2 RHS
+    assert expr_to_bdd(e1, bdd) == expr_to_bdd(e2, bdd)
+
+
+def test_inequivalent_expressions_different_nodes():
+    a, p = var("a"), var("p")
+    bdd = Bdd(["a", "p"])
+    assert expr_to_bdd(minus(a, p), bdd) != expr_to_bdd(plus_i(a, p), bdd)
+
+
+def test_shared_dag_evaluates_polynomially():
+    e = var("x")
+    for _ in range(50):
+        e = plus_m(e, times_m(e, var("p")))
+    bdd = Bdd(["x", "p"])
+    node = expr_to_bdd(e, bdd)
+    assert bdd.evaluate(node, {"x": True, "p": False})
+    assert not bdd.evaluate(node, {"x": False, "p": True})

@@ -1,0 +1,164 @@
+"""The measurement harness and figure drivers (smoke + semantics)."""
+
+import pytest
+
+from repro.bench.measure import checkpoints_for, series_run, usage_measurement
+from repro.bench.reporting import FigureResult, format_value
+from repro.bench.scales import SCALES, active_scale
+from repro.db.database import Database
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.workloads.logs import UpdateLog
+from repro.workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = SyntheticConfig(
+        n_tuples=500, n_queries=60, n_groups=3, group_size=4, domain_size=20, seed=5
+    )
+    return synthetic_database(config), synthetic_log(config)
+
+
+class TestCheckpoints:
+    def test_evenly_spaced(self):
+        assert checkpoints_for(100, 4) == [25, 50, 75, 100]
+
+    def test_fewer_points_than_queries(self):
+        assert checkpoints_for(2, 5) == [1, 2]
+
+    def test_single_point(self):
+        assert checkpoints_for(10, 1) == [10]
+
+
+class TestSeriesRun:
+    def test_checkpoints_land_exactly(self, workload):
+        db, log = workload
+        run = series_run(db, log.as_single_transaction(), "normal_form", [20, 40, 60])
+        assert [cp.queries for cp in run.checkpoints] == [20, 40, 60]
+
+    def test_elapsed_monotone(self, workload):
+        db, log = workload
+        run = series_run(db, log.as_single_transaction(), "naive", [20, 40, 60])
+        elapsed = [cp.elapsed for cp in run.checkpoints]
+        assert elapsed == sorted(elapsed)
+
+    def test_log_shorter_than_checkpoint(self, workload):
+        db, log = workload
+        run = series_run(db, log, "none", [1000])
+        assert run.checkpoints[-1].queries == 60
+
+    def test_sizes_skipped_when_disabled(self, workload):
+        db, log = workload
+        run = series_run(db, log, "normal_form", [60], measure_sizes=False)
+        assert run.final().expanded_size == 0
+
+    def test_on_checkpoint_called(self, workload):
+        db, log = workload
+        seen = []
+        series_run(
+            db,
+            log,
+            "normal_form",
+            [30, 60],
+            on_checkpoint=lambda engine, applied: seen.append(applied),
+        )
+        assert seen == [30, 60]
+
+    def test_final_accessor(self, workload):
+        db, log = workload
+        run = series_run(db, log, "none", [10, 60])
+        assert run.final().queries == 60
+
+
+class TestUsageMeasurement:
+    def test_consistency_flag_verified(self, workload):
+        db, log = workload
+        single = log.as_single_transaction()
+        from repro.engine.engine import Engine
+
+        engine = Engine(db, policy="normal_form")
+        engine.apply(single)
+        m = usage_measurement(engine, db, single, n_deletions=8)
+        assert m.consistent, "valuation must agree with the re-run baseline"
+        assert m.deletions == 8
+        assert m.usage_time > 0 and m.rerun_time > 0
+
+    def test_works_for_naive_policy(self, workload):
+        db, log = workload
+        from repro.engine.engine import Engine
+
+        engine = Engine(db, policy="naive")
+        engine.apply(log)
+        m = usage_measurement(engine, db, log, n_deletions=5)
+        assert m.consistent
+
+    def test_as_dict_keys(self, workload):
+        db, log = workload
+        from repro.engine.engine import Engine
+
+        engine = Engine(db, policy="normal_form")
+        engine.apply(log)
+        d = usage_measurement(engine, db, log, n_deletions=3).as_dict()
+        assert {"policy", "usage_time", "rerun_time", "speedup", "consistent"} <= set(d)
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"tiny", "small", "medium", "paper"} <= set(SCALES)
+
+    def test_active_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert active_scale().name == "tiny"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            active_scale()
+
+    def test_paper_scale_matches_paper_numbers(self):
+        paper = SCALES["paper"]
+        assert paper.synthetic_tuples == 1_000_000
+        assert paper.synthetic_queries == 2_000
+        assert paper.synthetic_affected == 200  # 0.02% of 1M
+
+
+class TestFigureResult:
+    def test_table_formatting(self):
+        fig = FigureResult("figX", "Title", ["a", "b"], expectation="a < b")
+        fig.add(a=1, b=2.5)
+        fig.add(a=10_000, b=0.00001)
+        fig.note("observed")
+        text = fig.format_table()
+        assert "figX" in text and "a < b" in text and "observed" in text
+        assert "10,000" in text
+        assert "1.000e-05" in text
+
+    def test_json_and_csv(self):
+        fig = FigureResult("figX", "T", ["a"], rows=[{"a": 1}])
+        assert '"figX"' in fig.to_json()
+        assert fig.to_csv().splitlines()[0] == "a"
+
+    def test_save(self, tmp_path):
+        fig = FigureResult("figX", "T", ["a"], rows=[{"a": 1}])
+        path = fig.save(tmp_path)
+        assert path.exists()
+        assert (tmp_path / "figX.csv").exists()
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(1234) == "1,234"
+        assert format_value(0.5) == "0.5"
+        assert format_value("x") == "x"
+        assert format_value(float("nan")) == "-"
+
+
+class TestBlowupFigure:
+    def test_blowup_driver_shapes(self):
+        from repro.bench.figures import figure_blowup
+        from repro.bench.scales import SCALES
+
+        (fig,) = figure_blowup(SCALES["tiny"])
+        naive_sizes = [row["naive expanded size"] for row in fig.rows]
+        nf_sizes = [row["nf expanded size"] for row in fig.rows]
+        assert naive_sizes == sorted(naive_sizes)
+        assert naive_sizes[-1] > 50 * nf_sizes[-1] / 12 * 12  # naive explodes
+        assert max(nf_sizes) == min(nf_sizes)  # NF flat

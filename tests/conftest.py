@@ -1,0 +1,94 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.queries.updates import Modify, Transaction
+
+# One global hypothesis profile: property tests here run whole engines, so
+# the default per-example deadline is meaningless noise.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: Figure 1a rows with their paper annotations.
+PRODUCTS_ROWS = {
+    ("Kids mnt bike", "Sport", 120): "p1",
+    ("Tennis Racket", "Sport", 70): "p2",
+    ("Kids mnt bike", "Kids", 120): "p3",
+    ("Children sneakers", "Fashion", 40): "p4",
+}
+
+
+@pytest.fixture
+def products_db() -> Database:
+    """The Figure 1a products table."""
+    return Database.from_rows(
+        "products", ["product", "category", "price"], list(PRODUCTS_ROWS)
+    )
+
+
+@pytest.fixture
+def products_namer():
+    """Annotator assigning the paper's p1..p4 names to the initial rows."""
+    return lambda _relation, row, _index: PRODUCTS_ROWS[row]
+
+
+@pytest.fixture
+def products_engine(products_db, products_namer):
+    """A normal-form engine over the products table, not yet applied."""
+    return Engine(products_db, policy="normal_form", annotate=products_namer)
+
+
+def paper_transactions(db: Database) -> tuple[Transaction, Transaction, Transaction]:
+    """T1 (Figure 2a), T1' (Figure 2b) and T2 (Figure 2c)."""
+    rel = db.relation("products")
+    t1 = Transaction(
+        "p",
+        [
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike", "category": "Kids"},
+                set_values={"category": "Sport"},
+            ),
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike", "category": "Sport"},
+                set_values={"category": "Bicycles"},
+            ),
+        ],
+    )
+    t1_prime = Transaction(
+        "p",
+        [
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike", "category": "Kids"},
+                set_values={"category": "Bicycles"},
+            ),
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike", "category": "Sport"},
+                set_values={"category": "Bicycles"},
+            ),
+        ],
+    )
+    t2 = Transaction(
+        "p'", [Modify.set(rel, where={"category": "Sport"}, set_values={"price": 50})]
+    )
+    return t1, t1_prime, t2
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0)

@@ -1,0 +1,112 @@
+"""The twelve Figure 3 axioms: structure checks and symbolic instances."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import Bdd, expr_to_bdd
+from repro.core.axioms import ALL_AXIOMS, AXIOMS_BY_NAME, axiom_violations, check_structure
+from repro.core.equivalence import BoolStructure
+from repro.errors import StructureError
+from repro.semantics.boolean import BooleanStructure
+from repro.semantics.sets import SetStructure
+from repro.semantics.trust import TrustStructure, TrustValue
+
+BOOL_ELEMENTS = [False, True]
+SET_ELEMENTS = [
+    frozenset(c) for r in range(3) for c in itertools.combinations(("x", "y"), r)
+]
+TRUST_ELEMENTS = [
+    TrustValue(1.0, "T"),
+    TrustValue(0.0, "F"),
+    TrustValue(0.9, "U"),
+    TrustValue(0.2, "U"),
+]
+
+
+def test_axiom_catalog_is_complete():
+    assert len(ALL_AXIOMS) == 12
+    assert set(AXIOMS_BY_NAME) == {f"axiom_{i}" for i in range(1, 13)}
+
+
+@pytest.mark.parametrize("axiom", ALL_AXIOMS, ids=lambda a: a.name)
+def test_axioms_hold_in_boolean_structure_exhaustively(axiom):
+    for case in itertools.product(BOOL_ELEMENTS, repeat=len(axiom.params)):
+        assert axiom.holds_in(BooleanStructure(), dict(zip(axiom.params, case)))
+
+
+@pytest.mark.parametrize("axiom", ALL_AXIOMS, ids=lambda a: a.name)
+def test_axioms_hold_in_set_structure_exhaustively(axiom):
+    structure = SetStructure({"x", "y"})
+    for case in itertools.product(SET_ELEMENTS, repeat=len(axiom.params)):
+        assert axiom.holds_in(structure, dict(zip(axiom.params, case)))
+
+
+@pytest.mark.parametrize("axiom", ALL_AXIOMS, ids=lambda a: a.name)
+def test_axioms_hold_in_trust_structure_exhaustively(axiom):
+    structure = TrustStructure(0.5)
+    for case in itertools.product(TRUST_ELEMENTS, repeat=len(axiom.params)):
+        assert axiom.holds_in(structure, dict(zip(axiom.params, case)))
+
+
+@pytest.mark.parametrize("axiom", ALL_AXIOMS, ids=lambda a: a.name)
+def test_axioms_hold_symbolically_under_bdd_semantics(axiom):
+    """Both sides of every axiom denote the same Boolean function."""
+    lhs, rhs = axiom.instantiate()
+    bdd = Bdd(sorted(lhs.variables() | rhs.variables()))
+    assert expr_to_bdd(lhs, bdd) == expr_to_bdd(rhs, bdd)
+
+
+def test_check_structure_passes_boolean():
+    assert check_structure(BooleanStructure(), BOOL_ELEMENTS)
+
+
+def test_axiom_violations_empty_for_valid_structure():
+    assert axiom_violations(SetStructure({"x"}), [frozenset(), frozenset({"x"})]) == []
+
+
+class _BrokenMinus(BooleanStructure):
+    """Monus-like minus (truncated), which the paper notes fails axiom 10."""
+
+    name = "broken"
+
+    def minus(self, a: bool, b: bool) -> bool:
+        return a  # ignores b entirely: (a - b) +I b != a +I b fails axiom 2 etc.
+
+
+def test_axiom_violations_detects_broken_structure():
+    violations = axiom_violations(_BrokenMinus(), BOOL_ELEMENTS)
+    assert violations
+    names = {name for name, _ in violations}
+    # Deleting must actually remove: axiom 2 (mod-then-delete) breaks.
+    assert "axiom_2" in names
+
+
+def test_check_axioms_method_raises_with_witness():
+    with pytest.raises(StructureError) as err:
+        _BrokenMinus().check_axioms(BOOL_ELEMENTS)
+    assert "axiom" in str(err.value)
+
+
+def test_instantiate_with_custom_mapping():
+    from repro.core.expr import var
+
+    axiom = AXIOMS_BY_NAME["axiom_4"]
+    lhs, rhs = axiom.instantiate({"a": var("t1"), "b": var("q")})
+    assert str(lhs) == "((t1 - q) - q)"
+    assert str(rhs) == "(t1 - q)"
+
+
+def test_example_3_3_derivation():
+    """(a +M (b *M c)) - c = a - c — the axiom the paper derives first."""
+    axiom = AXIOMS_BY_NAME["axiom_2"]
+    lhs, rhs = axiom.instantiate()
+    assert str(lhs) == "((a +M (b *M c)) - c)"
+    assert str(rhs) == "(a - c)"
+
+
+def test_axiom_sampling_path_large_carrier():
+    """Big carriers trigger the sampling branch instead of exhaustion."""
+    structure = SetStructure(set(range(8)))
+    elements = [frozenset({i}) for i in range(8)] + [frozenset(), frozenset(range(8))]
+    assert check_structure(structure, elements, max_cases=500)

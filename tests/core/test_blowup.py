@@ -1,0 +1,55 @@
+"""Proposition 5.1: the naive construction's exponential blowup, verified."""
+
+from repro.bench.measure import series_run
+from repro.db.database import Database
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Modify, Transaction
+from repro.workloads.logs import UpdateLog
+
+
+def alternating_log(n_queries: int) -> tuple[Database, UpdateLog]:
+    db = Database.from_rows("R", ["value"], [("a",), ("b",)])
+    u12 = Modify("R", Pattern(1, eq={0: "a"}), {0: "b"})
+    u21 = Modify("R", Pattern(1, eq={0: "b"}), {0: "a"})
+    queries = [u12 if i % 2 == 0 else u21 for i in range(n_queries)]
+    return db, UpdateLog([Transaction("p", queries)])
+
+
+def test_naive_expanded_size_is_exponential():
+    db, log = alternating_log(20)
+    run = series_run(db, log, "naive", list(range(2, 21, 2)))
+    sizes = [cp.expanded_size for cp in run.checkpoints]
+    # Proposition 5.1: |P^{2i}(t2)| > 2^i; check the even checkpoints.
+    for i, size in enumerate(sizes, start=1):
+        assert size > 2**i
+    # Strictly (and rapidly) growing: each step at least x1.5.
+    for previous, current in zip(sizes, sizes[1:]):
+        assert current > 1.5 * previous
+
+
+def test_normal_form_size_is_constant_on_the_same_log():
+    db, log = alternating_log(20)
+    run = series_run(db, log, "normal_form", list(range(2, 21, 2)))
+    sizes = [cp.expanded_size for cp in run.checkpoints]
+    assert max(sizes) <= 16  # both tuples in bounded Theorem 5.3 shapes
+    assert len(set(sizes)) <= 2  # reaches its fixpoint immediately
+
+
+def test_naive_and_normal_form_agree_on_the_result():
+    db, log = alternating_log(15)
+    from repro.engine.engine import Engine
+
+    naive = Engine(db, policy="naive").apply(log)
+    nf = Engine(db, policy="normal_form").apply(log)
+    vanilla = Engine(db, policy="none").apply(log)
+    assert naive.result().same_contents(vanilla.result())
+    assert nf.result().same_contents(vanilla.result())
+
+
+def test_naive_dag_size_stays_linear():
+    """Hash-consing keeps the *stored* size linear even as trees explode."""
+    db, log = alternating_log(24)
+    run = series_run(db, log, "naive", [24])
+    final = run.final()
+    assert final.expanded_size > 2**12
+    assert final.stored_size < 24 * 10

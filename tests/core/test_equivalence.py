@@ -1,0 +1,96 @@
+"""Equivalence deciders: canonical forms, BDD-exact, randomized refuter."""
+
+from repro.core.equivalence import (
+    canonical,
+    equivalent,
+    equivalent_boolean,
+    equivalent_canonical,
+    find_distinguishing_valuation,
+)
+from repro.core.expr import ZERO, minus, plus_i, plus_m, ssum, times_m, var
+
+A, B, C, P, Q = (var(n) for n in "abcpq")
+
+
+def mod(base, sources, p):
+    return plus_m(base, times_m(ssum(sources), p))
+
+
+class TestCanonical:
+    def test_sorts_source_disjunctions(self):
+        e1 = mod(A, [C, B], P)
+        e2 = mod(A, [B, C], P)
+        assert canonical(e1) is canonical(e2)
+
+    def test_dedups_sum_terms(self):
+        assert canonical(mod(A, [B, B], P)) is canonical(mod(A, [B], P))
+
+    def test_folds_self_update(self):
+        """(a - p) +M ((a + b) *M p) == a +M (b *M p) in all instances."""
+        e1 = plus_m(minus(A, P), times_m(ssum([A, B]), P))
+        e2 = mod(A, [B], P)
+        assert canonical(e1) is canonical(e2)
+        assert equivalent_boolean(e1, e2)
+
+    def test_fold_disabled(self):
+        e1 = plus_m(minus(A, P), times_m(ssum([A, B]), P))
+        assert canonical(e1, fold_self_update=False) is not canonical(
+            mod(A, [B], P), fold_self_update=False
+        )
+
+    def test_identity_on_plain_shapes(self):
+        for e in (A, ZERO, plus_i(A, P), minus(A, P)):
+            assert canonical(e) is e
+
+
+class TestEquivalentBoolean:
+    def test_axiom_2_instance(self):
+        assert equivalent_boolean(minus(mod(A, [B], P), P), minus(A, P))
+
+    def test_axiom_10_instance(self):
+        assert equivalent_boolean(plus_i(minus(A, P), P), plus_i(A, P))
+
+    def test_inequivalent(self):
+        assert not equivalent_boolean(minus(A, P), plus_i(A, P))
+
+    def test_zero_equivalence(self):
+        assert equivalent_boolean(times_m(minus(A, P), ZERO), ZERO)
+
+
+class TestEquivalentFrontend:
+    def test_canonical_path(self):
+        assert equivalent_canonical(mod(A, [B, C], P), mod(A, [C, B], P))
+
+    def test_auto_falls_back_to_bdd(self):
+        # Equivalent but canonically different: (a - p) - q vs (a - q) - p.
+        e1 = minus(minus(A, P), Q)
+        e2 = minus(minus(A, Q), P)
+        assert not equivalent_canonical(e1, e2)
+        assert equivalent(e1, e2)
+
+    def test_method_selection(self):
+        e1, e2 = minus(A, P), minus(A, P)
+        assert equivalent(e1, e2, method="canonical")
+        assert equivalent(e1, e2, method="boolean")
+
+    def test_unknown_method_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            equivalent(A, A, method="magic")
+
+
+class TestRefuter:
+    def test_finds_witness_for_inequivalent(self):
+        witness = find_distinguishing_valuation(minus(A, P), plus_i(A, P))
+        assert witness is not None
+        from repro.core.equivalence import BoolStructure
+        from repro.core.expr import evaluate
+
+        s = BoolStructure()
+        assert evaluate(minus(A, P), s, witness) != evaluate(plus_i(A, P), s, witness)
+
+    def test_no_witness_for_equivalent(self):
+        e1 = minus(mod(A, [B], P), P)
+        e2 = minus(A, P)
+        assert find_distinguishing_valuation(e1, e2, trials=64) is None

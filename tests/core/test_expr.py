@@ -1,0 +1,251 @@
+"""Unit tests for UP[X] expression construction and measures."""
+
+import pytest
+
+from repro.core.expr import (
+    MINUS,
+    PLUS_I,
+    PLUS_M,
+    SUM,
+    TIMES_M,
+    VAR,
+    ZERO,
+    Expr,
+    depth,
+    evaluate,
+    minus,
+    plus_i,
+    plus_m,
+    postorder,
+    size,
+    ssum,
+    subexpressions,
+    substitute,
+    times_m,
+    to_infix,
+    to_tree,
+    var,
+    variables,
+)
+from repro.core.equivalence import BoolStructure
+
+
+class TestConstruction:
+    def test_var_is_interned(self):
+        assert var("p") is var("p")
+
+    def test_distinct_names_distinct_nodes(self):
+        assert var("p") is not var("q")
+
+    def test_var_requires_nonempty_string(self):
+        with pytest.raises(TypeError):
+            var("")
+        with pytest.raises(TypeError):
+            var(3)  # type: ignore[arg-type]
+
+    def test_binary_nodes_are_interned(self):
+        a, p = var("a"), var("p")
+        assert plus_i(a, p) is plus_i(a, p)
+        assert minus(a, p) is minus(a, p)
+        assert plus_m(a, p) is plus_m(a, p)
+        assert times_m(a, p) is times_m(a, p)
+
+    def test_kinds(self):
+        a, p = var("a"), var("p")
+        assert plus_i(a, p).kind == PLUS_I
+        assert minus(a, p).kind == MINUS
+        assert plus_m(a, p).kind == PLUS_M
+        assert times_m(a, p).kind == TIMES_M
+        assert ssum([a, p]).kind == SUM
+        assert a.kind == VAR and ZERO.kind == "zero"
+
+    def test_left_right_accessors(self):
+        e = minus(var("a"), var("p"))
+        assert e.left is var("a") and e.right is var("p")
+        with pytest.raises(ValueError):
+            var("a").left
+
+    def test_direct_instantiation_discouraged_but_isolated(self):
+        # Direct Expr() bypasses interning; it must not corrupt the table.
+        rogue = Expr(VAR, "a", ())
+        assert rogue is not var("a")
+
+
+class TestZeroAxioms:
+    """The Section 3.1 zero-related axioms, applied by the constructors."""
+
+    def test_minus_zero_left_annihilates(self):
+        assert minus(ZERO, var("p")) is ZERO
+
+    def test_minus_zero_right_is_identity(self):
+        assert minus(var("a"), ZERO) is var("a")
+
+    def test_plus_i_zero_left(self):
+        assert plus_i(ZERO, var("p")) is var("p")
+
+    def test_plus_i_zero_right(self):
+        assert plus_i(var("a"), ZERO) is var("a")
+
+    def test_plus_m_zero_left(self):
+        assert plus_m(ZERO, var("p")) is var("p")
+
+    def test_plus_m_zero_right(self):
+        assert plus_m(var("a"), ZERO) is var("a")
+
+    def test_times_m_zero_annihilates_both_sides(self):
+        assert times_m(ZERO, var("p")) is ZERO
+        assert times_m(var("a"), ZERO) is ZERO
+
+    def test_example_3_1_target_annotation(self):
+        # 0 +M ((p1 + p3) *M p) = (p1 + p3) *M p
+        contribution = times_m(ssum([var("p1"), var("p3")]), var("p"))
+        assert plus_m(ZERO, contribution) is contribution
+
+
+class TestSum:
+    def test_empty_sum_is_zero(self):
+        assert ssum([]) is ZERO
+
+    def test_singleton_sum_unwraps(self):
+        assert ssum([var("a")]) is var("a")
+
+    def test_zero_terms_dropped(self):
+        assert ssum([ZERO, var("a"), ZERO]) is var("a")
+
+    def test_nested_sums_flatten(self):
+        inner = ssum([var("a"), var("b")])
+        outer = ssum([inner, var("c")])
+        assert outer.children == (var("a"), var("b"), var("c"))
+
+    def test_duplicates_kept_by_default(self):
+        s = ssum([var("a"), var("a")])
+        assert s.children == (var("a"), var("a"))
+
+    def test_dedup_preserves_first_occurrence_order(self):
+        s = ssum([var("b"), var("a"), var("b")], dedup=True)
+        assert s.children == (var("b"), var("a"))
+
+
+class TestMeasures:
+    def test_leaf_sizes(self):
+        assert size(var("a")) == 1
+        assert size(ZERO) == 1
+        assert depth(var("a")) == 1
+
+    def test_size_counts_shared_nodes_with_multiplicity(self):
+        a = plus_i(var("x"), var("p"))  # 3 nodes
+        e = plus_m(a, times_m(a, var("p")))  # tree: 1 + 3 + (1 + 3 + 1)
+        assert size(e) == 9
+        assert len(subexpressions(e)) == 5  # x, p, a, a*Mp, root
+
+    def test_exponential_expanded_size_small_dag(self):
+        e = var("x")
+        for _ in range(30):
+            e = plus_m(e, times_m(e, var("p")))
+        assert size(e) > 2**30
+        assert len(subexpressions(e)) <= 2 + 2 * 30
+
+    def test_depth(self):
+        e = minus(plus_i(var("a"), var("p")), var("q"))
+        assert depth(e) == 3
+
+    def test_variables(self):
+        e = plus_m(minus(var("a"), var("p")), times_m(var("b"), var("p")))
+        assert variables(e) == {"a", "b", "p"}
+        assert e.variables() == {"a", "b", "p"}
+
+    def test_zero_has_no_variables(self):
+        assert variables(ZERO) == frozenset()
+
+
+class TestTraversal:
+    def test_postorder_children_before_parents(self):
+        e = plus_m(var("a"), times_m(var("b"), var("p")))
+        order = list(postorder(e))
+        assert order.index(var("b")) < order.index(times_m(var("b"), var("p")))
+        assert order[-1] is e
+
+    def test_postorder_yields_shared_nodes_once(self):
+        shared = plus_i(var("a"), var("p"))
+        e = plus_m(shared, times_m(shared, var("p")))
+        order = list(postorder(e))
+        assert order.count(shared) == 1
+
+    def test_deep_chain_does_not_recurse(self):
+        e = var("x")
+        for i in range(5000):
+            e = minus(e, var(f"p{i % 7}"))
+        assert size(e) == 5001 + 5000  # leaf + (node + annotation) per step - adjust
+        # 1 leaf, each minus adds 1 node + 1 annotation leaf occurrence
+        assert depth(e) == 5001
+
+
+class TestEvaluate:
+    def test_boolean_evaluation(self):
+        s = BoolStructure()
+        e = plus_m(minus(var("a"), var("p")), times_m(var("b"), var("p")))
+        assert evaluate(e, s, {"a": True, "b": False, "p": False}) is True
+        assert evaluate(e, s, {"a": True, "b": False, "p": True}) is False
+        assert evaluate(e, s, {"a": False, "b": True, "p": True}) is True
+
+    def test_env_callable(self):
+        s = BoolStructure()
+        e = plus_i(var("a"), var("p"))
+        assert evaluate(e, s, lambda name: name == "p") is True
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(var("a"), BoolStructure(), {})
+
+    def test_sum_evaluation(self):
+        s = BoolStructure()
+        e = times_m(ssum([var("a"), var("b"), var("c")]), var("p"))
+        env = {"a": False, "b": False, "c": True, "p": True}
+        assert evaluate(e, s, env) is True
+
+    def test_evaluation_on_shared_dag_is_polynomial(self):
+        # 60 doublings = 2^60 expanded nodes; evaluation must still be instant.
+        e = var("x")
+        for _ in range(60):
+            e = plus_m(e, times_m(e, var("p")))
+        assert evaluate(e, BoolStructure(), {"x": True, "p": True}) is True
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        e = plus_i(var("a"), var("p"))
+        out = substitute(e, {"a": var("b")})
+        assert out is plus_i(var("b"), var("p"))
+
+    def test_substitute_zero_triggers_zero_axioms(self):
+        e = plus_m(var("a"), times_m(var("b"), var("p")))
+        assert substitute(e, {"p": ZERO}) is var("a")
+
+    def test_substitute_missing_names_untouched(self):
+        e = minus(var("a"), var("p"))
+        assert substitute(e, {}) is e
+
+    def test_paper_section_3_1_assignment_example(self):
+        # p1 +M (p2 *M p): p := 1-like (leave), p2 := 0 gives p1.
+        e = plus_m(var("p1"), times_m(var("p2"), var("p")))
+        assert substitute(e, {"p2": ZERO}) is var("p1")
+
+
+class TestRendering:
+    def test_infix(self):
+        e = minus(plus_m(var("p1"), times_m(var("p3"), var("p"))), var("p"))
+        assert to_infix(e) == "((p1 +M (p3 *M p)) - p)"
+
+    def test_infix_zero(self):
+        assert to_infix(ZERO) == "0"
+
+    def test_str_and_repr(self):
+        e = plus_i(var("a"), var("p"))
+        assert str(e) == "(a +I p)"
+        assert "a +I p" in repr(e)
+
+    def test_tree_rendering_contains_all_labels(self):
+        e = plus_m(var("a"), times_m(ssum([var("b"), var("c")]), var("p")))
+        rendered = to_tree(e)
+        for label in ("+M", "*M", "+", "a", "b", "c", "p"):
+            assert label in rendered

@@ -1,0 +1,53 @@
+"""Hash-consing guarantees of the expression store."""
+
+from repro.core.expr import (
+    intern_table_size,
+    minus,
+    plus_i,
+    plus_m,
+    ssum,
+    times_m,
+    var,
+)
+
+
+def test_structural_equality_is_identity():
+    e1 = plus_m(minus(var("a"), var("p")), times_m(ssum([var("a"), var("b")]), var("p")))
+    e2 = plus_m(minus(var("a"), var("p")), times_m(ssum([var("a"), var("b")]), var("p")))
+    assert e1 is e2
+
+
+def test_table_grows_only_for_new_structures():
+    base = intern_table_size()
+    x = plus_i(var("fresh_intern_x"), var("fresh_intern_p"))
+    grown = intern_table_size()
+    assert grown >= base + 3  # two vars + the node
+    _again = plus_i(var("fresh_intern_x"), var("fresh_intern_p"))
+    assert intern_table_size() == grown  # nothing new
+
+
+def test_clear_semantics_in_isolated_process():
+    """Clearing drops identity for prior expressions but restores interning.
+
+    Run in a subprocess: clearing the process-global table would break the
+    identity guarantees every *other* test in this suite relies on.
+    """
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.core.expr import ZERO, clear_intern_table, minus, var\n"
+        "before = minus(var('a'), var('p'))\n"
+        "clear_intern_table()\n"
+        "after = minus(var('a'), var('p'))\n"
+        "assert str(after) == str(before)\n"
+        "assert after is not before\n"
+        "assert minus(var('a'), var('p')) is after\n"
+        "assert minus(ZERO, var('q')) is ZERO\n"
+        "print('ok')\n"
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, timeout=60
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip() == "ok"

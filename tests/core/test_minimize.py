@@ -1,0 +1,62 @@
+"""Proposition 5.5 minimization (zero-axiom post-processing)."""
+
+from repro.core.expr import Expr, MINUS, PLUS_M, TIMES_M, ZERO, minus, plus_i, plus_m, ssum, times_m, var
+from repro.core.minimize import is_minimized, minimize
+
+A, B, P = var("a"), var("b"), var("p")
+
+
+def raw(kind: str, *children: Expr) -> Expr:
+    """Build a node bypassing the smart constructors (simulates foreign input)."""
+    return Expr(kind, None, children)
+
+
+def test_constructor_output_is_already_minimized():
+    e = plus_m(minus(A, P), times_m(ssum([A, B]), P))
+    assert minimize(e) is e
+    assert is_minimized(e)
+
+
+def test_raw_zero_plus_m_folds():
+    e = raw(PLUS_M, ZERO, raw(TIMES_M, A, P))
+    assert minimize(e) is times_m(A, P)
+
+
+def test_raw_zero_minus_folds_to_zero():
+    e = raw(MINUS, ZERO, P)
+    assert minimize(e) is ZERO
+
+
+def test_raw_times_zero_annihilates():
+    e = raw(PLUS_M, A, raw(TIMES_M, ZERO, P))
+    assert minimize(e) is A
+
+
+def test_deep_raw_chain_minimizes_iteratively():
+    e: Expr = ZERO
+    for _ in range(3000):
+        e = raw(MINUS, e, P)
+    assert minimize(e) is ZERO
+
+
+def test_proposition_5_5_forms():
+    """Minimized normal forms are: a shape, 0, or (b0+...+bn) *M p."""
+    # shape 5 with base 0: ((0 - p) +M ((b) *M p)) -> (b *M p)
+    e = raw(PLUS_M, raw(MINUS, ZERO, P), raw(TIMES_M, B, P))
+    assert minimize(e) is times_m(B, P)
+    # all-zero: 0
+    assert minimize(raw(TIMES_M, ZERO, ZERO)) is ZERO
+    # untouched shapes minimize to themselves
+    assert minimize(plus_i(A, P)) is plus_i(A, P)
+
+
+def test_minimize_is_idempotent():
+    e = raw(PLUS_M, raw(MINUS, ZERO, P), raw(TIMES_M, ssum([A, B]), P))
+    once = minimize(e)
+    assert minimize(once) is once
+
+
+def test_is_minimized_detects_foreign_zeros():
+    assert not is_minimized(raw(PLUS_M, ZERO, A))
+    assert is_minimized(A)
+    assert is_minimized(ZERO)

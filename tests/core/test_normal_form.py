@@ -1,0 +1,232 @@
+"""The Theorem 5.3 normal-form state machine (shapes and transitions)."""
+
+import pytest
+
+from repro.core.expr import ZERO, minus, plus_i, plus_m, ssum, times_m, var
+from repro.core.normal_form import Contribution, NormalForm, Shape, merge_contributions
+
+P = var("p")
+Q = var("q")
+A = var("a")
+B = var("b")
+C = var("c")
+
+
+def untouched(e=A):
+    return NormalForm.untouched(e)
+
+
+class TestShapes:
+    def test_untouched_to_expr(self):
+        assert untouched().to_expr() is A
+
+    def test_absent_is_zero(self):
+        assert NormalForm.absent().to_expr() is ZERO
+
+    def test_ins_shape(self):
+        nf = NormalForm(Shape.INS, A, (), P)
+        assert nf.to_expr() is plus_i(A, P)
+
+    def test_del_shape(self):
+        nf = NormalForm(Shape.DEL, A, (), P)
+        assert nf.to_expr() is minus(A, P)
+
+    def test_mod_shape(self):
+        nf = NormalForm(Shape.MOD, A, (B, C), P)
+        assert nf.to_expr() is plus_m(A, times_m(ssum([B, C]), P))
+
+    def test_delmod_shape(self):
+        nf = NormalForm(Shape.DELMOD, A, (B,), P)
+        assert nf.to_expr() is plus_m(minus(A, P), times_m(B, P))
+
+    def test_mod_with_zero_base_zero_folds(self):
+        """Proposition 5.5's third form: (b0 + ... + bn) *M p."""
+        nf = NormalForm(Shape.MOD, ZERO, (B, C), P)
+        assert nf.to_expr() is times_m(ssum([B, C]), P)
+
+    def test_non_untouched_requires_annotation(self):
+        with pytest.raises(ValueError):
+            NormalForm(Shape.INS, A, (), None)
+        with pytest.raises(ValueError):
+            NormalForm(Shape.DEL, A, (), plus_i(A, P))  # not a variable
+
+    def test_untouched_cannot_carry_annotation(self):
+        with pytest.raises(ValueError):
+            NormalForm(Shape.UNTOUCHED, A, (), P)
+
+    def test_only_mod_shapes_carry_sources(self):
+        with pytest.raises(ValueError):
+            NormalForm(Shape.INS, A, (B,), P)
+
+
+class TestInsertTransitions:
+    """Rule 1: insertion overrides previous same-annotation updates."""
+
+    def test_insert_on_untouched(self):
+        assert untouched().on_insert(P).to_expr() is plus_i(A, P)
+
+    def test_insert_on_absent(self):
+        assert NormalForm.absent().on_insert(P).to_expr() is P  # 0 +I p = p
+
+    def test_insert_idempotent(self):
+        nf = untouched().on_insert(P).on_insert(P)
+        assert nf.to_expr() is plus_i(A, P)
+
+    def test_insert_after_delete_axiom_10(self):
+        nf = untouched().on_delete(P).on_insert(P)
+        assert nf.to_expr() is plus_i(A, P)
+
+    def test_insert_after_mod_axiom_9(self):
+        nf = untouched().absorb(Contribution((B,)), P).on_insert(P)
+        assert nf.to_expr() is plus_i(A, P)
+
+    def test_insert_under_new_annotation_freezes(self):
+        nf = untouched().on_delete(P).on_insert(Q)
+        assert nf.to_expr() is plus_i(minus(A, P), Q)
+
+
+class TestDeleteTransitions:
+    """Rule 2: deletion overrides previous same-annotation updates."""
+
+    def test_delete_on_untouched(self):
+        assert untouched().on_delete(P).to_expr() is minus(A, P)
+
+    def test_delete_idempotent_axiom_4(self):
+        nf = untouched().on_delete(P).on_delete(P)
+        assert nf.to_expr() is minus(A, P)
+
+    def test_delete_after_insert_axiom_7(self):
+        nf = untouched().on_insert(P).on_delete(P)
+        assert nf.to_expr() is minus(A, P)
+
+    def test_delete_after_mod_axiom_2(self):
+        nf = untouched().absorb(Contribution((B,)), P).on_delete(P)
+        assert nf.to_expr() is minus(A, P)
+
+    def test_delete_after_delmod(self):
+        nf = untouched().on_delete(P).absorb(Contribution((B,)), P).on_delete(P)
+        assert nf.to_expr() is minus(A, P)
+
+    def test_delete_under_new_annotation_freezes(self):
+        nf = untouched().on_insert(P).on_delete(Q)
+        assert nf.to_expr() is minus(plus_i(A, P), Q)
+
+
+class TestContributions:
+    """Rules 3/4/7/8: what a source passes to its modification target."""
+
+    def test_untouched_contributes_its_expression(self):
+        assert untouched().contribution(P) == Contribution((A,))
+
+    def test_absent_contributes_nothing(self):
+        assert NormalForm.absent().contribution(P).is_empty
+
+    def test_deleted_source_contributes_nothing_rule_3(self):
+        assert untouched().on_delete(P).contribution(P).is_empty
+
+    def test_inserted_source_contributes_insertion_marker_rule_4(self):
+        c = untouched().on_insert(P).contribution(P)
+        assert c.inserted and not c.sources
+
+    def test_modified_source_flattens_rule_7(self):
+        nf = untouched().absorb(Contribution((B, C)), P)
+        assert set(nf.contribution(P).sources) == {A, B, C}
+
+    def test_delmod_source_drops_deleted_spine_rule_8(self):
+        nf = untouched().on_delete(P).absorb(Contribution((B,)), P)
+        assert nf.contribution(P).sources == (B,)
+
+    def test_mod_with_zero_base_contributes_only_sources(self):
+        nf = NormalForm.absent().absorb(Contribution((B,)), P)
+        assert nf.contribution(P).sources == (B,)
+
+    def test_cross_annotation_contribution_is_frozen_expression(self):
+        nf = untouched().on_delete(P)
+        c = nf.contribution(Q)
+        assert c.sources == (minus(A, P),)
+
+    def test_merge_dedups_and_accumulates_inserted(self):
+        merged = merge_contributions(
+            [Contribution((A, B)), Contribution((B, C)), Contribution((), True)]
+        )
+        assert merged.sources == (A, B, C)
+        assert merged.inserted
+
+
+class TestAbsorb:
+    """Rules 4/5/6: how a target integrates a contribution."""
+
+    def test_absorb_on_untouched_makes_mod(self):
+        nf = untouched().absorb(Contribution((B,)), P)
+        assert nf.shape is Shape.MOD
+        assert nf.to_expr() is plus_m(A, times_m(B, P))
+
+    def test_absorb_empty_contribution_is_noop(self):
+        nf = untouched()
+        assert nf.absorb(Contribution(), P) is nf
+
+    def test_absorb_inserted_contribution_rule_4(self):
+        nf = untouched().absorb(Contribution((), True), P)
+        assert nf.to_expr() is plus_i(A, P)
+
+    def test_inserted_target_absorbs_rule_5(self):
+        nf = untouched().on_insert(P).absorb(Contribution((B,)), P)
+        assert nf.to_expr() is plus_i(A, P)
+
+    def test_successive_mods_factorize_rule_6(self):
+        nf = untouched().absorb(Contribution((B,)), P).absorb(Contribution((C,)), P)
+        assert nf.shape is Shape.MOD
+        assert set(nf.sources) == {B, C}
+
+    def test_absorb_on_deleted_target_makes_delmod(self):
+        nf = untouched().on_delete(P).absorb(Contribution((B,)), P)
+        assert nf.shape is Shape.DELMOD
+        assert nf.to_expr() is plus_m(minus(A, P), times_m(B, P))
+
+    def test_delmod_absorbs_more_sources(self):
+        nf = (
+            untouched()
+            .on_delete(P)
+            .absorb(Contribution((B,)), P)
+            .absorb(Contribution((C,)), P)
+        )
+        assert nf.shape is Shape.DELMOD
+        assert set(nf.sources) == {B, C}
+
+    def test_absorb_dedups_sources(self):
+        nf = untouched().absorb(Contribution((B,)), P).absorb(Contribution((B,)), P)
+        assert nf.sources == (B,)
+
+    def test_absorb_under_new_annotation_freezes_first(self):
+        nf = untouched().absorb(Contribution((B,)), P).absorb(Contribution((C,)), Q)
+        frozen = plus_m(A, times_m(B, P))
+        assert nf.to_expr() is plus_m(frozen, times_m(C, Q))
+
+
+class TestSizeBounds:
+    def test_linear_size_within_transaction(self):
+        """Theorem 5.3: per-tuple size linear in sources, constant in updates."""
+        nf = untouched()
+        for i in range(100):
+            nf = nf.absorb(Contribution((var(f"b{i % 5}"),)), P)
+        # Five distinct sources at most, regardless of 100 updates.
+        assert len(nf.sources) == 5
+        assert nf.to_expr().size() <= 2 * 5 + 5
+
+    def test_added_size_is_constant_plus_sources(self):
+        nf = NormalForm(Shape.DELMOD, A, (B, C), P)
+        assert nf.added_size() <= 8
+
+
+class TestEquality:
+    def test_source_order_irrelevant(self):
+        nf1 = NormalForm(Shape.MOD, A, (B, C), P)
+        nf2 = NormalForm(Shape.MOD, A, (C, B), P)
+        assert nf1 == nf2 and hash(nf1) == hash(nf2)
+
+    def test_different_shapes_differ(self):
+        assert NormalForm(Shape.INS, A, (), P) != NormalForm(Shape.DEL, A, (), P)
+
+    def test_repr_shows_shape_and_expression(self):
+        nf = NormalForm(Shape.DEL, A, (), P)
+        assert "del" in repr(nf) and "(a - p)" in repr(nf)

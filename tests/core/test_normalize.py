@@ -1,0 +1,111 @@
+"""The replay normalizer (Theorem 5.3) and its agreement with the rules."""
+
+import random
+
+import pytest
+
+from repro.bdd import Bdd, expr_to_bdd
+from repro.core.expr import ZERO, minus, plus_i, plus_m, ssum, times_m, var
+from repro.core.normal_form import Shape
+from repro.core.normalize import normalize, normalize_expr
+from repro.core.rules import normalize_with_rules
+
+A, B, C, P, Q = (var(n) for n in "abcpq")
+
+
+def mod(base, sources, p):
+    return plus_m(base, times_m(ssum(sources), p))
+
+
+def boolean_equal(e1, e2) -> bool:
+    bdd = Bdd(sorted(e1.variables() | e2.variables()))
+    return expr_to_bdd(e1, bdd) == expr_to_bdd(e2, bdd)
+
+
+class TestBasicShapes:
+    def test_leaf(self):
+        assert normalize(A).shape is Shape.UNTOUCHED
+        assert normalize_expr(A) is A
+
+    def test_insert_chain(self):
+        e = plus_i(plus_i(A, P), P)
+        assert normalize_expr(e) is plus_i(A, P)
+
+    def test_delete_after_insert(self):
+        assert normalize_expr(minus(plus_i(A, P), P)) is minus(A, P)
+
+    def test_example_5_7_first_tuple(self):
+        """(p1 +M (p3 *M p)) - p simplifies to p1 - p (Rule 2)."""
+        p1, p3, p = var("p1"), var("p3"), var("p")
+        e = minus(plus_m(p1, times_m(p3, p)), p)
+        assert normalize_expr(e) is minus(p1, p)
+
+    def test_example_5_7_third_tuple(self):
+        """0 +M ((p1 +M (p3 *M p)) *M p) simplifies to (p1 + p3) *M p."""
+        p1, p3, p = var("p1"), var("p3"), var("p")
+        e = plus_m(ZERO, times_m(plus_m(p1, times_m(p3, p)), p))
+        assert normalize_expr(e) is times_m(ssum([p1, p3]), p)
+
+    def test_example_3_9_cross_transaction(self):
+        """((p1 +M (p3 *M p)) - p) *M p' keeps the frozen (p1 - p) base."""
+        p1, p3, p, pp = var("p1"), var("p3"), var("p"), var("p'")
+        inner = minus(plus_m(p1, times_m(p3, p)), p)
+        e = plus_m(ZERO, times_m(inner, pp))
+        out = normalize_expr(e)
+        assert out is times_m(minus(p1, p), pp)
+
+
+class TestCrossAnnotationFreezing:
+    def test_different_annotations_do_not_collapse(self):
+        e = minus(plus_i(A, P), Q)
+        assert normalize_expr(e) is e
+
+    def test_nested_transactions_normalize_inner_first(self):
+        inner = minus(mod(A, [B], P), P)  # -> a - p
+        e = plus_i(inner, Q)
+        assert normalize_expr(e) is plus_i(minus(A, P), Q)
+
+
+class TestAgreementWithRules:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_replay_and_rules_agree_on_random_chains(self, seed):
+        """Two independent normalizers must produce identical output."""
+        rng = random.Random(seed)
+        leaves = [var(f"x{i}") for i in range(4)] + [ZERO]
+        annotations = [P, Q]
+
+        def random_chain(depth: int):
+            e = rng.choice(leaves)
+            for _ in range(depth):
+                p = rng.choice(annotations)
+                roll = rng.random()
+                if roll < 0.25:
+                    e = plus_i(e, p)
+                elif roll < 0.5:
+                    e = minus(e, p)
+                else:
+                    k = rng.randint(1, 3)
+                    sources = [random_chain(rng.randint(0, 2)) for _ in range(k)]
+                    e = plus_m(e, times_m(ssum(sources), p))
+            return e
+
+        e = random_chain(5)
+        via_replay = normalize_expr(e)
+        via_rules = normalize_with_rules(e)
+        assert boolean_equal(e, via_replay)
+        assert boolean_equal(via_replay, via_rules)
+
+    def test_size_never_grows(self):
+        e = mod(mod(mod(A, [B], P), [C], P), [minus(B, P)], P)
+        assert normalize_expr(e).size() <= e.size()
+
+
+class TestGracefulDegradation:
+    def test_hand_built_non_construction_expression(self):
+        # annotation position is not a variable: treated as opaque.
+        weird = plus_i(A, plus_i(B, P))
+        assert normalize_expr(weird) is weird
+
+    def test_times_m_with_non_variable_right(self):
+        weird = times_m(A, plus_i(B, P))
+        assert normalize_expr(weird) is weird

@@ -1,0 +1,167 @@
+"""The Figure 6 rules as standalone rewrites: shape matching + soundness."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import Bdd, expr_to_bdd
+from repro.core.expr import ZERO, minus, plus_i, plus_m, ssum, times_m, var
+from repro.core.normal_form import Shape
+from repro.core.rules import (
+    ALL_RULES,
+    apply_rules_once,
+    match_normal_form,
+    normalize_with_rules,
+    rule_1_insert_collapse,
+    rule_2_delete_collapse,
+    rule_3_deleted_sources,
+    rule_4_inserted_source,
+    rule_5_insert_absorbs,
+    rule_6_target_factorize,
+    rule_7_source_flatten,
+    rule_8_drop_deleted_source,
+)
+
+A, B, C, D, P, Q = (var(n) for n in "abcdpq")
+
+
+def mod(base, sources, p):
+    return plus_m(base, times_m(ssum(sources), p))
+
+
+def boolean_equal(e1, e2) -> bool:
+    bdd = Bdd(sorted(e1.variables() | e2.variables()))
+    return expr_to_bdd(e1, bdd) == expr_to_bdd(e2, bdd)
+
+
+class TestMatchNormalForm:
+    def test_leaves(self):
+        assert match_normal_form(A).shape is Shape.UNTOUCHED
+        assert match_normal_form(ZERO).shape is Shape.UNTOUCHED
+
+    def test_ins(self):
+        nf = match_normal_form(plus_i(A, P))
+        assert nf.shape is Shape.INS and nf.base is A and nf.p is P
+
+    def test_del(self):
+        nf = match_normal_form(minus(A, P))
+        assert nf.shape is Shape.DEL
+
+    def test_mod(self):
+        nf = match_normal_form(mod(A, [B, C], P))
+        assert nf.shape is Shape.MOD and set(nf.sources) == {B, C}
+
+    def test_delmod(self):
+        nf = match_normal_form(plus_m(minus(A, P), times_m(B, P)))
+        assert nf.shape is Shape.DELMOD
+
+    def test_zero_folded_mod(self):
+        nf = match_normal_form(times_m(ssum([B, C]), P))
+        assert nf.shape is Shape.MOD and nf.base is ZERO
+
+    def test_non_shape_returns_none(self):
+        # annotation position holds a non-variable
+        assert match_normal_form(plus_i(A, plus_i(B, P))) is None
+
+
+class TestIndividualRules:
+    def test_rule_1_collapses_spine(self):
+        assert rule_1_insert_collapse(plus_i(minus(A, P), P)) is plus_i(A, P)
+        assert rule_1_insert_collapse(plus_i(mod(A, [B], P), P)) is plus_i(A, P)
+
+    def test_rule_1_respects_annotations(self):
+        assert rule_1_insert_collapse(plus_i(minus(A, Q), P)) is None
+
+    def test_rule_2_collapses_spine(self):
+        assert rule_2_delete_collapse(minus(plus_i(A, P), P)) is minus(A, P)
+        assert rule_2_delete_collapse(minus(mod(A, [B], P), P)) is minus(A, P)
+
+    def test_rule_2_respects_annotations(self):
+        assert rule_2_delete_collapse(minus(plus_i(A, Q), P)) is None
+
+    def test_rule_3_all_sources_deleted(self):
+        e = mod(A, [minus(B, P), minus(C, P)], P)
+        assert rule_3_deleted_sources(e) is A
+
+    def test_rule_3_not_applicable_with_live_source(self):
+        e = mod(A, [minus(B, P), C], P)
+        assert rule_3_deleted_sources(e) is None
+
+    def test_rule_4_inserted_source(self):
+        e = mod(A, [B, plus_i(C, P)], P)
+        assert rule_4_inserted_source(e) is plus_i(A, P)
+
+    def test_rule_5_inserted_target(self):
+        e = plus_m(plus_i(A, P), times_m(B, P))
+        assert rule_5_insert_absorbs(e) is plus_i(A, P)
+
+    def test_rule_6_factorizes(self):
+        e = plus_m(mod(A, [B], P), times_m(C, P))
+        assert rule_6_target_factorize(e) is mod(A, [B, C], P)
+
+    def test_rule_6_different_annotations_blocked(self):
+        e = plus_m(mod(A, [B], Q), times_m(C, P))
+        assert rule_6_target_factorize(e) is None
+
+    def test_rule_7_flattens_modified_source(self):
+        e = mod(A, [mod(B, [C], P), D], P)
+        out = rule_7_source_flatten(e)
+        assert out is mod(A, [B, C, D], P)
+
+    def test_rule_8_drops_deleted_source(self):
+        e = mod(A, [minus(B, P), C], P)
+        assert rule_8_drop_deleted_source(e) is mod(A, [C], P)
+
+    def test_rule_8_keeps_other_annotations(self):
+        e = mod(A, [minus(B, Q), C], P)
+        assert rule_8_drop_deleted_source(e) is None
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        plus_i(minus(A, P), P),
+        plus_i(mod(A, [B], P), P),
+        plus_i(plus_m(minus(A, P), times_m(B, P)), P),
+        minus(plus_i(A, P), P),
+        minus(mod(A, [B, C], P), P),
+        minus(minus(A, P), P),
+        mod(A, [minus(B, P), minus(C, P)], P),
+        mod(A, [B, plus_i(C, P)], P),
+        plus_m(plus_i(A, P), times_m(B, P)),
+        plus_m(mod(A, [B], P), times_m(C, P)),
+        mod(A, [mod(B, [C], P), D], P),
+        mod(A, [minus(B, P), C], P),
+        plus_m(minus(A, P), times_m(mod(B, [C], P), P)),
+    ],
+    ids=str,
+)
+def test_every_rewrite_preserves_boolean_semantics(expr):
+    """Each rule is implied by the axioms, hence sound in every instance."""
+    rewritten = apply_rules_once(expr)
+    assert rewritten is not None, f"no rule applied to {expr}"
+    assert boolean_equal(expr, rewritten)
+
+
+class TestNormalizeWithRules:
+    def test_reaches_a_shape(self):
+        e = minus(plus_i(mod(A, [B], P), P), P)
+        out = normalize_with_rules(e)
+        assert match_normal_form(out) is not None
+        assert out is minus(A, P)
+
+    def test_is_idempotent(self):
+        e = mod(A, [mod(B, [C], P), minus(D, P)], P)
+        once = normalize_with_rules(e)
+        assert normalize_with_rules(once) is once
+
+    def test_preserves_semantics_on_nested_chain(self):
+        e = A
+        for i in range(6):
+            e = mod(e, [minus(B, P) if i % 2 else plus_m(C, times_m(D, P))], P)
+        out = normalize_with_rules(e)
+        assert boolean_equal(e, out)
+        assert out.size() <= e.size()
+
+    def test_rule_order_covers_all(self):
+        assert len(ALL_RULES) == 8

@@ -1,0 +1,71 @@
+"""Plain database container semantics."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Relation, Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict({"r": (["a", "b"], [(1, 2), (3, 4)]), "q": (["x"], [(9,)])})
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        db = Database.from_rows("r", ["a"], [(1,), (2,)])
+        assert db.rows("r") == {(1,), (2,)}
+
+    def test_from_dict(self, db):
+        assert db.total_rows() == 3
+
+    def test_add_relation(self, db):
+        db.add_relation(Relation("s", ["k"]))
+        assert db.rows("s") == set()
+
+
+class TestMutation:
+    def test_insert_checks_arity(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("r", (1,))
+
+    def test_insert_is_set_semantics(self, db):
+        db.insert("r", (1, 2))
+        assert len(db.rows("r")) == 2
+
+    def test_discard(self, db):
+        db.discard("r", (1, 2))
+        assert db.rows("r") == {(3, 4)}
+        db.discard("r", (42, 42))  # absent: no-op
+
+    def test_extend(self, db):
+        db.extend("q", [(1,), (2,)])
+        assert db.rows("q") == {(9,), (1,), (2,)}
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(SchemaError):
+            db.rows("nope")
+
+
+class TestCopyAndCompare:
+    def test_copy_is_deep_for_rows(self, db):
+        clone = db.copy()
+        clone.insert("r", (7, 7))
+        assert (7, 7) not in db.rows("r")
+
+    def test_same_contents(self, db):
+        assert db.same_contents(db.copy())
+
+    def test_same_contents_detects_row_diff(self, db):
+        other = db.copy()
+        other.discard("q", (9,))
+        assert not db.same_contents(other)
+        assert db.diff(other) == {"q": ({(9,)}, set())}
+
+    def test_same_contents_detects_schema_diff(self, db):
+        other = Database.from_dict({"r": (["a", "b"], [(1, 2), (3, 4)])})
+        assert not db.same_contents(other)
+
+    def test_repr_mentions_sizes(self, db):
+        assert "r:2" in repr(db)

@@ -1,0 +1,67 @@
+"""Relation and Schema behaviour, including failure modes."""
+
+import pytest
+
+from repro.db.schema import Relation, Schema
+from repro.errors import SchemaError
+
+
+class TestRelation:
+    def test_basic(self):
+        r = Relation("products", ["product", "category", "price"])
+        assert r.arity == 3
+        assert r.index_of("category") == 1
+
+    def test_unknown_attribute(self):
+        r = Relation("r", ["a"])
+        with pytest.raises(SchemaError, match="no attribute"):
+            r.index_of("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", ["a"])
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", [])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Relation("r", ["a", "a"])
+
+    def test_check_row_arity(self):
+        r = Relation("r", ["a", "b"])
+        assert r.check_row([1, 2]) == (1, 2)
+        with pytest.raises(SchemaError, match="arity"):
+            r.check_row([1])
+
+    def test_row_dict(self):
+        r = Relation("r", ["a", "b"])
+        assert r.row_dict((1, 2)) == {"a": 1, "b": 2}
+
+    def test_equality_and_hash(self):
+        assert Relation("r", ["a"]) == Relation("r", ["a"])
+        assert Relation("r", ["a"]) != Relation("r", ["b"])
+        assert hash(Relation("r", ["a"])) == hash(Relation("r", ["a"]))
+
+
+class TestSchema:
+    def test_build_and_lookup(self):
+        s = Schema.build({"r": ["a"], "q": ["b", "c"]})
+        assert len(s) == 2
+        assert s.relation("q").arity == 2
+        assert "r" in s and "zzz" not in s
+        assert s.names == ("r", "q")
+
+    def test_duplicate_relation_rejected(self):
+        s = Schema([Relation("r", ["a"])])
+        with pytest.raises(SchemaError, match="duplicate"):
+            s.add(Relation("r", ["b"]))
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError, match="unknown relation"):
+            Schema().relation("r")
+
+    def test_iteration_order(self):
+        s = Schema.build({"b": ["x"], "a": ["y"]})
+        assert [r.name for r in s] == ["b", "a"]

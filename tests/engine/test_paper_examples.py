@@ -1,0 +1,208 @@
+"""The paper's running example, reproduced end to end.
+
+Covers Examples 2.2-2.4 (query semantics), 3.1-3.2 (provenance), 3.7
+(equivalence of T1 and T1'), 3.8-3.9 (sequences of transactions and
+Figure 4), 4.3-4.4 (deletion propagation and abortion valuations) and 5.7
+(normal forms during T1).
+"""
+
+import pytest
+
+from repro.core.equivalence import canonical, equivalent_boolean
+from repro.core.expr import ZERO, evaluate, minus, plus_i, plus_m, ssum, times_m, var
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.semantics.boolean import BooleanStructure
+
+from ..conftest import PRODUCTS_ROWS, paper_transactions
+
+P1, P2, P3, P4 = (var(n) for n in ("p1", "p2", "p3", "p4"))
+P, PP = var("p"), var("p'")
+
+
+@pytest.fixture
+def engine(products_db, products_namer):
+    return Engine(products_db, policy="normal_form", annotate=products_namer)
+
+
+class TestSection2QuerySemantics:
+    def test_example_2_2_insertion(self, products_db):
+        engine = Engine(products_db, policy="none")
+        engine.apply(Insert("products", ("Lego bricks", "Kids", 90), annotation="p"))
+        assert ("Lego bricks", "Kids", 90) in engine.live_rows("products")
+
+    def test_example_2_3_deletion(self, products_db):
+        rel = products_db.relation("products")
+        engine = Engine(products_db, policy="none")
+        engine.apply(Delete.where(rel, where={"category": "Fashion"}, annotation="p"))
+        assert ("Children sneakers", "Fashion", 40) not in engine.live_rows("products")
+        assert len(engine.live_rows("products")) == 3
+
+    def test_example_2_4_modification(self, products_db):
+        rel = products_db.relation("products")
+        engine = Engine(products_db, policy="none")
+        engine.apply(
+            Modify.set(
+                rel,
+                where={"product": "Kids mnt bike"},
+                set_values={"category": "Bicycles"},
+                annotation="p",
+            )
+        )
+        rows = engine.live_rows("products")
+        # Both bike rows collapse into one (t ~> t' merging).
+        assert ("Kids mnt bike", "Bicycles", 120) in rows
+        assert len(rows) == 3
+
+    def test_figure_1b_full_sequence(self, products_db):
+        rel = products_db.relation("products")
+        engine = Engine(products_db, policy="none")
+        engine.apply(
+            Transaction(
+                "p",
+                [
+                    Insert("products", ("Lego bricks", "Kids", 90)),
+                    Delete.where(rel, where={"category": "Fashion"}),
+                    Modify.set(
+                        rel,
+                        where={"product": "Kids mnt bike"},
+                        set_values={"category": "Bicycles"},
+                    ),
+                ],
+            )
+        )
+        assert engine.live_rows("products") == {
+            ("Kids mnt bike", "Bicycles", 120),
+            ("Tennis Racket", "Sport", 70),
+            ("Lego bricks", "Kids", 90),
+        }
+
+
+class TestExample31SingleModification:
+    def test_annotations_after_category_merge(self, engine, products_db):
+        rel = products_db.relation("products")
+        engine.apply(
+            Transaction(
+                "p",
+                [
+                    Modify.set(
+                        rel,
+                        where={"product": "Kids mnt bike"},
+                        set_values={"category": "Bicycles"},
+                    )
+                ],
+            )
+        )
+        assert engine.annotation_of("products", ("Kids mnt bike", "Sport", 120)) is minus(P1, P)
+        assert engine.annotation_of("products", ("Kids mnt bike", "Kids", 120)) is minus(P3, P)
+        # 0 +M ((p1 + p3) *M p) zero-folds to (p1 + p3) *M p (the source
+        # disjunction is a set: order is not significant).
+        target = engine.annotation_of("products", ("Kids mnt bike", "Bicycles", 120))
+        assert canonical(target) is canonical(times_m(ssum([P1, P3]), P))
+
+
+class TestExample32TransactionT1:
+    def test_annotations_after_t1(self, engine, products_db):
+        t1, _t1p, _t2 = paper_transactions(products_db)
+        engine.apply(t1)
+        # Example 3.2 (and 5.7): normal forms of the three touched tuples.
+        assert engine.annotation_of("products", ("Kids mnt bike", "Kids", 120)) is minus(P3, P)
+        # (p1 +M (p3 *M p)) - p simplified by Rule 2:
+        assert engine.annotation_of("products", ("Kids mnt bike", "Sport", 120)) is minus(P1, P)
+        # 0 +M ((p1 +M (p3 *M p)) *M p) simplified by Rule 7 + zero axioms:
+        bicycles = engine.annotation_of("products", ("Kids mnt bike", "Bicycles", 120))
+        assert canonical(bicycles) is canonical(times_m(ssum([P1, P3]), P))
+
+    def test_naive_preserves_unsimplified_shape(self, products_db, products_namer):
+        t1, _t1p, _t2 = paper_transactions(products_db)
+        naive = Engine(products_db, policy="naive", annotate=products_namer).apply(t1)
+        sport = naive.annotation_of("products", ("Kids mnt bike", "Sport", 120))
+        # The literal Example 3.2 expression (p1 +M (p3 *M p)) - p.
+        assert sport is minus(plus_m(P1, times_m(P3, P)), P)
+        bicycles = naive.annotation_of("products", ("Kids mnt bike", "Bicycles", 120))
+        assert bicycles is times_m(plus_m(P1, times_m(P3, P)), P)
+
+
+class TestExample37Equivalence:
+    def test_t1_and_t1_prime_yield_equivalent_provenance(self, products_db, products_namer):
+        t1, t1_prime, _t2 = paper_transactions(products_db)
+        e1 = Engine(products_db, policy="normal_form", annotate=products_namer).apply(t1)
+        e2 = Engine(products_db, policy="normal_form", annotate=products_namer).apply(t1_prime)
+        rows = {row for row, _, _ in e1.provenance("products")} | {
+            row for row, _, _ in e2.provenance("products")
+        }
+        for row in rows:
+            a1 = e1.annotation_of("products", row)
+            a2 = e2.annotation_of("products", row)
+            assert equivalent_boolean(a1, a2), (row, str(a1), str(a2))
+
+    def test_example_3_7_specific_annotations(self, products_db, products_namer):
+        _t1, t1_prime, _t2 = paper_transactions(products_db)
+        engine = Engine(products_db, policy="normal_form", annotate=products_namer)
+        engine.apply(t1_prime)
+        assert engine.annotation_of("products", ("Kids mnt bike", "Kids", 120)) is minus(P3, P)
+        assert engine.annotation_of("products", ("Kids mnt bike", "Sport", 120)) is minus(P1, P)
+        bicycles = engine.annotation_of("products", ("Kids mnt bike", "Bicycles", 120))
+        # (0 +M (p3 *M p)) +M (p1 *M p) == 0 +M ((p1 + p3) *M p) by axiom 3.
+        assert equivalent_boolean(bicycles, times_m(ssum([P1, P3]), P))
+
+
+class TestExample38Figure4:
+    def test_sequence_t1_t2(self, engine, products_db):
+        t1, _t1p, t2 = paper_transactions(products_db)
+        engine.apply(t1).apply(t2)
+        # Figure 4 row 1: 0 +M (((p1 +M (p3 *M p)) - p) *M p'), which the
+        # normal form + zero axioms render as (p1 - p) *M p' (Example 3.9).
+        sport50 = engine.annotation_of("products", ("Kids mnt bike", "Sport", 50))
+        assert sport50 is times_m(minus(P1, P), PP)
+        figure_4_form = plus_m(ZERO, times_m(minus(plus_m(P1, times_m(P3, P)), P), PP))
+        assert equivalent_boolean(sport50, figure_4_form)
+        # Figure 4 row 2: 0 +M (p2 *M p').
+        racket50 = engine.annotation_of("products", ("Tennis Racket", "Sport", 50))
+        assert racket50 is times_m(P2, PP)
+
+    def test_ghost_row_is_not_live(self, engine, products_db):
+        """(Kids mnt bike, Sport, 50) exists in the annotated database but
+        evaluates to absent: its source was a tombstone."""
+        t1, _t1p, t2 = paper_transactions(products_db)
+        engine.apply(t1).apply(t2)
+        assert ("Kids mnt bike", "Sport", 50) not in engine.live_rows("products")
+        expr = engine.annotation_of("products", ("Kids mnt bike", "Sport", 50))
+        s = BooleanStructure()
+        assert evaluate(expr, s, lambda _name: True) is False
+
+    def test_example_3_9_sequences_equivalent(self, products_db, products_namer):
+        t1, t1_prime, t2 = paper_transactions(products_db)
+        e1 = Engine(products_db, policy="normal_form", annotate=products_namer)
+        e1.apply(t1).apply(t2)
+        e2 = Engine(products_db, policy="normal_form", annotate=products_namer)
+        e2.apply(t1_prime).apply(t2)
+        rows = {row for row, _, _ in e1.provenance("products")} | {
+            row for row, _, _ in e2.provenance("products")
+        }
+        for row in rows:
+            assert equivalent_boolean(
+                e1.annotation_of("products", row), e2.annotation_of("products", row)
+            ), row
+
+
+class TestSection4Valuations:
+    def test_example_4_3_deletion_propagation(self, engine, products_db):
+        t1, _t1p, t2 = paper_transactions(products_db)
+        engine.apply(t1).apply(t2)
+        expr = engine.annotation_of("products", ("Tennis Racket", "Sport", 50))
+        s = BooleanStructure()
+        # Deleting the racket (p2 := False) removes the updated row too.
+        env = lambda name: name != "p2"  # noqa: E731
+        assert evaluate(expr, s, env) is False
+
+    def test_example_4_4_abortion(self, engine, products_db):
+        t1, _t1p, t2 = paper_transactions(products_db)
+        engine.apply(t1).apply(t2)
+        expr = engine.annotation_of("products", ("Kids mnt bike", "Sport", 50))
+        s = BooleanStructure()
+        # Aborting T1 (p := False): the bike stayed in Sport, so T2 did
+        # update it to $50 — the tuple appears.
+        env = lambda name: name != "p"  # noqa: E731
+        assert evaluate(expr, s, env) is True

@@ -1,0 +1,60 @@
+"""EngineStats accounting and the overhead report."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.engine.stats import EngineStats
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+
+def test_record_classifies_kinds():
+    stats = EngineStats()
+    stats.record("insert", 0, 1, 0.5)
+    stats.record("delete", 3, 0, 0.25)
+    stats.record("modify", 2, 1, 0.25)
+    assert (stats.inserts, stats.deletes, stats.modifies) == (1, 1, 1)
+    assert stats.rows_matched == 5 and stats.rows_created == 2
+    assert stats.wall_time == pytest.approx(1.0)
+    assert len(stats.per_query_time) == 3
+
+
+def test_snapshot_keys_are_stable():
+    stats = EngineStats()
+    snapshot = stats.snapshot()
+    assert set(snapshot) == {
+        "queries",
+        "inserts",
+        "deletes",
+        "modifies",
+        "transactions",
+        "rows_matched",
+        "rows_created",
+        "wall_time",
+    }
+
+
+def test_overhead_report_with_time_overhead():
+    db = Database.from_rows("R", ["a"], [(i,) for i in range(50)])
+    log = [
+        Transaction(
+            "t", [Modify("R", Pattern(1, eq={0: i}), {0: i + 100}) for i in range(10)]
+        )
+    ]
+    baseline = Engine(db, policy="none").apply(log)
+    engine = Engine(db, policy="naive").apply(log)
+    report = engine.overhead_report(baseline)
+    assert report["queries"] == 10
+    assert report["row_overhead"] > 0  # tombstones
+    assert "time_overhead" in report  # baseline ran with real timing
+
+
+def test_injected_clock_controls_wall_time():
+    ticks = iter(range(1000))
+    db = Database.from_rows("R", ["a"], [(1,)])
+    engine = Engine(db, policy="none", clock=lambda: next(ticks))
+    engine.apply(Transaction("t", [Insert("R", (2,)), Delete("R", Pattern(1))]))
+    # Each query consumes two ticks -> elapsed exactly 1 per query.
+    assert engine.stats.wall_time == 2
+    assert engine.stats.per_query_time == [1, 1]

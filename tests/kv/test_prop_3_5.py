@@ -1,0 +1,134 @@
+"""Proposition 3.5: set-equivalent transactions yield equivalent provenance.
+
+The headline property of the paper.  We test both directions:
+
+* soundness of the provenance semantics: every KV rewrite (which preserves
+  set equivalence) yields UP[X]-equivalent provenance on random databases,
+  under both the naive and the normal-form policies;
+* the contrapositive: transactions with *different* set semantics yield
+  provenance that distinguishes them on some database.
+"""
+
+import random
+
+import pytest
+
+from repro.db.schema import Relation
+from repro.kv.equivalence import (
+    provenance_equivalent,
+    provenance_equivalent_randomized,
+    random_database_for,
+    set_equivalent,
+)
+from repro.kv.generator import equivalent_pair, exhaustive_variants, random_transaction
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+REL = Relation("R", ["a", "b"])
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+@pytest.mark.parametrize("seed", range(8))
+def test_kv_rewrites_preserve_provenance(policy, seed):
+    rng = random.Random(seed)
+    t1, t2, trail = equivalent_pair(REL, rng, length=5, domain=(0, 1, 2), steps=3)
+    if not trail:
+        pytest.skip("no rewrite applied for this seed")
+    assert provenance_equivalent_randomized(t1, t2, rng, trials=3, policy=policy), trail
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_exhaustive_variants_all_provenance_equivalent(seed):
+    rng = random.Random(100 + seed)
+    t = random_transaction(REL, rng, length=4, domain=(0, 1))
+    variants = exhaustive_variants(t, max_depth=2, limit=12)
+    db = random_database_for([t], rng, rows_per_relation=6)
+    for variant in variants:
+        assert provenance_equivalent(t, variant, db), (
+            list(t.queries),
+            list(variant.queries),
+        )
+
+
+def test_example_3_3_mod_delete_vs_delete_delete():
+    """The paper's derivation example, checked end to end."""
+    t1 = Transaction(
+        "p",
+        [
+            Modify("R", Pattern(2, eq={0: 1}), {0: 2}),
+            Delete("R", Pattern(2, eq={0: 2})),
+        ],
+    )
+    t2 = Transaction(
+        "p",
+        [
+            Delete("R", Pattern(2, eq={0: 1})),
+            Delete("R", Pattern(2, eq={0: 2})),
+        ],
+    )
+    rng = random.Random(0)
+    assert set_equivalent(t1, t2, rng)
+    assert provenance_equivalent_randomized(t1, t2, rng, trials=5)
+
+
+def test_figure_2_t1_vs_t1_prime_on_arbitrary_databases():
+    """T1 ≡ T1' (Example 3.7) on random databases, not just Figure 1."""
+    rel = Relation("products", ["product", "category", "price"])
+    bike = "Kids mnt bike"
+    t1 = Transaction(
+        "p",
+        [
+            Modify("products", Pattern(3, eq={0: bike, 1: "Kids"}), {1: "Sport"}),
+            Modify("products", Pattern(3, eq={0: bike, 1: "Sport"}), {1: "Bicycles"}),
+        ],
+    )
+    t1_prime = Transaction(
+        "p",
+        [
+            Modify("products", Pattern(3, eq={0: bike, 1: "Kids"}), {1: "Bicycles"}),
+            Modify("products", Pattern(3, eq={0: bike, 1: "Sport"}), {1: "Bicycles"}),
+        ],
+    )
+    rng = random.Random(1)
+    assert provenance_equivalent_randomized(t1, t1_prime, rng, trials=5)
+
+
+def test_inequivalent_transactions_yield_inequivalent_provenance():
+    """The 'only if' direction: UP[X]-equivalence implies set-equivalence,
+    so set-inequivalent transactions must be distinguished."""
+    t1 = Transaction("p", [Delete("R", Pattern(2, eq={0: 1}))])
+    t2 = Transaction("p", [Delete("R", Pattern(2, eq={0: 2}))])
+    rng = random.Random(2)
+    found_difference = False
+    for _ in range(10):
+        db = random_database_for([t1, t2], rng, rows_per_relation=6)
+        if not provenance_equivalent(t1, t2, db):
+            found_difference = True
+            break
+    assert found_difference
+
+
+def test_ordering_matters_when_not_independent():
+    """del(a=1); mod(a=2 -> a=1) is not equivalent to the reverse order."""
+    d = Delete("R", Pattern(2, eq={0: 1}))
+    m = Modify("R", Pattern(2, eq={0: 2}), {0: 1})
+    t1 = Transaction("p", [d, m])
+    t2 = Transaction("p", [m, d])
+    rng = random.Random(3)
+    assert not set_equivalent(t1, t2, rng)
+    db = random_database_for([t1, t2], rng, rows_per_relation=6)
+    # provenance must also distinguish them on some database
+    found = not provenance_equivalent(t1, t2, db)
+    for _ in range(9):
+        if found:
+            break
+        db = random_database_for([t1, t2], rng, rows_per_relation=6)
+        found = not provenance_equivalent(t1, t2, db)
+    assert found
+
+
+def test_annotation_mismatch_rejected():
+    t1 = Transaction("p", [Insert("R", (1, 2))])
+    t2 = Transaction("q", [Insert("R", (1, 2))])
+    with pytest.raises(ValueError):
+        provenance_equivalent(t1, t2, random_database_for([t1, t2], random.Random(0)))

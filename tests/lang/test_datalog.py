@@ -1,0 +1,146 @@
+"""The datalog-style surface syntax (paper notation)."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import ParseError
+from repro.lang.datalog import format_program, format_query, parse_program, parse_query
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+SCHEMA = Schema.build({"products": ["product", "category", "price"], "R": ["a"]})
+
+
+class TestInsert:
+    def test_example_2_2(self):
+        q = parse_query('products+,p("Lego bricks", "Kids", 90) :-', SCHEMA)
+        assert isinstance(q, Insert)
+        assert q.row == ("Lego bricks", "Kids", 90)
+        assert q.annotation == "p"
+
+    def test_without_annotation(self):
+        q = parse_query('products+("x", "y", 1)', SCHEMA)
+        assert q.annotation is None
+
+    def test_variables_rejected_in_insert(self):
+        with pytest.raises(ParseError, match="constants"):
+            parse_query("products+(a, \"y\", 1)", SCHEMA)
+
+    def test_negative_numbers_and_floats(self):
+        q = parse_query('products+("x", "y", -9.5)', SCHEMA)
+        assert q.row == ("x", "y", -9.5)
+
+
+class TestDelete:
+    def test_example_2_3(self):
+        q = parse_query('products-,p(a, "Fashion", b) :-', SCHEMA)
+        assert isinstance(q, Delete)
+        assert q.pattern.eq == {1: "Fashion"}
+        assert not q.pattern.neq
+
+    def test_example_2_1_disequality(self):
+        q = parse_query('products-([p != "Kids mnt bike"], "Sport", c) :-', SCHEMA)
+        assert q.pattern.eq == {1: "Sport"}
+        assert q.pattern.neq == {0: frozenset({"Kids mnt bike"})}
+
+    def test_multiple_disequalities_on_one_variable(self):
+        q = parse_query('products-([x != "a", x != "b"], c, d)', SCHEMA)
+        assert q.pattern.neq == {0: frozenset({"a", "b"})}
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(ParseError, match="cannot compare attributes"):
+            parse_query("products-(x, x, c)", SCHEMA)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ParseError, match="needs 3 terms"):
+            parse_query('products-("a", "b")', SCHEMA)
+
+
+class TestModify:
+    def test_example_2_4(self):
+        q = parse_query(
+            'productsM,p("Kids mnt bike", a, b, "Kids mnt bike", "Bicycles", b) :-',
+            SCHEMA,
+        )
+        assert isinstance(q, Modify)
+        assert q.pattern.eq == {0: "Kids mnt bike"}
+        assert q.assignments == {1: "Bicycles"}
+
+    def test_figure_2c(self):
+        q = parse_query("productsM,p'(a, \"Sport\", c, a, \"Sport\", 50) :-", SCHEMA)
+        assert q.annotation == "p'"
+        assert q.pattern.eq == {1: "Sport"}
+        assert q.assignments == {2: 50}
+
+    def test_u2_must_repeat_or_assign(self):
+        with pytest.raises(ParseError, match="repeat"):
+            parse_query("productsM(a, b, c, x, b, c)", SCHEMA)
+
+    def test_constant_to_same_constant_is_kept(self):
+        q = parse_query('productsM("x", b, c, "x", "y", c)', SCHEMA)
+        assert q.assignments == {1: "y"}
+        assert 0 not in q.assignments
+
+    def test_standalone_m_marker(self):
+        q = parse_query('products M,p(a, "Sport", c, a, "Sport", 50)', SCHEMA)
+        assert isinstance(q, Modify)
+
+
+class TestErrors:
+    def test_unknown_relation(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            parse_query('nothere+("x")', SCHEMA)
+
+    def test_missing_marker(self):
+        with pytest.raises(ParseError, match="marker"):
+            parse_query('products("x", "y", 1)', SCHEMA)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_query("products-(!)", SCHEMA)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_query('products+("x, "y", 1)', SCHEMA)
+
+
+class TestProgram:
+    def test_transaction_blocks(self):
+        text = """
+        transaction t1 (
+            R+,t1(1) :-
+            R-,t1([x != 2]) :-
+        )
+        R+("standalone-free") :-
+        """
+        # annotations inside a block are re-stamped by the Transaction
+        items = parse_program(text.replace('"standalone-free"', "7"), SCHEMA)
+        assert isinstance(items[0], Transaction)
+        assert len(items[0]) == 2
+        assert isinstance(items[1], Insert)
+
+    def test_format_round_trip(self):
+        text = 'transaction p ( productsM,p(a, "Sport", c, a, "Sport", 50) :- )'
+        items = parse_program(text, SCHEMA)
+        assert parse_program(format_program(items), SCHEMA) == items
+
+    def test_missing_paren_reported(self):
+        with pytest.raises(ParseError):
+            parse_program("transaction t1 R+(1)", SCHEMA)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'products+,p("Lego bricks", "Kids", 90) :-',
+            'products-,p(a, "Fashion", b) :-',
+            'products-([a != "x", a != "y"], "Sport", c) :-',
+            'productsM,p("bike", a, b, "bike", "Bicycles", b) :-',
+            "R-,q([a != 1, a != 2]) :-",
+        ],
+    )
+    def test_round_trip(self, text):
+        q = parse_query(text, SCHEMA)
+        assert parse_query(format_query(q), SCHEMA) == q

@@ -1,0 +1,172 @@
+"""The SQL fragment of hyperplane queries (Section 2 'Note')."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import ParseError, SchemaError
+from repro.lang.sql import format_sql, format_sql_script, parse_sql, parse_sql_script
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+SCHEMA = Schema.build({"products": ["product", "category", "price"]})
+
+
+class TestInsert:
+    def test_positional(self):
+        q = parse_sql("INSERT INTO products VALUES ('Lego', 'Kids', 90)", SCHEMA)
+        assert isinstance(q, Insert) and q.row == ("Lego", "Kids", 90)
+
+    def test_with_column_list_reordered(self):
+        q = parse_sql(
+            "INSERT INTO products (price, product, category) VALUES (90, 'Lego', 'Kids')",
+            SCHEMA,
+        )
+        assert q.row == ("Lego", "Kids", 90)
+
+    def test_partial_column_list_rejected(self):
+        with pytest.raises(ParseError, match="every attribute"):
+            parse_sql("INSERT INTO products (product) VALUES ('Lego')", SCHEMA)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ParseError, match="needs 3 values"):
+            parse_sql("INSERT INTO products VALUES ('Lego', 'Kids')", SCHEMA)
+
+    def test_string_escaping(self):
+        q = parse_sql("INSERT INTO products VALUES ('O''Brien', 'Kids', 1)", SCHEMA)
+        assert q.row[0] == "O'Brien"
+
+    def test_null_and_booleans(self):
+        q = parse_sql("INSERT INTO products VALUES (NULL, TRUE, FALSE)", SCHEMA)
+        assert q.row == (None, True, False)
+
+
+class TestDelete:
+    def test_where_equality_and_disequality(self):
+        q = parse_sql(
+            "DELETE FROM products WHERE category = 'Sport' AND product <> 'bike'",
+            SCHEMA,
+        )
+        assert isinstance(q, Delete)
+        assert q.pattern.matches(("ball", "Sport", 1))
+        assert not q.pattern.matches(("bike", "Sport", 1))
+
+    def test_bang_equals_alias(self):
+        q = parse_sql("DELETE FROM products WHERE product != 'x'", SCHEMA)
+        assert q.pattern.neq == {0: frozenset({"x"})}
+
+    def test_missing_where_matches_all(self):
+        q = parse_sql("DELETE FROM products", SCHEMA)
+        assert q.pattern.matches(("anything", "at", "all"))
+
+    def test_or_rejected(self):
+        with pytest.raises(ParseError, match="OR is outside"):
+            parse_sql(
+                "DELETE FROM products WHERE category = 'a' AND product = 'b' OR price = 1",
+                SCHEMA,
+            )
+
+    def test_attribute_comparison_rejected(self):
+        with pytest.raises(ParseError, match="constant"):
+            parse_sql("DELETE FROM products WHERE category = product", SCHEMA)
+
+    def test_range_rejected(self):
+        with pytest.raises(ParseError, match="only = and <>"):
+            parse_sql("DELETE FROM products WHERE price < 10", SCHEMA)
+
+    def test_contradictory_equalities_rejected(self):
+        with pytest.raises(ParseError, match="contradictory"):
+            parse_sql(
+                "DELETE FROM products WHERE price = 1 AND price = 2", SCHEMA
+            )
+
+
+class TestUpdate:
+    def test_basic(self):
+        q = parse_sql(
+            "UPDATE products SET category = 'Bicycles' WHERE product = 'bike'", SCHEMA
+        )
+        assert isinstance(q, Modify)
+        assert q.assignments == {1: "Bicycles"}
+        assert q.pattern.eq == {0: "bike"}
+
+    def test_multiple_set_clauses(self):
+        q = parse_sql(
+            "UPDATE products SET category = 'X', price = 1 WHERE product = 'bike'",
+            SCHEMA,
+        )
+        assert q.assignments == {1: "X", 2: 1}
+
+    def test_set_requires_constant(self):
+        with pytest.raises(ParseError, match="constant"):
+            parse_sql("UPDATE products SET price = price WHERE product = 'x'", SCHEMA)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            parse_sql("UPDATE products SET nope = 1", SCHEMA)
+
+
+class TestAnnotations:
+    def test_comment_annotation(self):
+        q = parse_sql("DELETE FROM products WHERE price = 1; -- @p7", SCHEMA)
+        assert q.annotation == "p7"
+
+    def test_explicit_annotation_wins(self):
+        q = parse_sql("DELETE FROM products; -- @p7", SCHEMA, annotation="q")
+        assert q.annotation == "q"
+
+
+class TestScript:
+    SCRIPT = """
+    -- a comment line
+    BEGIN TRANSACTION t1;
+        UPDATE products SET category = 'Sport' WHERE category = 'Kids';
+        DELETE FROM products WHERE category = 'Fashion';
+    COMMIT;
+    INSERT INTO products VALUES ('Lego', 'Kids', 90); -- @t2
+    /* block comment */
+    DELETE FROM products WHERE product = 'Lego';
+    """
+
+    def test_parse_script(self):
+        items = parse_sql_script(self.SCRIPT, SCHEMA)
+        assert isinstance(items[0], Transaction) and items[0].name == "t1"
+        assert len(items[0]) == 2
+        assert items[1].annotation == "t2"
+        assert items[2].annotation is None
+
+    def test_round_trip(self):
+        items = parse_sql_script(self.SCRIPT, SCHEMA)
+        again = parse_sql_script(format_sql_script(items, SCHEMA), SCHEMA)
+        # the unannotated trailing statement stays unannotated
+        assert again == items
+
+    def test_missing_commit(self):
+        with pytest.raises(ParseError, match="missing COMMIT"):
+            parse_sql_script("BEGIN TRANSACTION t; DELETE FROM products;", SCHEMA)
+
+    def test_select_rejected_helpfully(self):
+        with pytest.raises(ParseError, match="SELECT is not an update"):
+            parse_sql("SELECT * FROM products", SCHEMA)
+
+    def test_execution_of_script_matches_manual(self):
+        from repro.db.database import Database
+        from repro.engine.engine import Engine
+
+        db = Database.from_rows(
+            "products",
+            ["product", "category", "price"],
+            [("bike", "Kids", 120), ("dress", "Fashion", 40)],
+        )
+        items = parse_sql_script(self.SCRIPT, SCHEMA)
+        engine = Engine(db, policy="none").apply(items)
+        assert engine.live_rows("products") == {("bike", "Sport", 120)}
+
+
+class TestFormat:
+    def test_format_statements(self):
+        q = parse_sql("UPDATE products SET price = 1 WHERE product <> 'x'", SCHEMA)
+        text = format_sql(q, SCHEMA)
+        assert parse_sql(text, SCHEMA) == q
+
+    def test_format_includes_annotation_comment(self):
+        q = parse_sql("DELETE FROM products", SCHEMA, annotation="p")
+        assert "-- @p" in format_sql(q, SCHEMA)

@@ -1,0 +1,175 @@
+"""The MV-semiring baseline: expressions, engine policy, Examples 3.10/3.11."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import ReproError
+from repro.mv.expr import MVString, MVTree, Unv, parse_mv_string
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+
+class TestMVTree:
+    def test_leaf_and_wrap(self):
+        leaf = MVTree.leaf("x1")
+        wrapped = leaf.wrap("I", 1, "T", 2)
+        assert wrapped.to_string() == "I^1_{T,2}(x1)"
+        assert wrapped.length() == 2
+
+    def test_wrap_copies_subtree(self):
+        """Single-parent semantics: wrapping must not alias the child."""
+        leaf = MVTree.leaf("x1")
+        w1 = leaf.wrap("U", 1, "T", 2)
+        w2 = leaf.wrap("D", 1, "T", 3)
+        assert w1.child is not w2.child
+        assert w1.child == leaf and w2.child == leaf
+
+    def test_unv_strips_history(self):
+        e = MVTree.leaf("x1").wrap("I", 1, "T", 2).wrap("U", 1, "T2", 3)
+        assert e.unv() == "x1"
+        assert Unv(e) == "x1"
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ReproError):
+            MVTree("X", 1, "T", 2, MVTree.leaf("x"))
+
+    def test_leaf_needs_var(self):
+        with pytest.raises(ReproError):
+            MVTree(None)
+
+    def test_deep_copy_iterative(self):
+        e = MVTree.leaf("x")
+        for i in range(3000):
+            e = MVTree("U", 1, "T", i, e)
+        clone = e.copy()
+        assert clone == e and clone is not e
+
+
+class TestMVString:
+    def test_wrap_concatenates(self):
+        e = MVString.leaf("x1").wrap("U", 3, "T1", 4)
+        assert e.to_string() == "U^3_{T1,4}(x1)"
+        assert e.length() == 2
+
+    def test_unv_requires_parse(self):
+        e = MVString.leaf("x1").wrap("U", 3, "T1", 4).wrap("C", 3, "T1", 5)
+        assert e.unv() == "x1"
+
+    def test_parse_round_trip(self):
+        tree = MVTree.leaf("x1").wrap("I", 1, "T", 2).wrap("U", 1, "T2", 3)
+        assert parse_mv_string(tree.to_string()) == tree
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_mv_string("U^?_{T,2}(x1)")
+        with pytest.raises(ReproError):
+            parse_mv_string("U^1_{T,2}(x1")  # unbalanced
+        with pytest.raises(ReproError):
+            parse_mv_string("")
+
+
+class TestExample310:
+    """Equivalent transactions yield *different* MV annotations."""
+
+    def products_db(self):
+        return Database.from_rows(
+            "products",
+            ["product", "category", "price"],
+            [
+                ("Kids mnt bike", "Sport", 120),
+                ("Kids mnt bike", "Kids", 120),
+            ],
+        )
+
+    def transactions(self, variant: str):
+        bike = "Kids mnt bike"
+        if variant == "t1":
+            steps = [("Kids", "Sport"), ("Sport", "Bicycles")]
+        else:
+            steps = [("Kids", "Bicycles"), ("Sport", "Bicycles")]
+        return Transaction(
+            "T1" if variant == "t1" else "T1'",
+            [
+                Modify("products", Pattern(3, eq={0: bike, 1: src}), {1: dst})
+                for src, dst in steps
+            ],
+        )
+
+    @pytest.mark.parametrize("representation", ["mv_tree", "mv_string"])
+    def test_equivalent_transactions_different_annotations(self, representation):
+        e1 = Engine(self.products_db(), policy=representation).apply(self.transactions("t1"))
+        e2 = Engine(self.products_db(), policy=representation).apply(self.transactions("t1p"))
+        target = ("Kids mnt bike", "Bicycles", 120)
+        ann1 = {row: ann for row, ann, _ in e1.provenance("products")}
+        ann2 = {row: ann for row, ann, _ in e2.provenance("products")}
+        # Same set semantics...
+        assert e1.result().same_contents(e2.result())
+        # ...but pinned derivation histories differ (Example 3.10): the
+        # T1 run records two U-operations on the version reaching the
+        # target, the T1' run only one.
+        assert ann1[target].to_string() != ann2[target].to_string()
+
+    def test_example_3_11_unv_agrees(self):
+        """Unv strips the history: both runs yield the same underlying x."""
+        e1 = Engine(self.products_db(), policy="mv_tree").apply(self.transactions("t1"))
+        e2 = Engine(self.products_db(), policy="mv_tree").apply(self.transactions("t1p"))
+        target = ("Kids mnt bike", "Bicycles", 120)
+        ann1 = {row: ann for row, ann, _ in e1.provenance("products")}
+        ann2 = {row: ann for row, ann, _ in e2.provenance("products")}
+        assert Unv(ann1[target]) == Unv(ann2[target])
+
+
+class TestMVExecutor:
+    def db(self):
+        return Database.from_rows("R", ["v"], [(1,), (2,)])
+
+    def test_insert_creates_fresh_version(self):
+        e = Engine(self.db(), policy="mv_tree").apply(
+            Transaction("T", [Insert("R", (3,))])
+        )
+        anns = {row: ann for row, ann, _ in e.provenance("R")}
+        assert anns[(3,)].to_string().startswith("C^")  # committed insert
+
+    def test_delete_marks_version_dead(self):
+        e = Engine(self.db(), policy="mv_tree").apply(
+            Transaction("T", [Delete("R", Pattern(1, eq={0: 1}))])
+        )
+        assert e.live_rows("R") == {(2,)}
+        assert e.support_count() == 2  # version retained
+
+    def test_modify_updates_in_place_no_duplication(self):
+        """Unlike UP[X] executors, MV does not duplicate modified tuples."""
+        e = Engine(self.db(), policy="mv_tree").apply(
+            Transaction("T", [Modify("R", Pattern(1, eq={0: 1}), {0: 5})])
+        )
+        assert e.support_count() == 2
+        assert e.live_rows("R") == {(5,), (2,)}
+
+    def test_commit_wraps_touched_versions_once(self):
+        e = Engine(self.db(), policy="mv_string").apply(
+            Transaction(
+                "T",
+                [
+                    Modify("R", Pattern(1, eq={0: 1}), {0: 5}),
+                    Modify("R", Pattern(1, eq={0: 5}), {0: 6}),
+                ],
+            )
+        )
+        anns = {row: ann for row, ann, _ in e.provenance("R")}
+        text = anns[(6,)].to_string()
+        assert text.count("C^") == 1
+        assert text.count("U^") == 2
+
+    def test_provenance_sizes(self):
+        e = Engine(self.db(), policy="mv_tree").apply(
+            Transaction("T", [Modify("R", Pattern(1, eq={0: 1}), {0: 5})])
+        )
+        assert e.provenance_size() == e.provenance_dag_size()
+        assert e.provenance_size() >= 4  # two leaves + U + C
+
+    def test_unknown_representation_rejected(self):
+        from repro.mv.policy import MVExecutor
+
+        with pytest.raises(Exception):
+            MVExecutor(self.db(), representation="yaml")

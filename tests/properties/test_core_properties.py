@@ -1,0 +1,109 @@
+"""Property-based tests of the expression algebra and the normal form."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, expr_to_bdd
+from repro.core.equivalence import BoolStructure, canonical
+from repro.core.expr import evaluate, size, variables
+from repro.core.minimize import is_minimized, minimize
+from repro.core.normal_form import Shape
+from repro.core.normalize import normalize, normalize_expr
+from repro.core.rules import normalize_with_rules
+from repro.semantics.sets import SetStructure
+
+from .strategies import arbitrary_exprs, construction_exprs
+
+SET_ELEMENTS = [frozenset(c) for r in range(3) for c in itertools.combinations(("u", "v"), r)]
+
+
+def boolean_equal(e1, e2) -> bool:
+    bdd = Bdd(sorted(variables(e1) | variables(e2)))
+    return expr_to_bdd(e1, bdd) == expr_to_bdd(e2, bdd)
+
+
+@given(construction_exprs())
+def test_normalize_preserves_boolean_semantics(expr):
+    assert boolean_equal(expr, normalize_expr(expr))
+
+
+@given(construction_exprs(), st.data())
+def test_normalize_preserves_set_semantics(expr, data):
+    """Theorem 5.3 equivalence specialized to the access-control structure."""
+    structure = SetStructure({"u", "v"})
+    names = sorted(variables(expr))
+    env = {
+        name: data.draw(st.sampled_from(SET_ELEMENTS), label=name) for name in names
+    }
+    assert evaluate(expr, structure, env) == evaluate(normalize_expr(expr), structure, env)
+
+
+@given(construction_exprs())
+def test_normalize_is_idempotent(expr):
+    once = normalize_expr(expr)
+    assert normalize_expr(once) is once
+
+
+@given(construction_exprs())
+def test_normalize_never_grows(expr):
+    assert size(normalize_expr(expr)) <= size(expr)
+
+
+@given(construction_exprs())
+def test_normalized_expression_is_a_theorem_5_3_shape(expr):
+    nf = normalize(expr)
+    assert nf.shape in set(Shape)
+    # And the denoted expression is recognized back by the matcher.
+    from repro.core.rules import match_normal_form
+
+    assert match_normal_form(nf.to_expr()) is not None
+
+
+@given(construction_exprs())
+def test_replay_normalizer_agrees_with_rule_normalizer(expr):
+    assert boolean_equal(normalize_expr(expr), normalize_with_rules(expr))
+
+
+@given(arbitrary_exprs())
+def test_minimize_is_idempotent_and_semantics_preserving(expr):
+    mini = minimize(expr)
+    assert minimize(mini) is mini
+    assert is_minimized(mini)
+    assert boolean_equal(expr, mini)
+
+
+@given(arbitrary_exprs())
+def test_canonical_is_idempotent_and_semantics_preserving(expr):
+    canon = canonical(expr)
+    assert canonical(canon) is canon
+    assert boolean_equal(expr, canon)
+
+
+@given(construction_exprs())
+def test_canonical_normal_forms_equal_implies_equivalent(expr):
+    """The cheap equivalence layer is sound (never merges inequivalent)."""
+    other = normalize_expr(expr)
+    if canonical(other) is canonical(expr):
+        assert boolean_equal(expr, other)
+
+
+@given(arbitrary_exprs())
+def test_evaluation_agrees_with_bdd_bridge(expr):
+    names = sorted(variables(expr))
+    bdd = Bdd(names)
+    node = expr_to_bdd(expr, bdd)
+    structure = BoolStructure()
+    for bits in itertools.product([False, True], repeat=min(len(names), 4)):
+        env = dict(zip(names, bits))
+        for name in names[4:]:
+            env[name] = True
+        assert bdd.evaluate(node, env) == evaluate(expr, structure, env)
+
+
+@given(arbitrary_exprs())
+def test_size_and_depth_positive_and_consistent(expr):
+    from repro.core.expr import depth
+
+    assert size(expr) >= 1
+    assert 1 <= depth(expr) <= size(expr)

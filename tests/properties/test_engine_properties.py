@@ -1,0 +1,113 @@
+"""Property-based tests of the provenance engine as a whole.
+
+These are the paper's semantic guarantees, random-tested end to end:
+
+* every provenance policy computes the vanilla set semantics;
+* the Boolean all-true valuation of any policy's provenance recovers the
+  set-semantics liveness of every stored row (annotated semantics subsumes
+  set semantics);
+* naive and normal-form provenance are UP[X]-equivalent row by row
+  (Theorem 5.3 inside the engine);
+* deletion propagation and transaction abortion valuations agree with
+  literal re-execution (Proposition 4.2 in application form).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.bdd import Bdd, expr_to_bdd
+from repro.core.equivalence import BoolStructure
+from repro.core.expr import ZERO, evaluate, variables
+from repro.engine.engine import Engine
+
+from .strategies import databases, logs
+
+
+def run(db, log, policy):
+    return Engine(db, policy=policy).apply(log)
+
+
+@given(databases, logs())
+def test_all_policies_compute_set_semantics(db, log):
+    vanilla = run(db, log, "none").result()
+    for policy in ("naive", "normal_form", "mv_tree", "mv_string"):
+        assert run(db, log, policy).result().same_contents(vanilla), policy
+
+
+@given(databases, logs())
+def test_all_true_valuation_recovers_liveness(db, log):
+    structure = BoolStructure()
+    for policy in ("naive", "normal_form"):
+        engine = run(db, log, policy)
+        for row, expr, live in engine.provenance("R"):
+            value = evaluate(expr, structure, lambda _name: True)
+            assert value == live, (policy, row, str(expr))
+
+
+@given(databases, logs())
+def test_naive_and_normal_form_provenance_equivalent(db, log):
+    naive = run(db, log, "naive")
+    nf = run(db, log, "normal_form")
+    prov_naive = {row: expr for row, expr, _ in naive.provenance("R")}
+    prov_nf = {row: expr for row, expr, _ in nf.provenance("R")}
+    names = sorted(
+        set().union(*(variables(e) for e in prov_naive.values())) |
+        set().union(*(variables(e) for e in prov_nf.values()))
+        if (prov_naive or prov_nf)
+        else set()
+    )
+    bdd = Bdd(names)
+    for row in set(prov_naive) | set(prov_nf):
+        e1 = prov_naive.get(row, ZERO)
+        e2 = prov_nf.get(row, ZERO)
+        assert expr_to_bdd(e1, bdd) == expr_to_bdd(e2, bdd), (row, str(e1), str(e2))
+
+
+@given(databases, logs())
+def test_normal_form_size_linear_in_input_and_log(db, log):
+    """Theorem 5.3's bound, engine-level: total NF provenance is linear in
+    initial tuples + queries touched rows (generous constant)."""
+    nf = run(db, log, "normal_form")
+    queries = sum(len(t) for t in log)
+    touched = nf.stats.rows_matched + nf.stats.rows_created
+    budget = 8 * (db.total_rows() + queries + touched + 1) * (1 + len(log))
+    assert nf.provenance_dag_size() <= budget
+
+
+@given(databases, logs(), st.data())
+def test_deletion_propagation_matches_rerun(db, log, data):
+    from repro.apps.deletion import DeletionPropagation
+
+    initial = sorted(db.rows("R"))
+    if not initial:
+        return
+    chosen = data.draw(
+        st.sets(st.sampled_from(initial), max_size=min(3, len(initial))), label="deleted"
+    )
+    app = DeletionPropagation(db, log)
+    deletions = [("R", row) for row in chosen]
+    assert app.propagate(deletions).database.same_contents(app.baseline(deletions))
+
+
+@given(databases, logs(), st.data())
+def test_abortion_matches_rerun(db, log, data):
+    from repro.apps.abortion import TransactionAbortion
+
+    names = [t.name for t in log]
+    aborted = data.draw(st.sets(st.sampled_from(names), max_size=len(names)), label="aborted")
+    app = TransactionAbortion(db, log)
+    assert app.abort(aborted).database.same_contents(app.baseline(aborted))
+
+
+@given(databases, logs())
+def test_support_only_grows_and_live_matches_vanilla_counts(db, log):
+    engine = run(db, log, "normal_form")
+    vanilla = run(db, log, "none")
+    assert engine.support_count() >= engine.live_count()
+    assert engine.live_count() == vanilla.result().total_rows()
+
+
+@given(databases, logs())
+def test_tombstones_never_resurrect_without_cause(db, log):
+    """A row reported live must be exactly a row of the vanilla result."""
+    engine = run(db, log, "normal_form")
+    assert engine.live_rows("R") == run(db, log, "none").live_rows("R")

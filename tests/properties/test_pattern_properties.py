@@ -1,0 +1,77 @@
+"""Property-based coherence of the pattern algebra.
+
+`subsumes`, `disjoint_from` and `intersect` are the soundness-critical
+helpers behind the Karabeg–Vianu rewrites: a wrong answer there would make
+the Prop-3.5 generator produce *inequivalent* "equivalent" pairs.  These
+properties pin their meaning against brute-force row enumeration over a
+small closed domain.
+"""
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.queries.pattern import Pattern
+
+DOMAIN = (0, 1, 2)
+ARITY = 2
+ALL_ROWS = list(itertools.product(DOMAIN, repeat=ARITY))
+
+
+@st.composite
+def patterns(draw):
+    eq = draw(st.dictionaries(st.integers(0, ARITY - 1), st.sampled_from(DOMAIN), max_size=ARITY))
+    neq = {}
+    for i in range(ARITY):
+        if i in eq:
+            continue
+        excluded = draw(st.sets(st.sampled_from(DOMAIN), max_size=2))
+        if excluded:
+            neq[i] = excluded
+    return Pattern(ARITY, eq=eq, neq=neq)
+
+
+def rows_of(pattern: Pattern) -> set[tuple]:
+    return {row for row in ALL_ROWS if pattern.matches(row)}
+
+
+@given(patterns(), patterns())
+def test_subsumes_implies_containment(p1, p2):
+    if p1.subsumes(p2):
+        assert rows_of(p2) <= rows_of(p1)
+
+
+@given(patterns(), patterns())
+def test_disjoint_implies_empty_intersection(p1, p2):
+    if p1.disjoint_from(p2):
+        assert not (rows_of(p1) & rows_of(p2))
+
+
+@given(patterns(), patterns())
+def test_intersect_matches_conjunction(p1, p2):
+    both = p1.intersect(p2)
+    expected = rows_of(p1) & rows_of(p2)
+    if both is None:
+        # Sound: a None intersection means provably disjoint.
+        assert not expected
+    else:
+        assert rows_of(both) == expected
+
+
+@given(patterns())
+def test_subsumes_is_reflexive(p):
+    assert p.subsumes(p)
+
+
+@given(patterns(), patterns(), patterns())
+def test_subsumes_is_transitive(p1, p2, p3):
+    if p1.subsumes(p2) and p2.subsumes(p3):
+        assert p1.subsumes(p3)
+
+
+@given(patterns(), patterns())
+def test_disjoint_is_symmetric_on_row_sets(p1, p2):
+    # disjoint_from is a sufficient syntactic test; whenever it fires in
+    # either direction the row sets must not overlap.
+    if p1.disjoint_from(p2) or p2.disjoint_from(p1):
+        assert not (rows_of(p1) & rows_of(p2))

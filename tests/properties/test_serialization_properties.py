@@ -1,0 +1,54 @@
+"""Round-trip properties of every serialization format."""
+
+from hypothesis import given
+
+from repro.db.schema import Schema
+from repro.lang.datalog import format_query, parse_query
+from repro.lang.sql import format_sql, parse_sql
+from repro.storage.exprjson import (
+    expr_from_dict,
+    expr_from_nested,
+    expr_to_dict,
+    expr_to_nested,
+)
+from repro.workloads.logs import UpdateLog, log_from_json, log_to_json, query_from_dict, query_to_dict
+
+from .strategies import arbitrary_exprs, construction_exprs, logs, queries
+
+SCHEMA = Schema.build({"R": ["a", "b"]})
+
+
+@given(arbitrary_exprs())
+def test_expr_dag_json_round_trip(expr):
+    assert expr_from_dict(expr_to_dict(expr)) is expr
+
+
+@given(construction_exprs())
+def test_expr_nested_round_trip(expr):
+    assert expr_from_nested(expr_to_nested(expr)) is expr
+
+
+@given(queries)
+def test_query_dict_round_trip(query):
+    assert query_from_dict(query_to_dict(query)) == query
+
+
+@given(logs())
+def test_log_json_round_trip(items):
+    log = UpdateLog(items, meta={"name": "prop"})
+    again, schema = log_from_json(log_to_json(log, SCHEMA))
+    assert again == log
+    assert schema.relation("R").attributes == ("a", "b")
+
+
+@given(queries)
+def test_sql_round_trip(query):
+    text = format_sql(query.annotated("p"), SCHEMA)
+    assert parse_sql(text, SCHEMA) == query.annotated("p")
+
+
+@given(queries)
+def test_datalog_round_trip(query):
+    annotated = query.annotated("p")
+    text = format_query(annotated)
+    assert parse_query(text, SCHEMA) == annotated

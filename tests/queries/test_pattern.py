@@ -1,0 +1,140 @@
+"""Hyperplane pattern matching and its little algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.schema import Relation
+from repro.errors import QueryError
+from repro.queries.pattern import Pattern
+
+REL = Relation("r", ["a", "b", "c"])
+
+
+class TestMatching:
+    def test_any_matches_everything(self):
+        assert Pattern.any(3).matches((1, "x", None))
+
+    def test_equality_constraint(self):
+        p = Pattern(3, eq={0: 1})
+        assert p.matches((1, 2, 3))
+        assert not p.matches((2, 2, 3))
+
+    def test_disequality_constraint(self):
+        p = Pattern(3, neq={1: {"x", "y"}})
+        assert p.matches((0, "z", 0))
+        assert not p.matches((0, "x", 0))
+
+    def test_exact(self):
+        p = Pattern.exact((1, 2, 3))
+        assert p.is_exact and p.as_row() == (1, 2, 3)
+        assert p.matches((1, 2, 3)) and not p.matches((1, 2, 4))
+
+    def test_as_row_requires_exact(self):
+        with pytest.raises(QueryError):
+            Pattern(2, eq={0: 1}).as_row()
+
+    def test_build_by_names(self):
+        p = Pattern.build(REL, where={"a": 5}, where_not={"b": "x"})
+        assert p.matches((5, "y", 0)) and not p.matches((5, "x", 0))
+
+    def test_build_where_not_accepts_iterables_but_not_strings(self):
+        p = Pattern.build(REL, where_not={"b": {"x", "y"}})
+        assert p.neq[1] == {"x", "y"}
+        p2 = Pattern.build(REL, where_not={"b": "xy"})
+        assert p2.neq[1] == {"xy"}  # a string is one constant, not two
+
+    def test_empty_disequality_sets_dropped(self):
+        p = Pattern(2, neq={0: set()})
+        assert 0 not in p.neq
+
+    def test_position_out_of_range(self):
+        with pytest.raises(QueryError):
+            Pattern(2, eq={5: 1})
+
+    def test_contradictory_pattern_rejected(self):
+        with pytest.raises(QueryError, match="contradictory"):
+            Pattern(2, eq={0: 1}, neq={0: {1}})
+
+    def test_equality_subsumes_compatible_disequality(self):
+        p = Pattern(2, eq={0: 1}, neq={0: {2}})
+        assert 0 not in p.neq  # a=1 already implies a != 2
+
+
+class TestSubsumption:
+    def test_any_subsumes_all(self):
+        assert Pattern.any(2).subsumes(Pattern(2, eq={0: 1}))
+
+    def test_constant_subsumes_same_constant(self):
+        assert Pattern(2, eq={0: 1}).subsumes(Pattern(2, eq={0: 1, 1: 2}))
+        assert not Pattern(2, eq={0: 1}).subsumes(Pattern(2, eq={1: 2}))
+
+    def test_disequality_subsumption(self):
+        wide = Pattern(1, neq={0: {5}})
+        narrow = Pattern(1, neq={0: {5, 6}})
+        assert wide.subsumes(narrow)
+        assert not narrow.subsumes(wide)
+
+    def test_disequality_vs_constant(self):
+        p = Pattern(1, neq={0: {5}})
+        assert p.subsumes(Pattern(1, eq={0: 4}))
+        assert not p.subsumes(Pattern(1, eq={0: 5}))
+
+    def test_different_arity_never_subsumes(self):
+        assert not Pattern.any(1).subsumes(Pattern.any(2))
+
+
+class TestDisjointness:
+    def test_different_constants_disjoint(self):
+        assert Pattern(1, eq={0: 1}).disjoint_from(Pattern(1, eq={0: 2}))
+
+    def test_constant_vs_exclusion(self):
+        assert Pattern(1, eq={0: 1}).disjoint_from(Pattern(1, neq={0: {1}}))
+        assert Pattern(1, neq={0: {1}}).disjoint_from(Pattern(1, eq={0: 1}))
+
+    def test_variables_overlap(self):
+        assert not Pattern.any(1).disjoint_from(Pattern(1, neq={0: {5}}))
+
+
+class TestIntersect:
+    def test_intersection_matches_conjunction(self):
+        p1 = Pattern(2, eq={0: 1})
+        p2 = Pattern(2, neq={1: {"x"}})
+        both = p1.intersect(p2)
+        assert both.matches((1, "y")) and not both.matches((1, "x"))
+        assert not both.matches((2, "y"))
+
+    def test_disjoint_intersection_is_none(self):
+        assert Pattern(1, eq={0: 1}).intersect(Pattern(1, eq={0: 2})) is None
+
+    def test_intersection_drops_neq_under_eq(self):
+        p1 = Pattern(1, eq={0: 3})
+        p2 = Pattern(1, neq={0: {5}})
+        both = p1.intersect(p2)
+        assert both.eq == {0: 3} and not both.neq
+
+
+@given(
+    eq_val=st.integers(0, 3),
+    row=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    excluded=st.sets(st.integers(0, 3), max_size=2),
+)
+def test_matching_definition_property(eq_val, row, excluded):
+    """matches() agrees with the paper's t |= u definition."""
+    if eq_val in excluded:
+        return
+    p = Pattern(2, eq={0: eq_val}, neq={1: excluded})
+    expected = row[0] == eq_val and row[1] not in excluded
+    assert p.matches(row) == expected
+
+
+def test_describe_with_and_without_relation():
+    p = Pattern.build(REL, where={"a": 5}, where_not={"b": "x"})
+    assert "a=5" in p.describe(REL)
+    assert "$0=5" in p.describe()
+    assert Pattern.any(3).describe() == "true"
+
+
+def test_equality_and_hash():
+    p1 = Pattern(2, eq={0: 1}, neq={1: {2}})
+    p2 = Pattern(2, eq={0: 1}, neq={1: {2}})
+    assert p1 == p2 and hash(p1) == hash(p2)

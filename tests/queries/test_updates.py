@@ -1,0 +1,120 @@
+"""Insert / Delete / Modify query objects and Transaction plumbing."""
+
+import pytest
+
+from repro.db.schema import Relation
+from repro.errors import QueryError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+REL = Relation("products", ["product", "category", "price"])
+
+
+class TestInsert:
+    def test_values_with_mapping(self):
+        q = Insert.values(REL, {"product": "x", "category": "y", "price": 1})
+        assert q.row == ("x", "y", 1)
+
+    def test_values_with_sequence(self):
+        q = Insert.values(REL, ("x", "y", 1))
+        assert q.row == ("x", "y", 1)
+
+    def test_values_missing_attribute(self):
+        with pytest.raises(QueryError, match="misses"):
+            Insert.values(REL, {"product": "x"})
+
+    def test_annotated_copy(self):
+        q = Insert("products", ("x", "y", 1))
+        q2 = q.annotated("p")
+        assert q.annotation is None and q2.annotation == "p"
+        assert q2.row == q.row
+
+    def test_equality(self):
+        assert Insert("r", (1,)) == Insert("r", (1,))
+        assert Insert("r", (1,)) != Insert("r", (1,), annotation="p")
+
+
+class TestDelete:
+    def test_where_builder(self):
+        q = Delete.where(REL, where={"category": "Fashion"})
+        assert q.pattern.matches(("x", "Fashion", 1))
+        assert not q.pattern.matches(("x", "Sport", 1))
+
+    def test_where_not_builder(self):
+        q = Delete.where(REL, where={"category": "Sport"}, where_not={"product": "bike"})
+        assert q.pattern.matches(("ball", "Sport", 1))
+        assert not q.pattern.matches(("bike", "Sport", 1))
+
+    def test_repr_mentions_pattern(self):
+        q = Delete.where(REL, where={"category": "Fashion"}, annotation="p")
+        assert "products-" in repr(q) and "p" in repr(q)
+
+
+class TestModify:
+    def test_set_builder_and_image(self):
+        q = Modify.set(REL, where={"category": "Sport"}, set_values={"price": 50})
+        assert q.apply_to_row(("x", "Sport", 70)) == ("x", "Sport", 50)
+
+    def test_needs_at_least_one_assignment(self):
+        with pytest.raises(QueryError):
+            Modify("products", Pattern(3), {})
+
+    def test_assignment_position_range(self):
+        with pytest.raises(QueryError):
+            Modify("products", Pattern(3), {7: 1})
+
+    def test_is_identity(self):
+        q = Modify.set(REL, where={"category": "Sport"}, set_values={"category": "Sport"})
+        assert q.is_identity
+        q2 = Modify.set(REL, where={"category": "Sport"}, set_values={"category": "Kids"})
+        assert not q2.is_identity
+
+    def test_image_pattern(self):
+        q = Modify.set(
+            REL,
+            where={"category": "Sport"},
+            where_not={"product": "bike"},
+            set_values={"category": "Bicycles"},
+        )
+        image = q.image_pattern()
+        assert image.matches(("ball", "Bicycles", 1))
+        assert not image.matches(("bike", "Bicycles", 1))
+        assert not image.matches(("ball", "Sport", 1))
+
+    def test_compose_assignments_later_wins(self):
+        q1 = Modify("products", Pattern(3), {1: "A", 2: 10})
+        q2 = Modify("products", Pattern(3), {2: 20})
+        assert q1.compose_assignments(q2) == {1: "A", 2: 20}
+
+
+class TestTransaction:
+    def test_stamps_annotation_on_queries(self):
+        t = Transaction("p", [Insert("products", ("x", "y", 1))])
+        assert all(q.annotation == "p" for q in t)
+        assert t.annotation == "p"
+
+    def test_len_and_iter(self):
+        t = Transaction("p", [Insert("r", (1,)), Delete("r", Pattern(1))])
+        assert len(t) == 2
+        assert [q.kind for q in t] == ["insert", "delete"]
+
+    def test_needs_name(self):
+        with pytest.raises(QueryError):
+            Transaction("", [])
+
+    def test_equality(self):
+        q = Insert("r", (1,))
+        assert Transaction("p", [q]) == Transaction("p", [q])
+        assert Transaction("p", [q]) != Transaction("q", [q])
+
+    def test_annotation_required_to_execute(self):
+        from repro.db.database import Database
+        from repro.engine.engine import Engine
+
+        db = Database.from_rows("r", ["a"], [(1,)])
+        with pytest.raises(QueryError, match="no annotation"):
+            Engine(db, policy="normal_form").apply(Insert("r", (2,)))
+
+    def test_relation_required(self):
+        with pytest.raises(QueryError):
+            Insert("", (1,))

@@ -1,0 +1,77 @@
+"""Theorem 4.5: building UP[X] structures from admissible semirings."""
+
+import pytest
+
+from repro.core.axioms import check_structure
+from repro.errors import StructureError
+from repro.semantics.from_semiring import (
+    boolean_algebra_minus,
+    structure_from_semiring,
+)
+from repro.semantics.semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    NaturalsSemiring,
+    PowerSetSemiring,
+)
+
+BOOLS = [False, True]
+
+
+def test_boolean_construction_satisfies_all_axioms():
+    s = structure_from_semiring(
+        BooleanSemiring(),
+        boolean_algebra_minus(BooleanSemiring(), lambda b: not b),
+        elements=BOOLS,
+    )
+    assert check_structure(s, BOOLS)
+    assert s.zero is False
+    assert s.plus_i(False, True) and s.times_m(True, True)
+
+
+def test_example_4_6_access_control_construction():
+    semiring = PowerSetSemiring({"a", "b"})
+    universe = semiring.one
+    s = structure_from_semiring(
+        semiring,
+        lambda x, y: x - y,  # set difference, as in Example 4.6
+        elements=semiring.elements(),
+    )
+    assert check_structure(s, semiring.elements())
+
+
+def test_inadmissible_semiring_rejected():
+    with pytest.raises(StructureError, match="not Theorem 4.5 admissible"):
+        structure_from_semiring(
+            NaturalsSemiring(), lambda a, b: max(a - b, 0), elements=[0, 1, 2]
+        )
+
+
+def test_monus_fails_the_axioms():
+    """The paper (after Thm 4.5): monus does not work as minus.
+
+    For the fuzzy semiring, truncated monus breaks axiom 10
+    ((a - b) +I b = a +I b): max(min(a, 1-b), b) != max(a, b).
+    """
+    fuzzy = FuzzySemiring()
+    with pytest.raises(StructureError, match="axiom"):
+        structure_from_semiring(
+            fuzzy,
+            lambda a, b: min(a, 1.0 - b),  # Gödel-style monus
+            elements=[0.0, 0.5, 0.6, 1.0],
+        )
+
+
+def test_validation_can_be_skipped():
+    s = structure_from_semiring(NaturalsSemiring(), lambda a, b: a, validate=False)
+    assert s.plus_i(1, 2) == 3  # structure built, caveat emptor
+
+
+def test_zero_axiom_validation_fires():
+    class _BadZero(BooleanSemiring):
+        zero = True  # nonsense zero: 0 +I a = a fails
+
+    with pytest.raises(StructureError):
+        structure_from_semiring(
+            _BadZero(), lambda a, b: a and not b, elements=BOOLS
+        )

@@ -1,0 +1,67 @@
+"""Proposition 4.2: provenance propagation commutes with homomorphisms."""
+
+import itertools
+
+import pytest
+
+from repro.core.expr import evaluate
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import StructureError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.semantics.boolean import BooleanStructure
+from repro.semantics.sets import SetStructure
+from repro.semantics.structure import Homomorphism
+
+SET_ELEMENTS = [frozenset(c) for r in range(3) for c in itertools.combinations(("u", "v"), r)]
+
+#: h: P({u,v}) -> Bool, S |-> u in S — a homomorphism of Update-Structures
+#: (all operations are pointwise on membership of "u").
+membership = Homomorphism(SetStructure({"u", "v"}), BooleanStructure(), lambda s: "u" in s)
+
+
+def test_membership_is_a_homomorphism():
+    membership.check(SET_ELEMENTS)
+
+
+def test_broken_mapping_detected():
+    bad = Homomorphism(SetStructure({"u", "v"}), BooleanStructure(), lambda s: len(s) == 1)
+    with pytest.raises(StructureError):
+        bad.check(SET_ELEMENTS)
+
+
+def test_h_of_zero_checked():
+    bad = Homomorphism(SetStructure({"u"}), BooleanStructure(), lambda s: "u" not in s)
+    with pytest.raises(StructureError, match="h\\(0\\)"):
+        bad.check([frozenset(), frozenset({"u"})])
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+def test_proposition_4_2_on_a_transaction(policy, rng):
+    """h(phi_S1(t)) == phi_S2(t): evaluate in S1 then map, vs map env then
+    evaluate in S2 — for every stored row of a real run."""
+    db = Database.from_rows("R", ["v", "w"], [(i, i % 3) for i in range(8)])
+    log = [
+        Transaction("t1", [Modify("R", Pattern(2, eq={1: 0}), {1: 9}), Insert("R", (50, 9))]),
+        Transaction("t2", [Delete("R", Pattern(2, eq={1: 1}))]),
+        Transaction("t3", [Modify("R", Pattern(2, eq={1: 9}), {0: 0})]),
+    ]
+    engine = Engine(db, policy=policy).apply(log)
+
+    sets = SetStructure({"u", "v"})
+    booleans = BooleanStructure()
+    names = sorted(
+        set(engine.tuple_var_names()) | {"t1", "t2", "t3"}
+    )
+    env_values = {}
+    for i, name in enumerate(names):
+        env_values[name] = SET_ELEMENTS[rng.randrange(len(SET_ELEMENTS))]
+    env_s1 = lambda name: env_values[name]  # noqa: E731
+    env_s2 = membership.compose_env(env_s1)
+
+    for relation in db.schema.names:
+        for row, expr, _live in engine.provenance(relation):
+            via_s1 = membership(evaluate(expr, sets, env_s1))
+            via_s2 = evaluate(expr, booleans, env_s2)
+            assert via_s1 == via_s2, (row, str(expr))

@@ -1,0 +1,75 @@
+"""Semirings and the Theorem 4.5 admissibility conditions."""
+
+import pytest
+
+from repro.semantics.semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    NaturalsSemiring,
+    PowerSetSemiring,
+    WhySemiring,
+    satisfies_theorem_4_5,
+    semiring_violations,
+)
+
+BOOLS = [False, True]
+FUZZY = [0.0, 0.25, 0.5, 1.0]
+
+
+def test_boolean_semiring_is_admissible():
+    assert satisfies_theorem_4_5(BooleanSemiring(), BOOLS)
+
+
+def test_powerset_semiring_is_admissible():
+    s = PowerSetSemiring({"a", "b"})
+    assert satisfies_theorem_4_5(s, s.elements())
+
+
+def test_powerset_elements_enumerates_carrier():
+    s = PowerSetSemiring({"a", "b"})
+    assert len(s.elements()) == 4
+    assert s.one == frozenset({"a", "b"}) and s.zero == frozenset()
+
+
+def test_fuzzy_semiring_is_admissible():
+    assert satisfies_theorem_4_5(FuzzySemiring(), FUZZY)
+
+
+def test_naturals_fail_both_conditions():
+    problems = semiring_violations(NaturalsSemiring(), [0, 1, 2, 3])
+    labels = " ".join(problems)
+    assert "absorption" in labels
+    assert "idempotence" in labels
+
+
+def test_why_semiring_fails_absorption():
+    x = frozenset({frozenset({"x"})})
+    y = frozenset({frozenset({"y"})})
+    s = WhySemiring()
+    problems = semiring_violations(s, [s.zero, s.one, x, y])
+    assert any("absorption" in p for p in problems)
+
+
+def test_why_semiring_times_is_pairwise_union():
+    s = WhySemiring()
+    x = frozenset({frozenset({"x"})})
+    y = frozenset({frozenset({"y"})})
+    assert s.times(x, y) == frozenset({frozenset({"x", "y"})})
+
+
+def test_violations_report_witnesses():
+    problems = semiring_violations(NaturalsSemiring(), [1, 2])
+    assert all("a=" in p for p in problems)
+
+
+@pytest.mark.parametrize(
+    "semiring,elements",
+    [
+        (BooleanSemiring(), BOOLS),
+        (FuzzySemiring(), FUZZY),
+        (PowerSetSemiring({"a"}), PowerSetSemiring({"a"}).elements()),
+    ],
+    ids=["bool", "fuzzy", "powerset"],
+)
+def test_admissible_semirings_satisfy_basic_laws(semiring, elements):
+    assert semiring_violations(semiring, elements) == []

@@ -1,0 +1,129 @@
+"""Concrete Update-Structures: operations, zero axioms, quirks."""
+
+import itertools
+
+import pytest
+
+from repro.errors import StructureError
+from repro.semantics.boolean import BooleanStructure
+from repro.semantics.posbool import PosBoolStructure
+from repro.semantics.sets import SetStructure
+from repro.semantics.structure import Valuation
+from repro.semantics.trust import TRUSTED, UNTRUSTED, TrustStructure, TrustValue
+
+
+class TestBoolean:
+    s = BooleanStructure()
+
+    def test_operations(self):
+        assert self.s.plus_i(False, True) is True
+        assert self.s.plus_m(False, False) is False
+        assert self.s.times_m(True, False) is False
+        assert self.s.minus(True, False) is True
+        assert self.s.minus(True, True) is False
+        assert self.s.plus(False, True) is True
+
+    def test_zero_axioms(self):
+        self.s.check_zero_axioms([False, True])
+
+
+class TestSets:
+    s = SetStructure({"EU", "US", "JP"})
+
+    def test_operations(self):
+        eu, us = frozenset({"EU"}), frozenset({"US"})
+        assert self.s.plus_i(eu, us) == {"EU", "US"}
+        assert self.s.times_m(frozenset({"EU", "US"}), eu) == {"EU"}
+        assert self.s.minus(frozenset({"EU", "US"}), eu) == {"US"}
+
+    def test_top_and_value(self):
+        assert self.s.top() == {"EU", "US", "JP"}
+        assert self.s.value(["EU", "EU"]) == frozenset({"EU"})
+
+    def test_zero_axioms(self):
+        elements = [
+            frozenset(c) for r in range(3) for c in itertools.combinations(("EU", "US"), r)
+        ]
+        self.s.check_zero_axioms(elements)
+
+    def test_access_control_reading(self):
+        """Deletion visible to EU hides the tuple from EU only."""
+        tuple_creds = frozenset({"EU", "US"})
+        delete_creds = frozenset({"EU"})
+        after = self.s.minus(tuple_creds, delete_creds)
+        assert "EU" not in after and "US" in after
+
+
+class TestTrust:
+    s = TrustStructure(0.5)
+
+    def test_trusted_macro(self):
+        assert self.s.trusted(TRUSTED)
+        assert not self.s.trusted(UNTRUSTED)
+        assert self.s.trusted(TrustValue(0.9, "U"))
+        assert not self.s.trusted(TrustValue(0.5, "U"))  # strict >
+
+    def test_operations_produce_canonical_values(self):
+        high, low = TrustValue(0.9, "U"), TrustValue(0.1, "U")
+        assert self.s.plus_i(high, low) == TRUSTED
+        assert self.s.times_m(high, low) == UNTRUSTED
+        assert self.s.minus(high, low) == TRUSTED
+        assert self.s.minus(high, high) == UNTRUSTED
+
+    def test_equal_is_trust_quotient(self):
+        assert self.s.equal(TrustValue(0.9, "U"), TRUSTED)
+        assert not self.s.equal(TrustValue(0.9, "U"), UNTRUSTED)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(StructureError):
+            TrustValue(1.5, "T")
+        with pytest.raises(StructureError):
+            TrustValue(0.5, "X")
+        with pytest.raises(StructureError):
+            TrustStructure(-0.1)
+
+    def test_zero_axioms_modulo_trusted(self):
+        self.s.check_zero_axioms([TRUSTED, UNTRUSTED, TrustValue(0.9, "U"), TrustValue(0.1, "U")])
+
+
+class TestPosBool:
+    def test_symbolic_specialization(self):
+        from repro.core.expr import evaluate, minus, times_m, var
+
+        s = PosBoolStructure()
+        e = times_m(minus(var("t"), var("p")), var("q"))
+        node = evaluate(e, s, s.env())
+        # t=1, p=0, q=1 satisfies; t=1, p=1, q=1 does not.
+        assert s.bdd.evaluate(node, {"t": True, "p": False, "q": True})
+        assert not s.bdd.evaluate(node, {"t": True, "p": True, "q": True})
+
+    def test_env_with_fixed_values(self):
+        from repro.core.expr import evaluate, minus, var
+
+        s = PosBoolStructure()
+        e = minus(var("t"), var("p"))
+        node = evaluate(e, s, s.env(fixed={"p": False}))
+        assert node == s.var("t")
+
+
+class TestValuation:
+    def test_default_and_overrides(self):
+        v = Valuation(default=True, p1=False)
+        assert v("p1") is False and v("anything") is True
+
+    def test_factory(self):
+        v = Valuation(default_factory=lambda name: name.startswith("t"))
+        assert v("t1") is True and v("q") is False
+
+    def test_no_default_raises(self):
+        v = Valuation()
+        with pytest.raises(KeyError):
+            v("missing")
+
+    def test_default_and_factory_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Valuation(default=1, default_factory=lambda n: 2)
+
+    def test_set_chains(self):
+        v = Valuation(default=0).set("a", 1).set("b", 2)
+        assert v("a") == 1 and v("b") == 2 and v("c") == 0

@@ -1,0 +1,175 @@
+"""Serialization: expression JSON, sqlite snapshots, CSV I/O."""
+
+import pytest
+
+from repro.core.expr import ZERO, minus, plus_i, plus_m, ssum, times_m, var
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import StorageError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.storage import (
+    AnnotatedSnapshot,
+    dump_csv,
+    expr_from_dict,
+    expr_from_json,
+    expr_from_nested,
+    expr_to_dict,
+    expr_to_json,
+    expr_to_nested,
+    load_csv,
+    load_snapshot,
+    save_snapshot,
+)
+
+A, B, P = var("a"), var("b"), var("p")
+SAMPLE = plus_m(minus(A, P), times_m(ssum([A, B]), P))
+
+
+class TestExprJson:
+    def test_dag_round_trip(self):
+        assert expr_from_json(expr_to_json(SAMPLE)) is SAMPLE
+
+    def test_zero_round_trip(self):
+        assert expr_from_json(expr_to_json(ZERO)) is ZERO
+
+    def test_sharing_preserved(self):
+        shared = plus_i(A, P)
+        e = plus_m(shared, times_m(shared, P))
+        payload = expr_to_dict(e)
+        # 4 distinct leaves/nodes + root, not the 9 of the expanded tree.
+        assert len(payload["nodes"]) == 5
+
+    def test_deep_chain_round_trip(self):
+        e = A
+        for i in range(2500):
+            e = minus(e, var(f"p{i % 3}"))
+        assert expr_from_json(expr_to_json(e)) is e
+
+    def test_nested_round_trip(self):
+        assert expr_from_nested(expr_to_nested(SAMPLE)) is SAMPLE
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(StorageError):
+            expr_from_json("{broken")
+        with pytest.raises(StorageError):
+            expr_from_dict({"nodes": [["wat"]], "root": 0})
+        with pytest.raises(StorageError):
+            expr_from_dict({"nodes": [["+I", 0, 5]], "root": 0})  # forward ref
+        with pytest.raises(StorageError):
+            expr_from_dict({"nodes": [["var", "a"]], "root": 7})
+        with pytest.raises(StorageError):
+            expr_from_nested(["nope"])
+
+    def test_decoder_reapplies_zero_axioms(self):
+        payload = {"nodes": [["zero"], ["var", "p"], ["+I", 0, 1]], "root": 2}
+        assert expr_from_dict(payload) is var("p")
+
+
+class TestSnapshot:
+    def make_engine(self):
+        db = Database.from_rows("R", ["v"], [(1,), (2,), (3,)])
+        log = [
+            Transaction("t1", [Modify("R", Pattern(1, eq={0: 1}), {0: 2})]),
+            Transaction("t2", [Delete("R", Pattern(1, eq={0: 3})), Insert("R", (9,))]),
+        ]
+        return db, Engine(db, policy="normal_form").apply(log)
+
+    def test_from_engine_and_live_database(self):
+        _db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine, meta={"k": 1})
+        assert snap.live_database().same_contents(engine.result())
+        assert snap.meta == {"k": 1}
+        assert snap.row_count() == engine.support_count()
+
+    def test_sqlite_round_trip(self, tmp_path):
+        _db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine)
+        path = tmp_path / "snap.sqlite"
+        save_snapshot(snap, path)
+        again = load_snapshot(path)
+        assert again == snap
+        assert again.live_database().same_contents(engine.result())
+
+    def test_save_replaces_existing_file(self, tmp_path):
+        _db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine)
+        path = tmp_path / "snap.sqlite"
+        save_snapshot(snap, path)
+        save_snapshot(snap, path)  # no error, clean overwrite
+        assert load_snapshot(path) == snap
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="no snapshot"):
+            load_snapshot(tmp_path / "void.sqlite")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.sqlite"
+        path.write_text("this is not sqlite")
+        with pytest.raises(StorageError):
+            load_snapshot(path)
+
+    def test_specialize_offline(self):
+        """A snapshot answers what-ifs without the engine."""
+        db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine)
+        from repro.semantics.boolean import BooleanStructure
+
+        values = snap.specialize(BooleanStructure(), lambda name: name != "t2")
+        # t2 aborted: (3,) was deleted by t2 only, so it survives.
+        assert values["R"][(3,)] is True
+        assert values["R"][(9,)] is False  # inserted by t2
+
+    def test_minimized_preserves_live_rows(self):
+        _db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine)
+        mini = snap.minimized()
+        assert mini.live_database().same_contents(snap.live_database())
+        assert mini.provenance_size() <= snap.provenance_size()
+
+    def test_mv_snapshot_rejected(self):
+        db = Database.from_rows("R", ["v"], [(1,)])
+        engine = Engine(db, policy="mv_tree").apply(
+            Transaction("t", [Insert("R", (2,))])
+        )
+        with pytest.raises(StorageError, match="UP\\[X\\]"):
+            AnnotatedSnapshot.from_engine(engine)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        db = Database.from_rows("r", ["a", "b"], [(1, "x"), (2, "y")])
+        path = tmp_path / "r.csv"
+        dump_csv(db, "r", path)
+        loaded = load_csv(path, "r", types={"a": int})
+        assert loaded.rows("r") == db.rows("r")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="no CSV"):
+            load_csv(tmp_path / "void.csv", "r")
+
+    def test_field_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(StorageError, match="expected 2 fields"):
+            load_csv(path, "r")
+
+    def test_conversion_error_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\nnot_an_int\n")
+        with pytest.raises(StorageError, match=":2"):
+            load_csv(path, "r", types={"a": int})
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError, match="header"):
+            load_csv(path, "r")
+
+    def test_load_into_existing_database(self, tmp_path):
+        db = Database.from_rows("r", ["a"], [(1,)])
+        path = tmp_path / "s.csv"
+        path.write_text("x,y\n1,2\n")
+        out = load_csv(path, "s", types={"x": int, "y": int}, database=db)
+        assert out is db
+        assert db.rows("s") == {(1, 2)}

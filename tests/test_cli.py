@@ -1,0 +1,91 @@
+"""The repro command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exit_info:
+        main(["--version"])
+    assert exit_info.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_demo_reproduces_figure_4(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Kids mnt bike" in out
+    assert "(p1 + p3) *M p" in out or "(p3 + p1) *M p" in out
+    assert "(p2 *M p')" in out
+    # Example 4.4: aborting T1 brings back (Kids mnt bike, Sport, 50).
+    assert "('Kids mnt bike', 'Sport', 50)" in out
+
+
+def test_axioms_command(capsys):
+    assert main(["axioms"]) == 0
+    out = capsys.readouterr().out
+    assert "boolean" in out and "sets" in out and "trust" in out
+    assert "FAILED" not in out
+
+
+def test_tpcc_command(capsys):
+    assert main(["tpcc", "--queries", "40", "--warehouses", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "TPC-C" in out and "provenance_size" in out
+
+
+def test_figure_command_single(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    assert main(["figure", "blowup"]) == 0
+    out = capsys.readouterr().out
+    assert "prop5.1" in out
+
+
+def test_figure_command_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "fig99" in capsys.readouterr().err
+
+
+def test_figure_save(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    assert main(["figure", "blowup", "--save", str(tmp_path)]) == 0
+    assert (tmp_path / "prop5.1.json").exists()
+
+
+def test_sql_command(tmp_path, capsys):
+    script = tmp_path / "script.sql"
+    script.write_text(
+        """
+        BEGIN TRANSACTION t1;
+        UPDATE products SET price = 50 WHERE category = 'Sport';
+        COMMIT;
+        """
+    )
+    csv = tmp_path / "products.csv"
+    csv.write_text("product,category,price\nRacket,Sport,70\nDress,Fashion,40\n")
+    code = main(
+        [
+            "sql",
+            str(script),
+            "--schema",
+            "products:product,category,price",
+            "--csv",
+            f"products={csv}",
+            "--minimize",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "('Racket', 'Sport', 50)" in out
+    assert "*M t1" in out
+
+
+def test_sql_command_bad_schema_spec(capsys):
+    assert main(["sql", "-", "--schema", "nocolumns"]) == 2
+    assert "REL:a,b,c" in capsys.readouterr().err
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

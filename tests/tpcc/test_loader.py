@@ -1,0 +1,136 @@
+"""TPC-C population: cardinalities, invariants, shadow-state consistency."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.tpcc.loader import NO_CARRIER, TPCCScale, load_tpcc
+from repro.tpcc.schema import TPCC_TABLES, tpcc_schema
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return load_tpcc(TPCCScale(), seed=1)
+
+
+class TestSchema:
+    def test_nine_tables(self):
+        schema = tpcc_schema()
+        assert len(schema) == 9
+        assert set(schema.names) == set(TPCC_TABLES)
+
+    def test_key_columns_present(self):
+        schema = tpcc_schema()
+        assert schema.relation("DISTRICT").index_of("D_NEXT_O_ID") >= 0
+        assert schema.relation("ORDER_LINE").index_of("OL_DELIVERY_D") >= 0
+
+
+class TestCardinalities:
+    def test_counts_follow_scale(self, loaded):
+        db, _state = loaded
+        scale = TPCCScale()
+        w, d = scale.warehouses, scale.districts_per_warehouse
+        assert len(db.rows("WAREHOUSE")) == w
+        assert len(db.rows("DISTRICT")) == w * d
+        assert len(db.rows("CUSTOMER")) == w * d * scale.customers_per_district
+        assert len(db.rows("ITEM")) == scale.items
+        assert len(db.rows("STOCK")) == w * scale.items
+        assert len(db.rows("ORDERS")) == w * d * scale.initial_orders_per_district
+        assert len(db.rows("HISTORY")) == len(db.rows("CUSTOMER"))
+
+    def test_undelivered_fraction(self, loaded):
+        db, _state = loaded
+        scale = TPCCScale()
+        expected = int(scale.initial_orders_per_district * scale.undelivered_fraction)
+        per_district = expected * scale.warehouses * scale.districts_per_warehouse
+        assert len(db.rows("NEW_ORDER")) == per_district
+
+    def test_order_lines_match_ol_cnt(self, loaded):
+        db, _state = loaded
+        schema = tpcc_schema()
+        o_cols = {c: i for i, c in enumerate(TPCC_TABLES["ORDERS"])}
+        ol_cols = {c: i for i, c in enumerate(TPCC_TABLES["ORDER_LINE"])}
+        from collections import Counter
+
+        per_order = Counter(
+            (r[ol_cols["OL_W_ID"]], r[ol_cols["OL_D_ID"]], r[ol_cols["OL_O_ID"]])
+            for r in db.rows("ORDER_LINE")
+        )
+        for order in db.rows("ORDERS"):
+            key = (order[o_cols["O_W_ID"]], order[o_cols["O_D_ID"]], order[o_cols["O_ID"]])
+            assert per_order[key] == order[o_cols["O_OL_CNT"]]
+
+
+class TestIntegrity:
+    def test_initial_orders_have_distinct_customers(self, loaded):
+        db, _state = loaded
+        o_cols = {c: i for i, c in enumerate(TPCC_TABLES["ORDERS"])}
+        seen = {}
+        for order in db.rows("ORDERS"):
+            key = (order[o_cols["O_W_ID"]], order[o_cols["O_D_ID"]])
+            seen.setdefault(key, set()).add(order[o_cols["O_C_ID"]])
+        for (w, d), customers in seen.items():
+            assert len(customers) == TPCCScale().initial_orders_per_district
+
+    def test_undelivered_orders_have_no_carrier(self, loaded):
+        db, _state = loaded
+        o_cols = {c: i for i, c in enumerate(TPCC_TABLES["ORDERS"])}
+        no_cols = {c: i for i, c in enumerate(TPCC_TABLES["NEW_ORDER"])}
+        undelivered = {
+            (r[no_cols["NO_W_ID"]], r[no_cols["NO_D_ID"]], r[no_cols["NO_O_ID"]])
+            for r in db.rows("NEW_ORDER")
+        }
+        for order in db.rows("ORDERS"):
+            key = (order[o_cols["O_W_ID"]], order[o_cols["O_D_ID"]], order[o_cols["O_ID"]])
+            carrier = order[o_cols["O_CARRIER_ID"]]
+            assert (carrier == NO_CARRIER) == (key in undelivered)
+
+    def test_stock_per_item_and_warehouse(self, loaded):
+        db, _state = loaded
+        s_cols = {c: i for i, c in enumerate(TPCC_TABLES["STOCK"])}
+        keys = {(r[s_cols["S_W_ID"]], r[s_cols["S_I_ID"]]) for r in db.rows("STOCK")}
+        assert len(keys) == len(db.rows("STOCK"))
+
+
+class TestShadowState:
+    def test_state_mirrors_database(self, loaded):
+        db, state = loaded
+        d_cols = {c: i for i, c in enumerate(TPCC_TABLES["DISTRICT"])}
+        for district in db.rows("DISTRICT"):
+            key = (district[d_cols["D_W_ID"]], district[d_cols["D_ID"]])
+            assert state.next_o_id[key] == district[d_cols["D_NEXT_O_ID"]]
+        s_cols = {c: i for i, c in enumerate(TPCC_TABLES["STOCK"])}
+        for stock in db.rows("STOCK"):
+            key = (stock[s_cols["S_W_ID"]], stock[s_cols["S_I_ID"]])
+            assert state.stock_qty[key] == stock[s_cols["S_QUANTITY"]]
+        c_cols = {c: i for i, c in enumerate(TPCC_TABLES["CUSTOMER"])}
+        for customer in db.rows("CUSTOMER"):
+            key = (
+                customer[c_cols["C_W_ID"]],
+                customer[c_cols["C_D_ID"]],
+                customer[c_cols["C_ID"]],
+            )
+            assert state.customer_balance[key] == customer[c_cols["C_BALANCE"]]
+
+    def test_undelivered_fifo_oldest_first(self, loaded):
+        _db, state = loaded
+        for pending in state.undelivered.values():
+            assert pending == sorted(pending)
+
+
+class TestScaleValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            TPCCScale(warehouses=0)
+
+    def test_rejects_orders_exceeding_customers(self):
+        with pytest.raises(ReproError, match="cannot exceed"):
+            TPCCScale(customers_per_district=10, initial_orders_per_district=20)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ReproError):
+            TPCCScale(undelivered_fraction=1.5)
+
+    def test_deterministic_under_seed(self):
+        db1, _ = load_tpcc(TPCCScale(), seed=5)
+        db2, _ = load_tpcc(TPCCScale(), seed=5)
+        assert db1.same_contents(db2)

@@ -1,0 +1,148 @@
+"""TPC-C transaction profiles and the standard-mix driver."""
+
+import random
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.errors import ReproError
+from repro.queries.updates import Delete, Insert, Modify
+from repro.tpcc.driver import generate_tpcc
+from repro.tpcc.loader import TPCCScale, load_tpcc
+from repro.tpcc.randoms import NURand, make_c_constants, random_last_name
+from repro.tpcc.schema import TPCC_TABLES
+from repro.tpcc.transactions import STANDARD_MIX, delivery, new_order, payment
+
+
+@pytest.fixture
+def state():
+    _db, state = load_tpcc(TPCCScale(), seed=2)
+    return state
+
+
+class TestRandoms:
+    def test_nurand_range(self):
+        rng = random.Random(0)
+        C = make_c_constants(rng)
+        for _ in range(200):
+            assert 1 <= NURand(rng, 1023, 1, 30, C[1023]) <= 30
+
+    def test_last_names(self):
+        assert random_last_name(0) == "BARBARBAR"
+        assert random_last_name(371) == "PRICALLYOUGHT"  # the spec's own example
+        assert random_last_name(999) == "EINGEINGEING"
+        assert random_last_name(1371) == random_last_name(371)
+
+
+class TestNewOrder:
+    def test_emits_expected_statements(self, state):
+        rng = random.Random(3)
+        queries = new_order(state, rng)
+        kinds = [type(q).__name__ for q in queries]
+        assert kinds[0] == "Modify"  # DISTRICT next_o_id
+        assert kinds[1] == "Insert" and queries[1].relation == "ORDERS"
+        assert kinds[2] == "Insert" and queries[2].relation == "NEW_ORDER"
+        line_count = sum(1 for q in queries if isinstance(q, Insert) and q.relation == "ORDER_LINE")
+        stock_updates = sum(
+            1 for q in queries if isinstance(q, Modify) and q.relation == "STOCK"
+        )
+        assert 5 <= line_count <= 15
+        assert stock_updates == line_count
+
+    def test_advances_next_o_id(self, state):
+        rng = random.Random(3)
+        before = dict(state.next_o_id)
+        queries = new_order(state, rng)
+        district_update = queries[0]
+        (w, d) = next(k for k in state.next_o_id if state.next_o_id[k] != before[k])
+        assert state.next_o_id[(w, d)] == before[(w, d)] + 1
+
+    def test_stock_quantity_rule(self, state):
+        """Spec 2.4.2.2: quantities replenish by +91 when they would drop
+        below 10 — never negative, never silently divergent."""
+        rng = random.Random(4)
+        for _ in range(50):
+            new_order(state, rng)
+        assert all(q >= 0 for q in state.stock_qty.values())
+
+
+class TestPayment:
+    def test_emits_expected_statements(self, state):
+        rng = random.Random(5)
+        queries = payment(state, rng)
+        relations = [q.relation for q in queries]
+        assert relations == ["WAREHOUSE", "DISTRICT", "CUSTOMER", "HISTORY"]
+        assert isinstance(queries[3], Insert)
+
+    def test_balances_move(self, state):
+        rng = random.Random(5)
+        before = dict(state.customer_balance)
+        payment(state, rng)
+        changed = [k for k in before if state.customer_balance[k] != before[k]]
+        assert len(changed) == 1
+        assert state.customer_balance[changed[0]] < before[changed[0]]
+
+
+class TestDelivery:
+    def test_delivers_oldest_per_district(self, state):
+        rng = random.Random(6)
+        pending_before = {k: list(v) for k, v in state.undelivered.items()}
+        queries = delivery(state, rng)
+        deletes = [q for q in queries if isinstance(q, Delete)]
+        assert deletes, "delivery must clear NEW_ORDER entries"
+        w_id = deletes[0].pattern.eq[
+            {c: i for i, c in enumerate(TPCC_TABLES["NEW_ORDER"])}["NO_W_ID"]
+        ]
+        for (w, d), pending in pending_before.items():
+            if w != w_id or not pending:
+                continue
+            assert state.undelivered[(w, d)] == pending[1:]
+
+    def test_four_statements_per_district(self, state):
+        rng = random.Random(6)
+        queries = delivery(state, rng)
+        assert len(queries) % 4 == 0
+
+
+class TestDriver:
+    def test_log_replays_cleanly_against_all_policies(self):
+        w = generate_tpcc(TPCCScale(), n_queries=120, seed=9)
+        vanilla = Engine(w.database, policy="none").apply(w.log)
+        nf = Engine(w.database, policy="normal_form").apply(w.log)
+        assert nf.result().same_contents(vanilla.result())
+
+    def test_emitted_constants_are_consistent(self):
+        """Replaying the log, every delete/modify matches at least one live
+        row — the shadow state and the database never diverge."""
+        w = generate_tpcc(TPCCScale(), n_queries=200, seed=10)
+        engine = Engine(w.database, policy="none")
+        for query in w.log.queries():
+            matched, _created = engine.executor.apply(query)
+            if not isinstance(query, Insert):
+                assert matched >= 1, f"dangling statement {query!r}"
+
+    def test_mix_is_respected(self):
+        w = generate_tpcc(TPCCScale(), n_queries=800, seed=11)
+        total = sum(w.mix_counts.values())
+        assert w.mix_counts["new_order"] / total == pytest.approx(0.45, abs=0.12)
+        assert w.mix_counts["payment"] / total == pytest.approx(0.43, abs=0.12)
+
+    def test_meta_and_query_budget(self):
+        w = generate_tpcc(TPCCScale(), n_queries=100, seed=12)
+        assert w.log.query_count() >= 100
+        assert w.log.meta["name"] == "tpcc"
+        assert w.log.meta["n_queries"] == w.log.query_count()
+
+    def test_deterministic_under_seed(self):
+        w1 = generate_tpcc(TPCCScale(), n_queries=60, seed=13)
+        w2 = generate_tpcc(TPCCScale(), n_queries=60, seed=13)
+        assert w1.log == w2.log
+
+    def test_unknown_mix_entry_rejected(self):
+        with pytest.raises(ReproError, match="unknown TPC-C transaction"):
+            generate_tpcc(TPCCScale(), n_queries=10, mix=[("teleport", 1.0)])
+
+    def test_include_empty_keeps_readonly_transactions(self):
+        w = generate_tpcc(TPCCScale(), n_queries=150, seed=14, include_empty=True)
+        if w.mix_counts["order_status"] or w.mix_counts["stock_level"]:
+            assert any(len(t) == 0 for t in w.log)

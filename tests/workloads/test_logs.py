@@ -1,0 +1,108 @@
+"""UpdateLog container behaviour and JSON round-trips."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import StorageError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.workloads.logs import (
+    UpdateLog,
+    log_from_json,
+    log_to_json,
+    query_from_dict,
+    query_to_dict,
+)
+
+
+@pytest.fixture
+def log():
+    return UpdateLog(
+        [
+            Transaction(
+                "t1",
+                [
+                    Insert("R", (1, "x")),
+                    Delete("R", Pattern(2, eq={0: 1}, neq={1: {"a", "b"}})),
+                ],
+            ),
+            Modify("R", Pattern(2, eq={1: "x"}), {0: 9}, annotation="solo"),
+            Transaction("t2", [Insert("R", (2, "y"))]),
+        ],
+        meta={"name": "unit"},
+    )
+
+
+class TestContainer:
+    def test_counts(self, log):
+        assert len(log) == 3
+        assert log.query_count() == 4
+        assert [q.kind for q in log.queries()] == ["insert", "delete", "modify", "insert"]
+
+    def test_annotations_in_order(self, log):
+        assert log.annotations() == ["t1", "solo", "t2"]
+
+    def test_kind_counts(self, log):
+        assert log.kind_counts() == {"insert": 2, "delete": 1, "modify": 1}
+
+    def test_prefix_exact_boundary(self, log):
+        assert log.prefix(2).query_count() == 2
+        assert len(log.prefix(2)) == 1
+
+    def test_prefix_splits_transaction(self, log):
+        p = log.prefix(1)
+        assert p.query_count() == 1
+        (item,) = p.items
+        assert isinstance(item, Transaction) and item.name == "t1" and len(item) == 1
+
+    def test_prefix_beyond_end(self, log):
+        assert log.prefix(100).query_count() == 4
+
+    def test_as_single_transaction(self, log):
+        single = log.as_single_transaction("P")
+        assert len(single) == 1
+        assert single.query_count() == 4
+        assert all(q.annotation == "P" for q in single.queries())
+
+    def test_getitem(self, log):
+        assert isinstance(log[1], Modify)
+
+
+class TestQuerySerialization:
+    def test_insert_round_trip(self):
+        q = Insert("R", (1, "x", None, True), annotation="p")
+        assert query_from_dict(query_to_dict(q)) == q
+
+    def test_delete_round_trip(self):
+        q = Delete("R", Pattern(3, eq={0: 1}, neq={2: {"a", 5}}))
+        assert query_from_dict(query_to_dict(q)) == q
+
+    def test_modify_round_trip(self):
+        q = Modify("R", Pattern(2, eq={0: 1}), {1: "new"}, annotation="t")
+        assert query_from_dict(query_to_dict(q)) == q
+
+    def test_non_scalar_values_rejected(self):
+        with pytest.raises(StorageError, match="scalar"):
+            query_to_dict(Insert("R", (object(),)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError, match="unknown query kind"):
+            query_from_dict({"kind": "merge", "relation": "R"})
+
+
+class TestLogSerialization:
+    def test_round_trip_with_schema(self, log):
+        schema = Schema.build({"R": ["a", "b"]})
+        text = log_to_json(log, schema, indent=2)
+        log2, schema2 = log_from_json(text)
+        assert log2 == log
+        assert log2.meta["name"] == "unit"
+        assert schema2.relation("R").attributes == ("a", "b")
+
+    def test_round_trip_without_schema(self, log):
+        log2, schema2 = log_from_json(log_to_json(log))
+        assert log2 == log and schema2 is None
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(StorageError, match="invalid log JSON"):
+            log_from_json("{nope")

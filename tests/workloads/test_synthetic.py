@@ -1,0 +1,144 @@
+"""The synthetic workload generator (§6.1 shape guarantees)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.updates import Delete, Insert, Modify
+from repro.workloads.synthetic import (
+    COLD_GROUP,
+    RELATION_NAME,
+    SyntheticConfig,
+    synthetic_database,
+    synthetic_log,
+    synthetic_workload,
+)
+
+CONFIG = SyntheticConfig(
+    n_tuples=1_000, n_queries=120, n_groups=5, group_size=4, domain_size=20, seed=3
+)
+
+
+class TestConfig:
+    def test_affected_accounting(self):
+        assert CONFIG.affected_tuples == 20
+        assert CONFIG.affected_fraction == pytest.approx(0.02)
+
+    def test_with_affected(self):
+        resized = CONFIG.with_affected(40, per_query=8)
+        assert resized.n_groups == 5 and resized.group_size == 8
+
+    def test_with_affected_requires_divisibility(self):
+        with pytest.raises(QueryError):
+            CONFIG.with_affected(41, per_query=4)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            SyntheticConfig(n_tuples=10, n_groups=5, group_size=4)  # affected > tuples
+        with pytest.raises(QueryError):
+            SyntheticConfig(n_value_columns=0)
+        with pytest.raises(QueryError):
+            SyntheticConfig(weights=(0, 0, 0))
+        with pytest.raises(QueryError):
+            SyntheticConfig(n_tuples=0)
+
+
+class TestDatabase:
+    def test_population(self):
+        db = synthetic_database(CONFIG)
+        rows = db.rows(RELATION_NAME)
+        assert len(rows) == 1_000
+        hot = [r for r in rows if r[1] != COLD_GROUP]
+        assert len(hot) == 20
+        groups = {r[1] for r in hot}
+        assert groups == set(range(5))
+
+    def test_group_sizes_uniform(self):
+        db = synthetic_database(CONFIG)
+        from collections import Counter
+
+        counts = Counter(r[1] for r in db.rows(RELATION_NAME) if r[1] != COLD_GROUP)
+        assert set(counts.values()) == {4}
+
+    def test_values_in_domain(self):
+        db = synthetic_database(CONFIG)
+        for row in db.rows(RELATION_NAME):
+            assert all(0 <= v < 20 for v in row[2:])
+
+    def test_deterministic_under_seed(self):
+        assert synthetic_database(CONFIG).rows(RELATION_NAME) == synthetic_database(
+            CONFIG
+        ).rows(RELATION_NAME)
+
+
+class TestLog:
+    def test_query_count_and_grouping(self):
+        log = synthetic_log(CONFIG)
+        assert log.query_count() == 120
+        assert len(log) == 120  # one query per transaction by default
+
+    def test_transaction_grouping(self):
+        config = dataclasses.replace(CONFIG, queries_per_transaction=7)
+        log = synthetic_log(config)
+        assert log.query_count() == 120
+        assert len(log) == 18  # ceil(120 / 7)
+        assert len(log[0]) == 7 and len(log[-1]) == 1
+
+    def test_selections_target_hot_groups_only(self):
+        log = synthetic_log(CONFIG)
+        grp_pos = 1
+        for query in log.queries():
+            if isinstance(query, (Delete, Modify)):
+                group = query.pattern.eq[grp_pos]
+                assert 0 <= group < CONFIG.n_groups
+            else:
+                assert isinstance(query, Insert)
+                assert 0 <= query.row[1] < CONFIG.n_groups
+
+    def test_inserts_use_fresh_ids(self):
+        log = synthetic_log(CONFIG)
+        ids = [q.row[0] for q in log.queries() if isinstance(q, Insert)]
+        assert len(ids) == len(set(ids))
+        assert all(i >= CONFIG.n_tuples for i in ids)
+
+    def test_weights_respected(self):
+        config = dataclasses.replace(CONFIG, weights=(0.0, 0.0, 1.0))
+        log = synthetic_log(config)
+        counts = log.kind_counts()
+        assert counts["modify"] == 120 and counts["insert"] == 0
+
+    def test_uniform_mix_roughly_uniform(self):
+        config = dataclasses.replace(CONFIG, n_queries=600)
+        counts = synthetic_log(config).kind_counts()
+        for kind in ("insert", "delete", "modify"):
+            assert 140 <= counts[kind] <= 260
+
+    def test_deterministic_under_seed(self):
+        assert synthetic_log(CONFIG) == synthetic_log(CONFIG)
+        other = dataclasses.replace(CONFIG, seed=4)
+        assert synthetic_log(other) != synthetic_log(CONFIG)
+
+
+class TestWorkloadBundle:
+    def test_workload_bundle(self):
+        w = synthetic_workload(CONFIG)
+        assert w.database.total_rows() == 1_000
+        assert w.log.query_count() == 120
+        assert w.schema.relation(RELATION_NAME).arity == 5
+
+    def test_overrides(self):
+        w = synthetic_workload(n_tuples=200, n_queries=10, n_groups=2, group_size=3)
+        assert w.config.n_tuples == 200
+        assert w.config.affected_tuples == 6
+
+    def test_per_query_affected_count_is_group_size(self):
+        """The Figure 9b control: a modification touches exactly group_size
+        live rows (before any deletions)."""
+        from repro.engine.engine import Engine
+
+        config = dataclasses.replace(CONFIG, weights=(0.0, 0.0, 1.0), n_queries=5)
+        w = synthetic_workload(config)
+        engine = Engine(w.database, policy="none")
+        engine.apply(w.log)
+        assert engine.stats.rows_matched == 5 * CONFIG.group_size
