@@ -1,0 +1,6 @@
+"""Benchmark suite package.
+
+The benchmark modules import shared helpers from :mod:`benchmarks.conftest`
+via relative imports; this ``__init__.py`` gives them the package context
+pytest needs to collect them with ``python -m pytest`` from the repo root.
+"""

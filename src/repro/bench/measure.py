@@ -24,7 +24,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from ..core.expr import clear_intern_table, intern_table_size
+from ..core.expr import Expr, clear_intern_table, intern_table_size
+from ..core.memo import clear_memos, memo_stats
+from ..core.normalize import normalize_expr
 from ..db.database import Database
 from ..engine.engine import Engine
 from ..queries.updates import Transaction
@@ -32,9 +34,14 @@ from ..semantics.boolean import BooleanStructure
 from ..workloads.logs import UpdateLog
 
 __all__ = [
+    "BatchComparison",
+    "CacheComparison",
     "Checkpoint",
     "SeriesRun",
     "UsageMeasurement",
+    "batch_comparison",
+    "repeated_normalization_workload",
+    "rewrite_cache_comparison",
     "series_run",
     "usage_measurement",
     "checkpoints_for",
@@ -148,6 +155,178 @@ def series_run(
         # Log shorter than the last requested checkpoint: snapshot the end.
         snapshot()
     return run
+
+
+# ---------------------------------------------------------------------------
+# Memoized-rewrite and batched-pipeline comparisons
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheComparison:
+    """Memoized vs. cold-cache rewriting of one expression workload.
+
+    ``uncached_time`` re-runs the rewrite with per-call tables (the
+    pre-memoization behavior); ``cached_time`` runs the same sequence
+    against the persistent :class:`repro.core.memo.ExprMemo`, where every
+    repetition and every shared sub-expression is a table hit.
+    """
+
+    expressions: int
+    repeats: int
+    uncached_time: float
+    cached_time: float
+    hits: int
+    misses: int
+    consistent: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.uncached_time / self.cached_time if self.cached_time else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "expressions": self.expressions,
+            "repeats": self.repeats,
+            "uncached_time": self.uncached_time,
+            "cached_time": self.cached_time,
+            "speedup": self.speedup,
+            "hits": self.hits,
+            "misses": self.misses,
+            "consistent": self.consistent,
+        }
+
+
+def repeated_normalization_workload(
+    n_tuples: int = 300,
+    n_queries: int = 150,
+    n_groups: int = 10,
+    group_size: int = 5,
+    seed: int = 11,
+) -> list[Expr]:
+    """Naive-policy provenance of a small synthetic run.
+
+    The expressions share sub-structure heavily (every update layers on
+    yesterday's annotations), which is exactly the workload the rewrite
+    memo is built for: normalizing the whole set repeatedly models the
+    "re-normalize after every batch of updates" access pattern.
+    """
+    from ..workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+    config = SyntheticConfig(
+        n_tuples=n_tuples,
+        n_queries=n_queries,
+        n_groups=n_groups,
+        group_size=group_size,
+        seed=seed,
+    )
+    database = synthetic_database(config)
+    log = synthetic_log(config)
+    engine = Engine(database, policy="naive").apply(log.as_single_transaction())
+    return [
+        expr
+        for relation in database.schema.names
+        for _row, expr, _live in engine.provenance(relation)
+    ]
+
+
+def rewrite_cache_comparison(
+    exprs: Sequence[Expr] | None = None, repeats: int = 3
+) -> CacheComparison:
+    """Time ``repeats`` normalization sweeps, cold-cache vs. memoized.
+
+    The cached pass starts from empty memo tables (:func:`clear_memos`), so
+    its first sweep pays the same work as an uncached sweep and the
+    remaining ``repeats - 1`` sweeps measure pure cache hits; the reported
+    hit/miss counters are the cached pass's deltas.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    expressions = list(exprs) if exprs is not None else repeated_normalization_workload()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        uncached_results = [normalize_expr(e, memo=False) for e in expressions]
+    uncached_time = time.perf_counter() - start
+
+    clear_memos()
+    before = memo_stats()["normalize"]
+    start = time.perf_counter()
+    for _ in range(repeats):
+        cached_results = [normalize_expr(e, memo=True) for e in expressions]
+    cached_time = time.perf_counter() - start
+    after = memo_stats()["normalize"]
+
+    consistent = len(uncached_results) == len(cached_results) and all(
+        u is c for u, c in zip(uncached_results, cached_results)
+    )
+    return CacheComparison(
+        expressions=len(expressions),
+        repeats=repeats,
+        uncached_time=uncached_time,
+        cached_time=cached_time,
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        consistent=consistent,
+    )
+
+
+@dataclass
+class BatchComparison:
+    """One log, applied query-at-a-time vs. through the batched pipeline.
+
+    Times are the engines' accumulated executor wall time, so both sides
+    measure update application, not workload generation.  ``consistent``
+    verifies the two engines agree on the live rows of every relation.
+    """
+
+    policy: str
+    queries: int
+    sequential_time: float
+    batched_time: float
+    batches: int
+    consistent: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_time / self.batched_time if self.batched_time else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "queries": self.queries,
+            "sequential_time": self.sequential_time,
+            "batched_time": self.batched_time,
+            "speedup": self.speedup,
+            "batches": self.batches,
+            "consistent": self.consistent,
+        }
+
+
+def batch_comparison(
+    database: Database,
+    log: UpdateLog | Transaction,
+    policy: str = "normal_form",
+    verify: bool = True,
+) -> BatchComparison:
+    """Apply ``log`` sequentially and batched under ``policy`` and compare."""
+    sequential = Engine(database, policy=policy)
+    sequential.apply(log)
+    batched = Engine(database, policy=policy)
+    batched.apply_batch(log)
+    consistent = True
+    if verify:
+        consistent = all(
+            sequential.live_rows(relation) == batched.live_rows(relation)
+            for relation in database.schema.names
+        )
+    return BatchComparison(
+        policy=policy,
+        queries=batched.stats.queries,
+        sequential_time=sequential.stats.wall_time,
+        batched_time=batched.stats.wall_time,
+        batches=batched.stats.batches,
+        consistent=consistent,
+    )
 
 
 def _evaluate_boolean(expr, deleted_vars: set[str], memo: dict[int, bool]) -> bool:

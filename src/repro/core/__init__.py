@@ -8,7 +8,9 @@ Public surface:
 * the Theorem 5.3 normal form — :class:`NormalForm`, :func:`normalize`;
 * the Figure 6 rules — :data:`ALL_RULES`, :func:`normalize_with_rules`;
 * Proposition 5.5 minimization — :func:`minimize`;
-* equivalence — :func:`equivalent`, :func:`canonical`.
+* equivalence — :func:`equivalent`, :func:`canonical`;
+* rewrite memoization — :class:`ExprMemo`, :func:`memoization`,
+  :func:`memo_stats`, :func:`clear_memos` (see :mod:`repro.core.memo`).
 """
 
 from .axioms import ALL_AXIOMS, AXIOMS_BY_NAME, Axiom, axiom_violations, check_structure
@@ -38,6 +40,15 @@ from .expr import (
     var,
     variables,
 )
+from .memo import (
+    ExprMemo,
+    MemoStats,
+    clear_memos,
+    memo_stats,
+    memoization,
+    memoization_enabled,
+    set_memoization,
+)
 from .minimize import is_minimized, minimize
 from .normal_form import Contribution, NormalForm, Shape, merge_contributions
 from .normalize import normalize, normalize_expr
@@ -51,6 +62,8 @@ __all__ = [
     "BoolStructure",
     "Contribution",
     "Expr",
+    "ExprMemo",
+    "MemoStats",
     "NormalForm",
     "Shape",
     "ZERO",
@@ -58,6 +71,7 @@ __all__ = [
     "axiom_violations",
     "canonical",
     "check_structure",
+    "clear_memos",
     "depth",
     "equivalent",
     "equivalent_boolean",
@@ -66,9 +80,13 @@ __all__ = [
     "find_distinguishing_valuation",
     "is_minimized",
     "match_normal_form",
+    "memo_stats",
+    "memoization",
+    "memoization_enabled",
     "merge_contributions",
     "minimize",
     "minus",
+    "set_memoization",
     "normalize",
     "normalize_expr",
     "normalize_with_rules",

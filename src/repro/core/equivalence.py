@@ -34,11 +34,11 @@ from .expr import (
     minus,
     plus_i,
     plus_m,
-    postorder,
     ssum,
     times_m,
     variables,
 )
+from .memo import ExprMemo, memoization_enabled
 from .normalize import normalize_expr
 
 __all__ = [
@@ -86,7 +86,16 @@ class BoolStructure:
         return a == b
 
 
-def canonical(expr: Expr, fold_self_update: bool = True) -> Expr:
+# One persistent rebuild cache per fold flag; the structural sort keys are
+# pure functions of a node, so all canonicalizations share one key table.
+_CANONICAL_MEMOS = {
+    True: ExprMemo("canonical:fold"),
+    False: ExprMemo("canonical:nofold"),
+}
+_KEY_MEMO = ExprMemo("canonical:key")
+
+
+def canonical(expr: Expr, fold_self_update: bool = True, *, memo: bool | None = None) -> Expr:
     """A canonical representative of ``expr``'s equivalence class.
 
     Sorts every source disjunction by a structural key and (optionally)
@@ -94,18 +103,29 @@ def canonical(expr: Expr, fold_self_update: bool = True) -> Expr:
     sources — the shape an identity modification produces — into the
     equivalent plain ``MOD`` shape.  Does **not** normalize; combine with
     :func:`repro.core.normalize.normalize_expr` for full canonization.
+    Memoized per node across calls (see :mod:`repro.core.memo`).
     """
-    rebuilt: dict[int, Expr] = {}
-    keys: dict[int, str] = {}
-    for node in postorder(expr):
+    use_memo = memoization_enabled() if memo is None else memo
+    if use_memo:
+        table = _CANONICAL_MEMOS[bool(fold_self_update)]
+        keys = _KEY_MEMO
+    else:
+        table = ExprMemo("canonical:local", register=False)
+        keys = ExprMemo("canonical:key:local", register=False)
+    # The key table is written through _key(), outside pending_postorder's
+    # own sync — bring it to the current generation once, up front.
+    keys.sync()
+    for node in table.pending_postorder(expr):
         if not node.children:
             new = node
         elif node.kind == SUM:
-            children = sorted((rebuilt[id(c)] for c in node.children), key=lambda c: keys[id(c)])
+            children = sorted(
+                (table[c] for c in node.children), key=lambda c: _key(c, keys)
+            )
             new = ssum(dict.fromkeys(children))
         else:
-            a = rebuilt[id(node.children[0])]
-            b = rebuilt[id(node.children[1])]
+            a: Expr = table[node.children[0]]  # type: ignore[assignment]
+            b: Expr = table[node.children[1]]  # type: ignore[assignment]
             if node.kind == PLUS_I:
                 new = plus_i(a, b)
             elif node.kind == MINUS:
@@ -113,37 +133,37 @@ def canonical(expr: Expr, fold_self_update: bool = True) -> Expr:
             elif node.kind == TIMES_M:
                 new = times_m(a, b)
             else:
-                new = _canonical_plus_m(a, b, fold_self_update, keys)
-        rebuilt[id(node)] = new
+                new = _canonical_plus_m(a, b, fold_self_update)
+        table[node] = new
         _key(new, keys)
-    return rebuilt[id(expr)]
+    return table[expr]  # type: ignore[return-value]
 
 
-def _key(node: Expr, keys: dict[int, str]) -> str:
+def _key(node: Expr, keys: ExprMemo) -> str:
     """Structural sort key; fills ``keys`` for any yet-unseen sub-node."""
     pending = [node]
     while pending:
         current = pending[-1]
-        if id(current) in keys:
+        if current in keys:
             pending.pop()
             continue
-        missing = [c for c in current.children if id(c) not in keys]
+        missing = [c for c in current.children if c not in keys]
         if missing:
             pending.extend(missing)
             continue
         pending.pop()
         if current.is_var:
-            keys[id(current)] = f"v:{current.name}"
+            keys[current] = f"v:{current.name}"
         elif current.is_zero:
-            keys[id(current)] = "0"
+            keys[current] = "0"
         else:
-            keys[id(current)] = (
-                "(" + current.kind + " " + " ".join(keys[id(c)] for c in current.children) + ")"
+            keys[current] = (
+                "(" + current.kind + " " + " ".join(keys[c] for c in current.children) + ")"  # type: ignore[misc]
             )
-    return keys[id(node)]
+    return keys[node]  # type: ignore[return-value]
 
 
-def _canonical_plus_m(a: Expr, b: Expr, fold_self_update: bool, keys: dict[int, str]) -> Expr:
+def _canonical_plus_m(a: Expr, b: Expr, fold_self_update: bool) -> Expr:
     """Rebuild ``a +M b`` with the self-update fold applied."""
     if not fold_self_update or b.kind != TIMES_M:
         return plus_m(a, b)
@@ -160,9 +180,11 @@ def _canonical_plus_m(a: Expr, b: Expr, fold_self_update: bool, keys: dict[int, 
     return plus_m(base, new_rhs)
 
 
-def equivalent_canonical(e1: Expr, e2: Expr) -> bool:
+def equivalent_canonical(e1: Expr, e2: Expr, *, memo: bool | None = None) -> bool:
     """Normal-form + canonicalization equivalence (fast, construction-shaped)."""
-    return canonical(normalize_expr(e1)) is canonical(normalize_expr(e2))
+    return canonical(normalize_expr(e1, memo=memo), memo=memo) is canonical(
+        normalize_expr(e2, memo=memo), memo=memo
+    )
 
 
 def equivalent_boolean(e1: Expr, e2: Expr) -> bool:

@@ -67,6 +67,7 @@ __all__ = [
     "postorder",
     "subexpressions",
     "intern_table_size",
+    "intern_generation",
     "clear_intern_table",
 ]
 
@@ -169,6 +170,13 @@ class Expr:
 # lifetime of the table.
 _INTERN: dict[object, Expr] = {}
 
+# Bumped by clear_intern_table().  Identity-keyed caches over interned nodes
+# (see repro.core.memo) remember the generation they were filled at and drop
+# themselves when it changes: after a clear, structurally equal nodes no
+# longer share identity with their pre-clear builds, so pre-clear cache
+# entries must never answer for post-clear nodes.
+_GENERATION = 0
+
 
 def _intern(kind: str, name: str | None, children: tuple[Expr, ...]) -> Expr:
     key = (kind, name, tuple(id(c) for c in children), children)
@@ -184,13 +192,23 @@ def intern_table_size() -> int:
     return len(_INTERN)
 
 
+def intern_generation() -> int:
+    """Current interning generation (bumped by :func:`clear_intern_table`)."""
+    return _GENERATION
+
+
 def clear_intern_table() -> None:
     """Drop all interned nodes except ``ZERO``.
 
     Only intended for long benchmark processes; expressions created before
     the call remain valid but will no longer compare identical to
     structurally equal expressions created after it.  Tests never need this.
+
+    Bumps the interning generation, which invalidates every
+    :class:`repro.core.memo.ExprMemo` on its next use.
     """
+    global _GENERATION
+    _GENERATION += 1
     _INTERN.clear()
     _INTERN[(ZERO_KIND, None, (), ())] = ZERO
 

@@ -1,0 +1,225 @@
+"""Identity-keyed memoization over the hash-consed expression DAG.
+
+Every expression node is interned (:mod:`repro.core.expr`), so *object
+identity is structural equality* and the result of any pure function of a
+node is valid for as long as the node is interned.  The rewrite layer —
+:func:`~repro.core.normalize.normalize`,
+:func:`~repro.core.rules.normalize_with_rules`,
+:func:`~repro.core.equivalence.canonical` and
+:func:`~repro.core.minimize.minimize` — exploits this through
+:class:`ExprMemo`: a per-function table keyed on node identity whose entries
+persist *across calls*, so shared sub-expressions (within one expression,
+across the rows of a database, and across successive updates) are rewritten
+once, ever.
+
+Invalidation contract
+---------------------
+
+The single way node identity can stop meaning structural equality is
+:func:`repro.core.expr.clear_intern_table`, which also bumps the *interning
+generation*.  Each :class:`ExprMemo` records the generation it was filled
+at and silently drops its entries the first time it is used in a newer
+generation.  Entries additionally hold a strong reference to their key
+node, so an ``id()`` can never be recycled while its entry is alive.
+Consequences:
+
+* user code never has to invalidate anything by hand;
+* ``clear_intern_table()`` remains the one memory-release lever and now
+  releases the rewrite caches too;
+* :func:`clear_memos` exists for benchmarks that want to measure cold
+  caches without severing interning identity.
+
+The global switch (:func:`set_memoization`, :func:`memoization` context
+manager) lets benchmarks compare cached against uncached rewriting; with
+memoization disabled the rewrite functions fall back to per-call tables
+and behave exactly like the pre-memoization implementation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .expr import Expr, intern_generation
+
+__all__ = [
+    "ExprMemo",
+    "MemoStats",
+    "memoization",
+    "memoization_enabled",
+    "set_memoization",
+    "clear_memos",
+    "memo_stats",
+]
+
+
+_ENABLED = True
+
+#: Every persistent (registered) memo table, for global stats / clearing.
+_REGISTRY: list["ExprMemo"] = []
+
+
+def memoization_enabled() -> bool:
+    """True if the rewrite functions consult their persistent memo tables."""
+    return _ENABLED
+
+
+def set_memoization(enabled: bool) -> bool:
+    """Globally enable/disable rewrite memoization; returns the old value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def memoization(enabled: bool):
+    """Context manager form of :func:`set_memoization`."""
+    previous = set_memoization(enabled)
+    try:
+        yield
+    finally:
+        set_memoization(previous)
+
+
+def clear_memos() -> None:
+    """Empty every registered memo table (counts as an invalidation)."""
+    for memo in _REGISTRY:
+        memo.clear()
+
+
+def memo_stats() -> dict[str, "MemoStats"]:
+    """Per-table statistics of every registered memo, keyed by table name."""
+    return {memo.name: memo.stats() for memo in _REGISTRY}
+
+
+@dataclass(frozen=True)
+class MemoStats:
+    """Counters of one :class:`ExprMemo` (cumulative across generations)."""
+
+    name: str
+    entries: int
+    hits: int
+    misses: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ExprMemo:
+    """A node-identity-keyed cache of one pure function of expressions.
+
+    Mapping-style access is keyed by the node itself (``memo[node]``), but
+    the underlying dict is keyed by ``id(node)`` so lookups never hash or
+    compare expression structure.  Each entry stores ``(node, value)``: the
+    node reference pins the id.
+
+    ``register=False`` creates a detached table (used for the uncached
+    fallback path) that does not appear in :func:`memo_stats` and is not
+    touched by :func:`clear_memos`.
+    """
+
+    __slots__ = ("name", "hits", "misses", "invalidations", "_table", "_generation")
+
+    def __init__(self, name: str, register: bool = True):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._table: dict[int, tuple[Expr, object]] = {}
+        self._generation = intern_generation()
+        if register:
+            _REGISTRY.append(self)
+
+    # -- generation handling --------------------------------------------------
+
+    def sync(self) -> dict[int, tuple[Expr, object]]:
+        """The table, emptied first if the interning generation moved on.
+
+        Every public rewrite entry point must sync once before touching the
+        table; the per-node mapping operations below deliberately skip the
+        generation check — a rewrite is single-threaded and
+        ``clear_intern_table()`` cannot run between two node accesses of
+        one call.  (:meth:`pending_postorder` syncs on first iteration.)
+        """
+        generation = intern_generation()
+        if generation != self._generation:
+            if self._table:
+                self.invalidations += 1
+            self._table = {}
+            self._generation = generation
+        return self._table
+
+    def clear(self) -> None:
+        if self._table:
+            self.invalidations += 1
+        self._table = {}
+        self._generation = intern_generation()
+
+    # -- mapping interface (non-counting, non-syncing; hot path) --------------
+
+    def __contains__(self, node: Expr) -> bool:
+        return id(node) in self._table
+
+    def __getitem__(self, node: Expr) -> object:
+        return self._table[id(node)][1]
+
+    def __setitem__(self, node: Expr, value: object) -> None:
+        self._table[id(node)] = (node, value)
+
+    def __len__(self) -> int:
+        return len(self.sync())
+
+    # -- the traversal the rewrite functions share ----------------------------
+
+    def pending_postorder(self, expr: Expr) -> Iterator[Expr]:
+        """Distinct uncached sub-nodes of ``expr``, children before parents.
+
+        Prunes below cached nodes: a memoized sub-expression is a finished
+        unit of work whose children need not be revisited.  Counts one hit
+        per pruned (cached) node encountered and one miss per node yielded;
+        the caller must store a value for every yielded node before asking
+        for the next (parents consult their children's entries).
+        """
+        table = self.sync()
+        seen: set[int] = set()
+        stack: list[tuple[Expr, bool]] = [(expr, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                self.misses += 1
+                yield node
+                continue
+            key = id(node)
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in table:
+                self.hits += 1
+                continue
+            stack.append((node, True))
+            for child in reversed(node.children):
+                if id(child) not in seen:
+                    stack.append((child, False))
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def stats(self) -> MemoStats:
+        return MemoStats(
+            name=self.name,
+            entries=len(self.sync()),
+            hits=self.hits,
+            misses=self.misses,
+            invalidations=self.invalidations,
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ExprMemo({self.name!r}, entries={s.entries}, hits={s.hits}, "
+            f"misses={s.misses}, invalidations={s.invalidations})"
+        )

@@ -26,42 +26,46 @@ from .expr import (
     minus,
     plus_i,
     plus_m,
-    postorder,
     ssum,
     times_m,
 )
+from .memo import ExprMemo, memoization_enabled
 
 __all__ = ["minimize", "is_minimized"]
 
+_MINIMIZE_MEMO = ExprMemo("minimize")
 
-def minimize(expr: Expr) -> Expr:
+
+def minimize(expr: Expr, *, memo: bool | None = None) -> Expr:
     """Apply the zero-related axioms to fixpoint.
 
     Idempotent, and the identity on expressions built through the smart
     constructors.  The result is the unique minimized formula of
-    Proposition 5.5.
+    Proposition 5.5.  Memoized per node across calls (see
+    :mod:`repro.core.memo`).
     """
-    memo: dict[int, Expr] = {}
-    for node in postorder(expr):
+    use_memo = memoization_enabled() if memo is None else memo
+    table = _MINIMIZE_MEMO if use_memo else ExprMemo("minimize:local", register=False)
+    for node in table.pending_postorder(expr):
         kind = node.kind
         if kind in (VAR, ZERO_KIND):
-            memo[id(node)] = node
+            table[node] = node
         elif kind == SUM:
-            memo[id(node)] = ssum(memo[id(c)] for c in node.children)
+            table[node] = ssum(table[c] for c in node.children)  # type: ignore[misc]
         else:
-            a = memo[id(node.children[0])]
-            b = memo[id(node.children[1])]
+            a: Expr = table[node.children[0]]  # type: ignore[assignment]
+            b: Expr = table[node.children[1]]  # type: ignore[assignment]
             if kind == PLUS_I:
-                memo[id(node)] = plus_i(a, b)
+                table[node] = plus_i(a, b)
             elif kind == MINUS:
-                memo[id(node)] = minus(a, b)
+                table[node] = minus(a, b)
             elif kind == PLUS_M:
-                memo[id(node)] = plus_m(a, b)
+                table[node] = plus_m(a, b)
             elif kind == TIMES_M:
-                memo[id(node)] = times_m(a, b)
+                table[node] = times_m(a, b)
             else:  # pragma: no cover - exhaustive kinds
                 raise AssertionError(f"unknown node kind {kind}")
-    return memo[id(expr)]
+    return table[expr]  # type: ignore[return-value]
 
 
 def is_minimized(expr: Expr) -> bool:

@@ -38,10 +38,10 @@ from .expr import (
     minus,
     plus_i,
     plus_m,
-    postorder,
     ssum,
     times_m,
 )
+from .memo import ExprMemo, memoization_enabled
 from .normal_form import NormalForm, Shape
 
 __all__ = [
@@ -261,19 +261,24 @@ def _local_fixpoint(expr: Expr, fuel: int = 10_000) -> Expr:
     raise RuntimeError("rule application did not terminate")  # pragma: no cover
 
 
-def normalize_with_rules(expr: Expr) -> Expr:
+_RULES_MEMO = ExprMemo("normalize_with_rules")
+
+
+def normalize_with_rules(expr: Expr, *, memo: bool | None = None) -> Expr:
     """Normalize by exhaustive bottom-up rule application.
 
     An independent implementation of Theorem 5.3 used to cross-check the
     replay normalizer; on construction-produced expressions both agree (see
-    ``tests/core/test_normalize.py``).
+    ``tests/core/test_normalize.py``).  Memoized per node across calls (see
+    :mod:`repro.core.memo`).
     """
-    memo: dict[int, Expr] = {}
-    for node in postorder(expr):
+    use_memo = memoization_enabled() if memo is None else memo
+    table = _RULES_MEMO if use_memo else ExprMemo("rules:local", register=False)
+    for node in table.pending_postorder(expr):
         if not node.children:
-            memo[id(node)] = node
+            table[node] = node
             continue
-        children = tuple(memo[id(c)] for c in node.children)
+        children: tuple[Expr, ...] = tuple(table[c] for c in node.children)  # type: ignore[misc]
         if node.kind == SUM:
             rebuilt = ssum(children)
         elif node.kind == PLUS_I:
@@ -284,5 +289,5 @@ def normalize_with_rules(expr: Expr) -> Expr:
             rebuilt = plus_m(*children)
         else:
             rebuilt = times_m(*children)
-        memo[id(node)] = _local_fixpoint(rebuilt)
-    return memo[id(expr)]
+        table[node] = _local_fixpoint(rebuilt)
+    return table[expr]  # type: ignore[return-value]

@@ -24,20 +24,50 @@ class EngineStats:
     rows_matched: int = 0
     rows_created: int = 0
     wall_time: float = 0.0
+    #: Fused runs executed through Engine.apply_batch.
+    batches: int = 0
+    #: Queries that went through a fused run (subset of ``queries``).
+    batched_queries: int = 0
+    #: Wall time spent inside fused runs (subset of ``wall_time``).
+    batch_time: float = 0.0
     per_query_time: list[float] = field(default_factory=list, repr=False)
 
     def record(self, kind: str, matched: int, created: int, elapsed: float) -> None:
         self.queries += 1
+        self._count_kind(kind)
+        self.rows_matched += matched
+        self.rows_created += created
+        self.wall_time += elapsed
+        self.per_query_time.append(elapsed)
+
+    def record_batch(
+        self, kinds: list[str], matched: int, created: int, elapsed: float
+    ) -> None:
+        """Account one fused run of ``len(kinds)`` queries.
+
+        Row counts are only known per run, not per query; ``per_query_time``
+        receives the run's mean so its length stays equal to ``queries``.
+        """
+        if not kinds:
+            return
+        self.batches += 1
+        self.batched_queries += len(kinds)
+        self.batch_time += elapsed
+        self.queries += len(kinds)
+        for kind in kinds:
+            self._count_kind(kind)
+        self.rows_matched += matched
+        self.rows_created += created
+        self.wall_time += elapsed
+        self.per_query_time.extend([elapsed / len(kinds)] * len(kinds))
+
+    def _count_kind(self, kind: str) -> None:
         if kind == "insert":
             self.inserts += 1
         elif kind == "delete":
             self.deletes += 1
         else:
             self.modifies += 1
-        self.rows_matched += matched
-        self.rows_created += created
-        self.wall_time += elapsed
-        self.per_query_time.append(elapsed)
 
     def snapshot(self) -> dict[str, float | int]:
         """A plain-dict summary (stable keys for reports and benches)."""
@@ -50,4 +80,7 @@ class EngineStats:
             "rows_matched": self.rows_matched,
             "rows_created": self.rows_created,
             "wall_time": self.wall_time,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "batch_time": self.batch_time,
         }

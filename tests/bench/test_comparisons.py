@@ -1,0 +1,65 @@
+"""The ISSUE 1 acceptance measurements, at test-suite scale.
+
+These are correctness-plus-floor checks on the comparison primitives in
+:mod:`repro.bench.measure`: the memoized rewrite path must be at least 2x
+faster than cold-cache rewriting on a repeated-normalization workload, and
+the batched pipeline must beat sequential application on a fig8-style
+synthetic scenario.  Generous margins (observed locally: ~12x and ~3x)
+keep them robust on noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.measure import (
+    batch_comparison,
+    repeated_normalization_workload,
+    rewrite_cache_comparison,
+)
+from repro.workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+
+def retrying(measure, floor):
+    """Run a timing measurement again if the first falls below its floor.
+
+    The floors sit 2.5-6x under the locally observed ratios, which are
+    algorithmic (cache hits vs. full rewrites; one scan vs. N scans) — a
+    miss means a scheduler hiccup on a noisy CI runner, and one retry is
+    enough to rule that out without making the acceptance check advisory.
+    """
+    comparison = measure()
+    if comparison.speedup < floor:
+        comparison = measure()
+    return comparison
+
+
+def test_rewrite_cache_comparison_speedup():
+    exprs = repeated_normalization_workload(n_tuples=300, n_queries=150)
+    comparison = retrying(lambda: rewrite_cache_comparison(exprs, repeats=5), 2.0)
+    assert comparison.consistent
+    assert comparison.expressions == len(exprs)
+    assert comparison.hits > 0
+    # Acceptance floor: memoized >= 2x faster on repeated normalization.
+    assert comparison.speedup >= 2.0, comparison.as_dict()
+
+
+@pytest.mark.parametrize("policy", ["normal_form", "normal_form_batch"])
+def test_batched_beats_sequential_on_fig8_scenario(policy):
+    config = SyntheticConfig(n_tuples=4_000, n_queries=200, n_groups=10, group_size=4, seed=5)
+    database = synthetic_database(config)
+    log = synthetic_log(config).as_single_transaction()
+    comparison = retrying(lambda: batch_comparison(database, log, policy=policy), 1.2)
+    assert comparison.consistent
+    assert comparison.batches >= 1
+    assert comparison.speedup > 1.2, comparison.as_dict()
+
+
+def test_batch_comparison_none_policy_is_consistent():
+    """No fused path for the vanilla executor — but still correct."""
+    config = SyntheticConfig(n_tuples=500, n_queries=60, n_groups=6, group_size=4, seed=9)
+    database = synthetic_database(config)
+    log = synthetic_log(config).as_single_transaction()
+    comparison = batch_comparison(database, log, policy="none")
+    assert comparison.consistent
+    assert comparison.queries == 60

@@ -2,14 +2,29 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 from hypothesis import HealthCheck, settings
 
+import repro
 from repro.db.database import Database
 from repro.engine.engine import Engine
 from repro.queries.updates import Modify, Transaction
+
+
+def subprocess_env() -> dict[str, str]:
+    """An environment for child interpreters that can ``import repro``.
+
+    pytest's ``pythonpath`` config does not propagate to subprocesses, so
+    tests that spawn one (examples, intern-table isolation) prepend the
+    source directory this very test session imported repro from.
+    """
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return env
 
 # One global hypothesis profile: property tests here run whole engines, so
 # the default per-example deadline is meaningless noise.

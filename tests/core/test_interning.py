@@ -35,6 +35,9 @@ def test_clear_semantics_in_isolated_process():
     import subprocess
     import sys
 
+    from ..conftest import subprocess_env
+
+    env = subprocess_env()
     script = (
         "from repro.core.expr import ZERO, clear_intern_table, minus, var\n"
         "before = minus(var('a'), var('p'))\n"
@@ -47,7 +50,7 @@ def test_clear_semantics_in_isolated_process():
         "print('ok')\n"
     )
     completed = subprocess.run(
-        [sys.executable, "-c", script], capture_output=True, text=True, timeout=60
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True, timeout=60
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip() == "ok"

@@ -1,0 +1,194 @@
+"""The batched update pipeline: fusion correctness, stats, deferred flushes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import equivalent
+from repro.core.expr import ZERO
+from repro.db.database import Database
+from repro.engine.engine import Engine, make_executor
+from repro.engine.executors import AnnotatedExecutor
+from repro.errors import EngineError
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+POLICIES = ["none", "naive", "normal_form", "normal_form_batch"]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = SyntheticConfig(n_tuples=400, n_queries=60, n_groups=6, group_size=4, seed=13)
+    return synthetic_database(config), synthetic_log(config)
+
+
+def provenance_map(engine, relation):
+    return {row: expr for row, expr, _live in engine.provenance(relation)}
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_batched_matches_sequential_result(workload, policy):
+    database, log = workload
+    single = log.as_single_transaction()
+    sequential = Engine(database, policy=policy).apply(single)
+    batched = Engine(database, policy=policy).apply_batch(single)
+    for relation in database.schema.names:
+        assert sequential.live_rows(relation) == batched.live_rows(relation)
+    assert sequential.live_count() == batched.live_count()
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form"])
+def test_fused_pass_is_execution_order_identical(workload, policy):
+    """The indexed fused scan replays the sequential path bit for bit."""
+    database, log = workload
+    single = log.as_single_transaction()
+    sequential = Engine(database, policy=policy).apply(single)
+    batched = Engine(database, policy=policy).apply_batch(single)
+    for relation in database.schema.names:
+        seq = provenance_map(sequential, relation)
+        bat = provenance_map(batched, relation)
+        assert set(seq) == set(bat)
+        for row in seq:
+            assert seq[row] is bat[row]
+    assert sequential.stats.rows_matched == batched.stats.rows_matched
+    assert sequential.stats.rows_created == batched.stats.rows_created
+
+
+def test_deferred_policy_equivalent_to_incremental(workload):
+    """normal_form_batch stores annotations UP[X]-equivalent to normal_form."""
+    database, log = workload
+    single = log.as_single_transaction()
+    incremental = Engine(database, policy="normal_form").apply(single)
+    deferred = Engine(database, policy="normal_form_batch").apply_batch(single)
+    for relation in database.schema.names:
+        inc = provenance_map(incremental, relation)
+        dfd = provenance_map(deferred, relation)
+        # Supports agree up to rows whose annotation is ≡ 0 (absent = 0).
+        for row in set(inc) | set(dfd):
+            assert equivalent(inc.get(row, ZERO), dfd.get(row, ZERO))
+
+
+def test_batch_stats_counters(workload):
+    database, log = workload
+    single = log.as_single_transaction()
+    engine = Engine(database, policy="normal_form").apply_batch(single)
+    assert engine.stats.batches >= 1
+    assert engine.stats.batched_queries == engine.stats.queries == log.query_count()
+    assert engine.stats.batch_time <= engine.stats.wall_time + 1e-9
+    assert len(engine.stats.per_query_time) == engine.stats.queries
+    assert engine.stats.transactions == 1
+    snapshot = engine.stats.snapshot()
+    assert snapshot["batches"] == engine.stats.batches
+    assert snapshot["batched_queries"] == engine.stats.batched_queries
+
+
+def test_runs_split_at_relation_boundaries():
+    database = Database.from_dict(
+        {"R": (["a", "b"], [(i, i % 3) for i in range(12)]), "S": (["a", "b"], [])}
+    )
+    r, s = database.schema.relation("R"), database.schema.relation("S")
+    queries = [
+        Delete.where(r, {"b": 0}, annotation="p1"),
+        Delete.where(r, {"b": 1}, annotation="p2"),
+        Insert.values(s, (1, 2), annotation="p3"),
+        Delete.where(s, {"a": 1}, annotation="p4"),
+        Delete.where(r, {"b": 2}, annotation="p5"),
+    ]
+    engine = Engine(database, policy="normal_form").apply_batch(queries)
+    # R-run, S-run, R-run: three fused runs.
+    assert engine.stats.batches == 3
+    assert engine.stats.queries == 5
+    assert engine.live_rows("R") == set()
+    assert engine.live_rows("S") == set()
+
+
+def test_transaction_boundary_breaks_runs_and_fires_hook(workload):
+    database, _log = workload
+    relation = database.schema.relation("synthetic")
+    t1 = Transaction("p", [Delete.where(relation, {"grp": 0})])
+    t2 = Transaction("q", [Delete.where(relation, {"grp": 1})])
+    engine = Engine(database, policy="normal_form_batch").apply_batch([t1, t2])
+    assert engine.stats.transactions == 2
+    assert engine.stats.batches == 2
+
+
+def test_mixed_kind_run_fuses_with_index():
+    database = Database.from_rows("R", ["a", "b"], [(i, i % 4) for i in range(20)])
+    r = database.schema.relation("R")
+    queries = [
+        Delete.where(r, {"b": 0}, annotation="p1"),
+        Insert.values(r, (100, 1), annotation="p2"),
+        Modify.set(r, {"b": 3}, where={"b": 1}, annotation="p3"),
+        Delete.where(r, {"b": 3}, annotation="p4"),
+    ]
+    sequential = Engine(database, policy="normal_form").apply(queries)
+    batched = Engine(database, policy="normal_form").apply_batch(queries)
+    assert sequential.live_rows("R") == batched.live_rows("R")
+    seq = provenance_map(sequential, "R")
+    bat = provenance_map(batched, "R")
+    assert set(seq) == set(bat)
+    assert all(seq[row] is bat[row] for row in seq)
+    # The freshly inserted row (100, 1) was modified onto (100, 3) and
+    # deleted — the index must have tracked it through all three steps.
+    assert (100, 3) in seq and not any(row == (100, 3) for row in batched.live_rows("R"))
+
+
+def test_executor_apply_batch_rejects_mixed_relations():
+    database = Database.from_dict({"R": (["a"], [(1,)]), "S": (["a"], [])})
+    executor = make_executor(database, "normal_form")
+    assert isinstance(executor, AnnotatedExecutor)
+    queries = [
+        Delete.where(database.schema.relation("R"), {"a": 1}, annotation="p"),
+        Delete.where(database.schema.relation("S"), {"a": 1}, annotation="p"),
+    ]
+    with pytest.raises(EngineError):
+        executor.apply_batch(queries)
+
+
+def test_unindexable_run_falls_back_to_sequential_loop():
+    database = Database.from_rows("R", ["a"], [(i,) for i in range(8)])
+    r = database.schema.relation("R")
+    # Patterns with no equality constraint: nothing to index on.
+    queries = [
+        Delete.where(r, where_not={"a": 0}, annotation="p1"),
+        Delete.where(r, where_not={"a": 1}, annotation="p2"),
+    ]
+    engine = Engine(database, policy="normal_form").apply_batch(queries)
+    sequential = Engine(database, policy="normal_form").apply(queries)
+    assert engine.live_rows("R") == sequential.live_rows("R") == set()
+    assert engine.stats.rows_matched == sequential.stats.rows_matched == 14
+
+
+def test_unhashable_pattern_constants_fall_back_to_scans():
+    """Patterns accept unhashable eq constants (they match nothing); the
+    fused path must not try to use them as index keys."""
+    from repro.queries.pattern import Pattern
+
+    database = Database.from_rows("R", ["a", "b"], [(i, i % 2) for i in range(6)])
+    queries = [
+        Delete("R", Pattern(2, eq={0: [1, 2]}), annotation="p1"),
+        Delete("R", Pattern(2, eq={0: [3, 4]}), annotation="p2"),
+        Delete("R", Pattern(2, eq={1: 0}), annotation="p3"),
+    ]
+    sequential = Engine(database, policy="normal_form").apply(queries)
+    batched = Engine(database, policy="normal_form").apply_batch(queries)
+    assert sequential.live_rows("R") == batched.live_rows("R") == {(1, 1), (3, 1), (5, 1)}
+    assert sequential.stats.rows_matched == batched.stats.rows_matched == 3
+
+
+def test_deferred_flush_on_observation():
+    """Reading provenance from the deferred executor flushes first."""
+    database = Database.from_rows("R", ["a", "b"], [(1, 0), (2, 0), (3, 1)])
+    r = database.schema.relation("R")
+    engine = Engine(database, policy="normal_form_batch")
+    engine.apply_batch(
+        [
+            Delete.where(r, {"b": 0}, annotation="p"),
+            Delete.where(r, {"b": 0}, annotation="q"),
+        ]
+    )
+    for _row, expr, live in engine.provenance("R"):
+        if not live:
+            # A flushed annotation is normal-form shaped, not a raw chain:
+            # the two same-pattern deletions collapse to the outermost one.
+            assert expr.kind in ("-",)

@@ -32,6 +32,9 @@ def test_snapshot_keys_are_stable():
         "rows_matched",
         "rows_created",
         "wall_time",
+        "batches",
+        "batched_queries",
+        "batch_time",
     }
 
 

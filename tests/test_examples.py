@@ -6,6 +6,8 @@ import sys
 
 import pytest
 
+from .conftest import subprocess_env
+
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 MARKERS = {
@@ -27,6 +29,7 @@ def test_all_examples_are_covered():
 def test_example_runs(name):
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
+        env=subprocess_env(),
         capture_output=True,
         text=True,
         timeout=180,
