@@ -37,9 +37,11 @@ __all__ = [
     "BatchComparison",
     "CacheComparison",
     "Checkpoint",
+    "IndexComparison",
     "SeriesRun",
     "UsageMeasurement",
     "batch_comparison",
+    "index_comparison",
     "repeated_normalization_workload",
     "rewrite_cache_comparison",
     "series_run",
@@ -325,6 +327,114 @@ def batch_comparison(
         sequential_time=sequential.stats.wall_time,
         batched_time=batched.stats.wall_time,
         batches=batched.stats.batches,
+        consistent=consistent,
+    )
+
+
+@dataclass
+class IndexComparison:
+    """One log, applied with maintained column indexes vs. forced linear scans.
+
+    Both runs use the very same executor code; the linear side only flips
+    the store's ``use_indexes`` switch, so every pattern matching takes
+    the planner's guaranteed fallback path.  Times are the engines'
+    accumulated executor wall time; the indexed run is timed first so the
+    process-wide expression caches it warms benefit the *linear* side
+    (the comparison is conservative for the indexes).  ``consistent``
+    checks bit-identical outcomes: equal live rows per relation and, for
+    provenance-tracking policies, the identical (interned) annotation
+    object on every stored row.
+    """
+
+    policy: str
+    queries: int
+    relation_rows: int
+    indexed_time: float
+    linear_time: float
+    index_hits: int
+    fallback_scans: int
+    consistent: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.linear_time / self.indexed_time if self.indexed_time else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "queries": self.queries,
+            "relation_rows": self.relation_rows,
+            "indexed_time": self.indexed_time,
+            "linear_time": self.linear_time,
+            "speedup": self.speedup,
+            "index_hits": self.index_hits,
+            "fallback_scans": self.fallback_scans,
+            "consistent": self.consistent,
+        }
+
+
+def _bit_identical(indexed: Engine, linear: Engine, database: Database) -> bool:
+    for relation in database.schema.names:
+        if indexed.live_rows(relation) != linear.live_rows(relation):
+            return False
+        if indexed.executor.tracks_provenance:
+            a = {row: expr for row, expr, _live in indexed.provenance(relation)}
+            b = {row: expr for row, expr, _live in linear.provenance(relation)}
+            if set(a) != set(b) or any(a[row] is not b[row] for row in a):
+                return False
+    return True
+
+
+def index_comparison(
+    database: Database | None = None,
+    log: UpdateLog | Transaction | None = None,
+    policy: str = "normal_form",
+    verify: bool = True,
+) -> IndexComparison:
+    """Apply ``log`` with indexed and with linear matching and compare.
+
+    With no workload given, builds a fig7/fig8-style synthetic scenario:
+    a large relation with a small hot set selected by ``grp``-equality
+    patterns, the selective regime where maintained indexes make match
+    cost proportional to matched rows instead of relation size (expect
+    ≥5x on large relations; the tier-1 floor asserts ≥1.5x at a much
+    smaller, CI-friendly scale).
+    """
+    if database is None or log is None:
+        from ..workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+        config = SyntheticConfig(
+            n_tuples=20_000, n_queries=300, n_groups=20, group_size=10, seed=3
+        )
+        database = synthetic_database(config)
+        log = synthetic_log(config).as_single_transaction()
+
+    # The indexed run goes FIRST: both runs build the same interned
+    # expressions, so whichever goes second inherits a warm intern table
+    # (and rewrite memos).  Timing indexed-first hands that warmth to the
+    # linear side, biasing the measurement *against* the asserted speedup.
+    indexed = Engine(database, policy=policy)
+    store = getattr(indexed.executor, "store", None)
+    if store is None:
+        from ..errors import EngineError
+
+        raise EngineError(f"policy {policy!r} does not sit on the annotation store")
+    indexed.apply(log)
+    linear = Engine(database, policy=policy)
+    linear.executor.store.use_indexes = False
+    linear.apply(log)
+
+    consistent = True
+    if verify:
+        consistent = _bit_identical(indexed, linear, database)
+    return IndexComparison(
+        policy=policy,
+        queries=indexed.stats.queries,
+        relation_rows=database.total_rows(),
+        indexed_time=indexed.stats.wall_time,
+        linear_time=linear.stats.wall_time,
+        index_hits=indexed.stats.index_hits,
+        fallback_scans=indexed.stats.fallback_scans,
         consistent=consistent,
     )
 

@@ -225,6 +225,12 @@ def cmd_sql(args: argparse.Namespace) -> int:
                 shown = minimize(expr) if args.minimize else expr
                 flag = "live" if live else "gone"
                 print(f"  [{flag}] {row!r}  ::  {shown}")
+        stats = engine.stats
+        print(
+            f"-- planner: {stats.index_hits} index hits, "
+            f"{stats.fallback_scans} fallback scans, "
+            f"{stats.index_rows_examined} rows examined via indexes"
+        )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

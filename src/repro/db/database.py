@@ -72,8 +72,7 @@ class Database:
             target.add(relation.check_row(row))
 
     def discard(self, name: str, row: Sequence[object]) -> None:
-        self.schema.relation(name)
-        self._rows[name].discard(tuple(row))
+        self._rows[name].discard(self.schema.relation(name).check_row(row))
 
     # -- access ---------------------------------------------------------------
 

@@ -118,7 +118,13 @@ class Engine:
         matched, created = self.executor.apply(query)
         elapsed = self._clock() - start
         self.stats.record(query.kind, matched, created, elapsed)
+        self._sync_planner_stats()
         self._applied.append(query)
+
+    def _sync_planner_stats(self) -> None:
+        store = getattr(self.executor, "store", None)
+        if store is not None:
+            self.stats.sync_planner(store.stats)
 
     def apply_batch(self, item: UpdateQuery | Transaction | Iterable) -> "Engine":
         """Apply a query sequence through the batched pipeline.
@@ -143,6 +149,7 @@ class Engine:
             matched, created = self.executor.apply_batch(run)
             elapsed = self._clock() - start
             self.stats.record_batch([q.kind for q in run], matched, created, elapsed)
+            self._sync_planner_stats()
             self._applied.extend(run)
             run.clear()
 
@@ -226,6 +233,8 @@ class Engine:
             "provenance_size": self.provenance_size(),
             "wall_time": self.stats.wall_time,
             "queries": self.stats.queries,
+            "index_hits": self.stats.index_hits,
+            "fallback_scans": self.stats.fallback_scans,
         }
         if baseline is not None:
             base_rows = max(baseline.live_count(), 1)

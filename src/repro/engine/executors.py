@@ -12,28 +12,37 @@ Three executors implement the paper's three main configurations:
   semantics, but annotations are maintained as Theorem 5.3 shapes with the
   Figure 6 rules applied incrementally after every update.
 
+All of them sit on one shared storage layer, the
+:class:`~repro.store.annotation_store.AnnotationStore`: stable row ids,
+annotation slots, liveness bits, and per-column indexes maintained on
+every insertion and removal.  Row selection for deletions and
+modifications goes through the store's pattern planner — match cost is
+proportional to the matched rows, not the relation size, with a
+guaranteed linear-scan fallback — so no executor hand-rolls its own
+row-set/annotation-dict bookkeeping or scans relations wholesale.
+
 A detail that is easy to miss in the paper but visible in its Figure 4: the
 annotated semantics applies updates to every tuple with a *non-zero
 annotation*, including tombstones (that is how the tombstone
 ``(p1 +M (p3 *M p)) - p`` becomes a modification source under ``p'``).
-Real set-semantics liveness is tracked separately per row so that the
-vanilla result can always be recovered exactly (and is cross-checked in
-tests): a modification target is *live* iff it was live and not modified
-away, or some live source mapped onto it.
+The store searches the whole support accordingly.  Real set-semantics
+liveness is tracked separately per row so that the vanilla result can
+always be recovered exactly (and is cross-checked in tests): a
+modification target is *live* iff it was live and not modified away, or
+some live source mapped onto it.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from ..core.expr import Expr, ZERO, minus, plus_i, plus_m, ssum, times_m, var
 from ..core.normal_form import Contribution, NormalForm
 from ..core.normalize import normalize_expr
 from ..db.database import Database
 from ..errors import EngineError
-from ..queries.pattern import Pattern
 from ..queries.updates import Delete, Insert, Modify, UpdateQuery
+from ..store.annotation_store import AnnotationStore, RelationStore
 
 __all__ = [
     "Executor",
@@ -43,14 +52,6 @@ __all__ = [
     "BatchNormalFormExecutor",
     "AnnotatedExecutor",
 ]
-
-
-def _hashable(value: object) -> bool:
-    try:
-        hash(value)
-    except TypeError:
-        return False
-    return True
 
 
 class Executor:
@@ -72,13 +73,18 @@ class Executor:
         raise EngineError(f"unknown query type {type(query).__name__}")
 
     def apply_batch(self, queries: Sequence[UpdateQuery]) -> tuple[int, int]:
-        """Apply a run of queries as one unit; returns summed (matched, created).
+        """Apply a single-relation run of queries; returns summed (matched, created).
 
-        The default implementation is the sequential loop; executors that
-        can fuse a run (single scan, shared index, deferred normalization)
-        override this.  The engine only ever passes runs whose queries all
-        target one relation.
+        Selection already runs through the store's maintained indexes for
+        every single query, so a run needs no throwaway per-run index: the
+        batched pipeline's remaining leverage is deferred work at run and
+        transaction boundaries (see :class:`BatchNormalFormExecutor`).
+        Execution is query-by-query in run order, so results are
+        bit-identical to sequential application by construction.
         """
+        queries = list(queries)
+        if queries and any(q.relation != queries[0].relation for q in queries[1:]):
+            raise EngineError("apply_batch requires queries on a single relation")
         matched = created = 0
         for query in queries:
             m, c = self.apply(query)
@@ -147,113 +153,114 @@ class Executor:
         return frozenset()
 
 
-class VanillaExecutor(Executor):
+class StoreBackedExecutor(Executor):
+    """Common plumbing of every executor sitting on an :class:`AnnotationStore`."""
+
+    def __init__(self, database: Database, use_indexes: bool = True):
+        self.schema = database.schema
+        self.store = AnnotationStore(database.schema, use_indexes=use_indexes)
+
+    def _relation_store(self, name: str) -> RelationStore:
+        return self.store.relation(name)
+
+    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
+        return self.store.live_rows(relation)
+
+    def result(self) -> Database:
+        db = Database(self.schema)
+        for name, _store in self.store.relations():
+            db.extend(name, self.store.live_rows(name))
+        return db
+
+    def support_count(self) -> int:
+        return self.store.support_count()
+
+    def live_count(self) -> int:
+        return self.store.live_count()
+
+
+class VanillaExecutor(StoreBackedExecutor):
     """Set semantics, physical deletes, no annotations ("No provenance").
 
-    Rows live in per-relation dicts (insertion-ordered, value-less) — the
-    same container the annotated executors use — so runtime comparisons
-    against the provenance policies measure provenance work, not a
-    set-vs-dict iteration artifact.
+    Rows live in the same indexed store the annotated executors use (with
+    empty annotation slots) — so runtime comparisons against the
+    provenance policies measure provenance work, not a container artifact.
+    Deletions and modification sources *free* their rows: the vanilla
+    support is exactly the live database.
     """
 
     policy = "none"
     tracks_provenance = False
 
-    def __init__(self, database: Database):
-        self.schema = database.schema
-        self._rows: dict[str, dict[tuple, None]] = {
-            name: dict.fromkeys(database.rows(name)) for name in database.relations()
-        }
-
-    def _relation_rows(self, name: str) -> dict[tuple, None]:
-        try:
-            return self._rows[name]
-        except KeyError:
-            raise EngineError(f"unknown relation {name!r}") from None
+    def __init__(self, database: Database, use_indexes: bool = True):
+        super().__init__(database, use_indexes)
+        for name in database.relations():
+            store = self.store.relation(name)
+            for row in database.rows(name):
+                store.add(row, None, True)
 
     def apply_insert(self, query: Insert) -> tuple[int, int]:
-        rows = self._relation_rows(query.relation)
+        store = self._relation_store(query.relation)
         row = self.schema.relation(query.relation).check_row(query.row)
-        created = 0 if row in rows else 1
-        rows[row] = None
-        return (0, created)
+        if store.rows.rid_of(row) is not None:
+            return (0, 0)
+        store.add(row, None, True)
+        return (0, 1)
 
     def apply_delete(self, query: Delete) -> tuple[int, int]:
-        rows = self._relation_rows(query.relation)
-        pattern = query.pattern
-        matched = [row for row in rows if pattern.matches(row)]
-        for row in matched:
-            del rows[row]
+        store = self._relation_store(query.relation)
+        matched = store.matching(query.pattern)
+        for rid, _row in matched:
+            store.free(rid)
         return (len(matched), 0)
 
     def apply_modify(self, query: Modify) -> tuple[int, int]:
-        rows = self._relation_rows(query.relation)
-        pattern = query.pattern
-        matched = [row for row in rows if pattern.matches(row)]
-        images = {query.apply_to_row(row) for row in matched}
-        for row in matched:
-            del rows[row]
-        created = sum(1 for image in images if image not in rows)
-        rows.update(dict.fromkeys(images))
+        store = self._relation_store(query.relation)
+        matched = store.matching(query.pattern)
+        images = dict.fromkeys(query.apply_to_row(row) for _rid, row in matched)
+        for rid, _row in matched:
+            store.free(rid)
+        created = 0
+        for image in images:
+            if store.rows.rid_of(image) is None:
+                store.add(image, None, True)
+                created += 1
         return (len(matched), created)
 
-    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
-        return set(self._relation_rows(relation))
-
-    def result(self) -> Database:
-        db = Database(self.schema)
-        for name, rows in self._rows.items():
-            db.extend(name, rows)
-        return db
-
-    def support_count(self) -> int:
-        return sum(len(rows) for rows in self._rows.values())
-
-    def live_count(self) -> int:
-        return self.support_count()
-
     def provenance_items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
-        for row in self._relation_rows(relation):
+        for _rid, row in self._relation_store(relation).items():
             yield row, ZERO, True
 
 
-class _RowState:
-    """Mutable per-row state of an annotated executor."""
-
-    __slots__ = ("ann", "live")
-
-    def __init__(self, ann: object, live: bool):
-        self.ann = ann
-        self.live = live
-
-
-class AnnotatedExecutor(Executor):
+class AnnotatedExecutor(StoreBackedExecutor):
     """Shared machinery of the naive and normal-form policies.
 
     Subclasses provide the annotation algebra through five hooks
     (:meth:`_initial`, :meth:`_insert_ann`, :meth:`_delete_ann`,
-    :meth:`_contribution`, :meth:`_absorb`) plus :meth:`_expr_of`.
+    :meth:`_contribution`, :meth:`_absorb`) plus :meth:`_expr_of`; rows,
+    liveness and selection all live in the shared store.  Tuples are
+    tombstoned (``live = False``), never freed — updates match the whole
+    support.
     """
 
     def __init__(
         self,
         database: Database,
         annotate: Callable[[str, tuple, int], str] | None = None,
+        use_indexes: bool = True,
     ):
-        self.schema = database.schema
-        self._states: dict[str, dict[tuple, _RowState]] = {}
+        super().__init__(database, use_indexes)
         self._tuple_vars: dict[str, dict[tuple, str]] = {}
         namer = annotate or (lambda rel, row, i: f"x{i}")
         counter = 0
         for name in database.relations():
-            states: dict[tuple, _RowState] = {}
+            store = self.store.relation(name)
             names: dict[tuple, str] = {}
             for row in sorted(database.rows(name), key=repr):
                 counter += 1
                 ann_name = namer(name, row, counter)
                 names[row] = ann_name
-                states[row] = _RowState(self._initial(ann_name), True)
-            self._states[name] = states
+                store.add(row, self._initial(ann_name), True)
             self._tuple_vars[name] = names
 
     # -- algebra hooks --------------------------------------------------------
@@ -281,212 +288,92 @@ class AnnotatedExecutor(Executor):
 
     # -- query application ------------------------------------------------------
 
-    def _relation_states(self, name: str) -> dict[tuple, _RowState]:
-        try:
-            return self._states[name]
-        except KeyError:
-            raise EngineError(f"unknown relation {name!r}") from None
-
     def apply_insert(self, query: Insert) -> tuple[int, int]:
-        states = self._relation_states(query.relation)
+        store = self._relation_store(query.relation)
         row = self.schema.relation(query.relation).check_row(query.row)
-        return self._insert_checked(query, row, states)
-
-    def _insert_checked(
-        self, query: Insert, row: tuple, states: dict[tuple, _RowState]
-    ) -> tuple[int, int]:
         p = var(query._check_annotation())
-        state = states.get(row)
-        created = 0
-        if state is None:
-            states[row] = _RowState(self._insert_ann(None, p), True)
-            created = 1
-        else:
-            state.ann = self._insert_ann(state.ann, p)
-            state.live = True
-        return (0, created)
+        rows = store.rows
+        rid = rows.rid_of(row)
+        if rid is None:
+            store.add(row, self._insert_ann(None, p), True)
+            return (0, 1)
+        rows.set_annotation(rid, self._insert_ann(rows.annotation(rid), p))
+        rows.set_live(rid, True)
+        return (0, 0)
 
     def apply_delete(self, query: Delete) -> tuple[int, int]:
-        states = self._relation_states(query.relation)
+        store = self._relation_store(query.relation)
         p = var(query._check_annotation())
-        pattern = query.pattern
-        matched = 0
-        for row, state in states.items():
-            if pattern.matches(row):
-                state.ann = self._delete_ann(state.ann, p)
-                state.live = False
-                matched += 1
-        return (matched, 0)
+        matched = store.matching(query.pattern)
+        rows = store.rows
+        for rid, _row in matched:
+            rows.set_annotation(rid, self._delete_ann(rows.annotation(rid), p))
+            rows.set_live(rid, False)
+        return (len(matched), 0)
 
     def apply_modify(self, query: Modify) -> tuple[int, int]:
-        states = self._relation_states(query.relation)
-        pattern = query.pattern
+        store = self._relation_store(query.relation)
         # Phase 1: select sources over the whole support (tombstones
-        # included); phases 2/3 are shared with the batched path.
-        matched = [(row, state) for row, state in states.items() if pattern.matches(row)]
-        return self._modify_matched(states, matched, query)
+        # included), through the planner.
+        matched = store.matching(query.pattern)
+        return self._modify_matched(store, matched, query)
 
     def _modify_matched(
         self,
-        states: dict[tuple, _RowState],
-        matched: list[tuple[tuple, _RowState]],
+        store: RelationStore,
+        matched: list[tuple[int, tuple]],
         query: Modify,
-        on_created: Callable[[tuple, _RowState], None] | None = None,
     ) -> tuple[int, int]:
-        """Phases 2/3 of a modification over pre-matched (row, state) pairs.
-
-        ``on_created`` is invoked for every freshly created target row — the
-        batched path uses it to keep its selection index current.
-        """
+        """Phases 2/3 of a modification over pre-matched (rid, row) pairs."""
         p = var(query._check_annotation())
+        rows = store.rows
         # Collect the *pre-state* contributions of the matched sources.
         by_target: dict[tuple, list[object]] = {}
         live_target: dict[tuple, bool] = {}
-        for row, state in matched:
+        for rid, row in matched:
             target = query.apply_to_row(row)
-            by_target.setdefault(target, []).append(self._contribution(state.ann, p))
-            live_target[target] = live_target.get(target, False) or state.live
+            by_target.setdefault(target, []).append(
+                self._contribution(rows.annotation(rid), p)
+            )
+            live_target[target] = live_target.get(target, False) or rows.is_live(rid)
         # Phase 2: sources are modified away (deleted).
-        for _row, state in matched:
-            state.ann = self._delete_ann(state.ann, p)
-            state.live = False
+        for rid, _row in matched:
+            rows.set_annotation(rid, self._delete_ann(rows.annotation(rid), p))
+            rows.set_live(rid, False)
         # Phase 3: targets absorb the merged contributions.
         created = 0
         for target, contributions in by_target.items():
             merged = self._merge(contributions)
-            state = states.get(target)
-            if state is None:
+            rid = rows.rid_of(target)
+            if rid is None:
                 ann = self._absorb(None, merged, p)
                 if self._expr_of(ann).is_zero and not live_target[target]:
                     # All sources were deleted under this very annotation:
                     # the target's annotation is 0, i.e. it never enters the
                     # support (Rule 3 firing on an absent target).
                     continue
-                state = _RowState(ann, False)
-                states[target] = state
+                store.add(target, ann, live_target[target])
                 created += 1
-                if on_created is not None:
-                    on_created(target, state)
             else:
-                state.ann = self._absorb(state.ann, merged, p)
-            state.live = state.live or live_target[target]
+                rows.set_annotation(rid, self._absorb(rows.annotation(rid), merged, p))
+                rows.set_live(rid, rows.is_live(rid) or live_target[target])
         return (len(matched), created)
-
-    # -- batched application ----------------------------------------------------
-
-    def apply_batch(self, queries: Sequence[UpdateQuery]) -> tuple[int, int]:
-        """Apply a single-relation run of queries as one fused, indexed pass.
-
-        Hyperplane deletions and modifications select rows by per-attribute
-        constraints, so a run of them can share a one-column hash index
-        built in a single scan of the support: each query then touches only
-        the rows holding its selected constant instead of re-scanning the
-        whole relation — O(|support| + Σ touched) instead of
-        O(n_queries × |support|).  The index stays exact for the whole run
-        because annotated executors never physically remove rows; rows
-        created mid-run (insertions, modification targets) are appended.
-
-        Execution order is identical to the sequential path — per query, in
-        run order, with candidate rows visited in support order — so the
-        resulting states and provenance expressions are bit-identical to
-        ``for q in queries: self.apply(q)``.
-        """
-        queries = list(queries)
-        if not queries:
-            return (0, 0)
-        relation = queries[0].relation
-        if any(q.relation != relation for q in queries[1:]):
-            raise EngineError("apply_batch requires queries on a single relation")
-        if len(queries) == 1:
-            return self.apply(queries[0])
-        states = self._relation_states(relation)
-        col = self._fusion_column(queries)
-        if col is None:
-            return super().apply_batch(queries)
-        index: dict[object, list[tuple[tuple, _RowState]]] = {}
-        for row, state in states.items():
-            index.setdefault(row[col], []).append((row, state))
-
-        def indexed(target: tuple, state: _RowState) -> None:
-            index.setdefault(target[col], []).append((target, state))
-
-        total_matched = total_created = 0
-        for query in queries:
-            if isinstance(query, Insert):
-                row = self.schema.relation(relation).check_row(query.row)
-                m, c = self._insert_checked(query, row, states)
-                if c:
-                    indexed(row, states[row])
-            else:
-                pattern = query.pattern
-                if col in pattern.eq and _hashable(pattern.eq[col]):
-                    candidates = index.get(pattern.eq[col], ())
-                else:
-                    candidates = list(states.items())
-                matched = [(row, state) for row, state in candidates if pattern.matches(row)]
-                if isinstance(query, Delete):
-                    p = var(query._check_annotation())
-                    for _row, state in matched:
-                        state.ann = self._delete_ann(state.ann, p)
-                        state.live = False
-                    m, c = len(matched), 0
-                else:
-                    m, c = self._modify_matched(states, matched, query, on_created=indexed)
-            total_matched += m
-            total_created += c
-        return (total_matched, total_created)
-
-    @staticmethod
-    def _fusion_column(queries: Sequence[UpdateQuery]) -> int | None:
-        """The attribute position to index a run on, or ``None``.
-
-        Picks the position that appears as an equality constraint in the
-        most deletion/modification patterns of the run; indexing only pays
-        once it replaces at least two full scans.  Unhashable constants
-        (patterns accept them; they simply match nothing) cannot be index
-        keys and count as full scans.
-        """
-        counts: Counter[int] = Counter()
-        for query in queries:
-            if isinstance(query, (Delete, Modify)) and query.pattern.eq:
-                counts.update(i for i, v in query.pattern.eq.items() if _hashable(v))
-        if not counts:
-            return None
-        col, uses = counts.most_common(1)[0]
-        return col if uses >= 2 else None
 
     # -- inspection ---------------------------------------------------------------
 
-    def live_rows(self, relation: str) -> set[tuple[object, ...]]:
-        return {row for row, state in self._relation_states(relation).items() if state.live}
-
-    def result(self) -> Database:
-        db = Database(self.schema)
-        for name, states in self._states.items():
-            db.extend(name, (row for row, state in states.items() if state.live))
-        return db
-
-    def support_count(self) -> int:
-        return sum(len(states) for states in self._states.values())
-
-    def live_count(self) -> int:
-        return sum(
-            1 for states in self._states.values() for state in states.values() if state.live
-        )
-
     def provenance_size(self) -> int:
         return sum(
-            self._expr_of(state.ann).size()
-            for states in self._states.values()
-            for state in states.values()
+            self._expr_of(ann).size()
+            for name, _store in self.store.relations()
+            for _row, ann, _live in self.store.items(name)
         )
 
     def provenance_dag_size(self) -> int:
         seen: set[int] = set()
         stack: list[Expr] = []
-        for states in self._states.values():
-            for state in states.values():
-                root = self._expr_of(state.ann)
+        for name, _store in self.store.relations():
+            for _row, ann, _live in self.store.items(name):
+                root = self._expr_of(ann)
                 if id(root) not in seen:
                     stack.append(root)
                 # One shared visited set across all rows: shared sub-DAGs are
@@ -500,8 +387,8 @@ class AnnotatedExecutor(Executor):
         return len(seen)
 
     def provenance_items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
-        for row, state in self._relation_states(relation).items():
-            yield row, self._expr_of(state.ann), state.live
+        for row, ann, live in self.store.items(relation):
+            yield row, self._expr_of(ann), live
 
     def tuple_var(self, relation: str, row: tuple) -> str | None:
         return self._tuple_vars.get(relation, {}).get(tuple(row))
@@ -600,14 +487,16 @@ class BatchNormalFormExecutor(NaiveExecutor):
         live row can never normalize to ``0`` (Proposition 4.2: liveness is
         the all-true Boolean valuation of the annotation).
         """
-        for states in self._states.values():
-            dead_zero: list[tuple] = []
-            for row, state in states.items():
-                state.ann = normalize_expr(state.ann)
-                if state.ann.is_zero and not state.live:
-                    dead_zero.append(row)
-            for row in dead_zero:
-                del states[row]
+        for _name, store in self.store.relations():
+            rows = store.rows
+            dead_zero: list[int] = []
+            for rid, _row in rows.items():
+                ann = normalize_expr(rows.annotation(rid))
+                rows.set_annotation(rid, ann)
+                if ann.is_zero and not rows.is_live(rid):
+                    dead_zero.append(rid)
+            for rid in dead_zero:
+                store.free(rid)
 
     def on_transaction_end(self, name: str) -> None:
         self.flush()

@@ -30,6 +30,12 @@ class EngineStats:
     batched_queries: int = 0
     #: Wall time spent inside fused runs (subset of ``wall_time``).
     batch_time: float = 0.0
+    #: Pattern matchings the store served from its column indexes.
+    index_hits: int = 0
+    #: Pattern matchings that fell back to a linear scan of the support.
+    fallback_scans: int = 0
+    #: Candidate rows the indexes handed to the predicate (indexed path only).
+    index_rows_examined: int = 0
     per_query_time: list[float] = field(default_factory=list, repr=False)
 
     def record(self, kind: str, matched: int, created: int, elapsed: float) -> None:
@@ -61,6 +67,16 @@ class EngineStats:
         self.wall_time += elapsed
         self.per_query_time.extend([elapsed / len(kinds)] * len(kinds))
 
+    def sync_planner(self, planner_stats) -> None:
+        """Mirror a store's cumulative planner decisions into these counters.
+
+        Planner counters are monotone totals owned by the executor's store,
+        so they are copied, not summed.
+        """
+        self.index_hits = planner_stats.index_hits
+        self.fallback_scans = planner_stats.fallback_scans
+        self.index_rows_examined = planner_stats.rows_examined
+
     def _count_kind(self, kind: str) -> None:
         if kind == "insert":
             self.inserts += 1
@@ -83,4 +99,7 @@ class EngineStats:
             "batches": self.batches,
             "batched_queries": self.batched_queries,
             "batch_time": self.batch_time,
+            "index_hits": self.index_hits,
+            "fallback_scans": self.fallback_scans,
+            "index_rows_examined": self.index_rows_examined,
         }

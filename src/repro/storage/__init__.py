@@ -9,7 +9,13 @@ from .exprjson import (
     expr_to_json,
     expr_to_nested,
 )
-from .snapshot import AnnotatedSnapshot, load_snapshot, save_snapshot
+from .snapshot import (
+    AnnotatedSnapshot,
+    load_snapshot,
+    restore_executor,
+    save_snapshot,
+    store_from_snapshot,
+)
 
 __all__ = [
     "AnnotatedSnapshot",
@@ -22,5 +28,7 @@ __all__ = [
     "expr_to_nested",
     "load_csv",
     "load_snapshot",
+    "restore_executor",
     "save_snapshot",
+    "store_from_snapshot",
 ]

@@ -30,9 +30,16 @@ from ..core.minimize import minimize
 from ..db.database import Database
 from ..db.schema import Relation, Schema
 from ..errors import StorageError
+from ..store.annotation_store import AnnotationStore
 from .exprjson import expr_from_dict, expr_to_dict
 
-__all__ = ["AnnotatedSnapshot", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "AnnotatedSnapshot",
+    "restore_executor",
+    "save_snapshot",
+    "load_snapshot",
+    "store_from_snapshot",
+]
 
 
 class AnnotatedSnapshot:
@@ -58,6 +65,23 @@ class AnnotatedSnapshot:
                         "annotations; snapshots hold UP[X] expressions"
                     )
                 bucket[row] = (expr, live)
+        return snapshot
+
+    @classmethod
+    def from_store(
+        cls, store: AnnotationStore, meta: Mapping[str, object] | None = None
+    ) -> "AnnotatedSnapshot":
+        """Capture an :class:`AnnotationStore` whose slots hold expressions."""
+        snapshot = cls(store.schema, meta)
+        for name, _relation_store in store.relations():
+            bucket = snapshot._rows[name]
+            for row, ann, live in store.items(name):
+                if not isinstance(ann, Expr):
+                    raise StorageError(
+                        f"store slot holds {type(ann).__name__}; snapshots hold "
+                        "UP[X] expressions"
+                    )
+                bucket[row] = (ann, live)
         return snapshot
 
     # -- content access ---------------------------------------------------------
@@ -121,6 +145,51 @@ class AnnotatedSnapshot:
 
     def __repr__(self) -> str:
         return f"AnnotatedSnapshot({self.row_count()} rows, size={self.provenance_size()})"
+
+
+# ---------------------------------------------------------------------------
+# Store round-trip
+# ---------------------------------------------------------------------------
+
+
+def store_from_snapshot(
+    snapshot: AnnotatedSnapshot, use_indexes: bool = True
+) -> AnnotationStore:
+    """Rebuild an :class:`AnnotationStore` from a snapshot.
+
+    Only row values, liveness bits and expression annotations are
+    persisted; row ids and the per-column indexes are storage artifacts
+    and are rebuilt here, one :meth:`RelationStore.add` per stored row.
+    """
+    store = AnnotationStore(snapshot.schema, use_indexes=use_indexes)
+    for name in snapshot.schema.names:
+        relation_store = store.relation(name)
+        for row, expr, live in snapshot.items(name):
+            relation_store.add(row, expr, live)
+    return store
+
+
+def restore_executor(snapshot: AnnotatedSnapshot, policy: str = "naive"):
+    """An executor resuming from a snapshot's annotated state.
+
+    Only policies whose annotation slots hold plain UP[X] expressions can
+    resume — ``naive`` and ``normal_form_batch`` (the incremental
+    ``normal_form`` policy keeps Theorem 5.3 state machines that a
+    detached expression does not determine).  Initial-tuple variable names
+    are not part of a snapshot, so :meth:`Executor.tuple_var` lookups on
+    the restored executor return ``None``.
+    """
+    from ..engine.engine import make_executor
+    from ..engine.executors import NaiveExecutor
+
+    executor = make_executor(Database(snapshot.schema), policy)
+    if not isinstance(executor, NaiveExecutor):  # includes normal_form_batch
+        raise StorageError(
+            f"policy {policy!r} cannot resume from an expression snapshot; "
+            "use 'naive' or 'normal_form_batch'"
+        )
+    executor.store = store_from_snapshot(snapshot)
+    return executor
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Indexed annotation storage shared by every executor.
+
+Layering::
+
+    AnnotationStore          per-relation stores + shared PlannerStats
+      └─ RelationStore       one relation: rows + maintained indexes
+           ├─ RowStore       stable row ids, annotation slots, liveness
+           └─ ColumnIndex    per-position value → row-id sets
+    planner.compile_plan     Pattern → index-intersection plan | scan
+"""
+
+from .annotation_store import AnnotationStore, PlannerStats, RelationStore
+from .column_index import ColumnIndex
+from .planner import SCAN, Plan, compile_plan
+from .row_store import RowStore
+
+__all__ = [
+    "AnnotationStore",
+    "ColumnIndex",
+    "Plan",
+    "PlannerStats",
+    "RelationStore",
+    "RowStore",
+    "SCAN",
+    "compile_plan",
+]

@@ -1,0 +1,74 @@
+"""Per-column hash indexes over a :class:`~repro.store.row_store.RowStore`.
+
+A :class:`ColumnIndex` maintains one attribute position's ``value →
+row-id set`` map, updated on every row addition and removal.  Rows are
+immutable once stored (a modification tombstones the source and appends
+the image as a new row), so the index never has to handle in-place value
+changes.
+
+Domain values are arbitrary Python objects; a value that does not hash
+cannot live in a bucket, so its row id goes into a *residual* set that
+every lookup includes.  The pattern predicate still filters every
+candidate, so residual rows are matched exactly — just without index
+acceleration.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ColumnIndex"]
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class ColumnIndex:
+    """``value → row-id set`` for one attribute position."""
+
+    __slots__ = ("_buckets", "_residual")
+
+    def __init__(self):
+        self._buckets: dict[object, set[int]] = {}
+        self._residual: set[int] = set()
+
+    def add(self, rid: int, value: object) -> None:
+        try:
+            bucket = self._buckets.get(value)
+        except TypeError:  # unhashable value
+            self._residual.add(rid)
+            return
+        if bucket is None:
+            self._buckets[value] = {rid}
+        else:
+            bucket.add(rid)
+
+    def remove(self, rid: int, value: object) -> None:
+        try:
+            bucket = self._buckets.get(value)
+        except TypeError:
+            self._residual.discard(rid)
+            return
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._buckets[value]
+
+    def candidates(self, value: object) -> frozenset[int] | set[int] | None:
+        """Row ids that may carry ``value`` at this position.
+
+        Returns ``None`` when ``value`` is unhashable — the index cannot
+        serve the constraint and the planner must fall back.  The returned
+        set is shared state; callers must not mutate it.
+        """
+        try:
+            bucket = self._buckets.get(value, _EMPTY)
+        except TypeError:
+            return None
+        if not self._residual:
+            return bucket
+        return set(bucket) | self._residual
+
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        """Indexed row entries (residual rows included)."""
+        return sum(len(b) for b in self._buckets.values()) + len(self._residual)

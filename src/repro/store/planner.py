@@ -1,0 +1,63 @@
+"""Compile a hyperplane pattern into an index access plan.
+
+Hyperplane patterns constrain attribute positions independently, so the
+only planning decision is *which equality constraints to serve from
+column indexes*.  The plan lists those positions; execution (in
+:mod:`repro.store.annotation_store`) intersects their candidate row-id
+sets smallest-first and then runs the full pattern predicate over the
+survivors.  Disequality constraints and unindexable equalities are always
+left to the predicate, never the index, so a plan's result set is
+identical to a linear scan by construction — and a pattern with no usable
+equality constraint compiles to the guaranteed linear-scan fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..queries.pattern import Pattern
+
+__all__ = ["Plan", "SCAN", "compile_plan", "hashable"]
+
+
+def hashable(value: object) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An index-intersection plan: the positions whose indexes to probe.
+
+    An empty position tuple is the linear-scan fallback.
+    """
+
+    positions: tuple[int, ...] = ()
+
+    @property
+    def is_scan(self) -> bool:
+        return not self.positions
+
+    def describe(self) -> str:
+        if self.is_scan:
+            return "scan"
+        return "index(" + ",".join(f"${i}" for i in self.positions) + ")"
+
+
+#: The shared fallback plan.
+SCAN = Plan()
+
+
+def compile_plan(pattern: Pattern) -> Plan:
+    """The plan for one pattern: every indexable equality constraint.
+
+    An equality constant that does not hash cannot be an index key
+    (patterns accept such constants; they simply match no hashable value)
+    and is left to the predicate.  Positions are probed in pattern order;
+    execution reorders candidate sets by size anyway.
+    """
+    positions = tuple(i for i, v in pattern.eq.items() if hashable(v))
+    return Plan(positions) if positions else SCAN

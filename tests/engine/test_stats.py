@@ -35,6 +35,9 @@ def test_snapshot_keys_are_stable():
         "batches",
         "batched_queries",
         "batch_time",
+        "index_hits",
+        "fallback_scans",
+        "index_rows_examined",
     }
 
 
