@@ -6,6 +6,8 @@ Subcommands::
     repro figure fig7 [fig8 ...]      regenerate evaluation figures
     repro figure all --save out/      all figures, JSON+CSV persisted
     repro tpcc --queries 400          generate + run a TPC-C log, report overheads
+    repro tpcc --journal state/ --policy naive   same, durably (WAL + checkpoints)
+    repro recover state/              resume a journaled directory after a crash
     repro sql --schema R:a,b script   execute a SQL-fragment script with provenance
     repro axioms                      check every shipped structure against Figure 3
 
@@ -52,7 +54,48 @@ def build_parser() -> argparse.ArgumentParser:
     tpcc.add_argument(
         "--policy", default="normal_form", help="none | naive | normal_form | mv_tree | mv_string"
     )
+    tpcc.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="run durably: write-ahead log + checkpoints in DIR (requires a "
+        "resumable policy: naive or normal_form_batch)",
+    )
+    tpcc.add_argument(
+        "--journal-sync",
+        choices=["none", "flush", "fsync"],
+        default="flush",
+        help="journal sync policy (default: flush)",
+    )
+    tpcc.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="checkpoint after N journal records (default: 1024)",
+    )
     tpcc.set_defaults(func=cmd_tpcc)
+
+    recover = sub.add_parser(
+        "recover", help="recover a journaled engine directory (checkpoint + log tail)"
+    )
+    recover.add_argument("directory", help="directory holding checkpoint.sqlite + journal.log")
+    recover.add_argument(
+        "--journal-sync",
+        choices=["none", "flush", "fsync"],
+        default="flush",
+        help="sync policy for the resumed journal (match the original run; "
+        "default: flush)",
+    )
+    recover.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="checkpoint threshold for the resumed engine (match the original "
+        "run; default: 1024)",
+    )
+    recover.set_defaults(func=cmd_recover)
 
     sql = sub.add_parser("sql", help="run a SQL-fragment script with provenance tracking")
     sql.add_argument("script", help="path to the script, or '-' for stdin")
@@ -169,6 +212,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_tpcc(args: argparse.Namespace) -> int:
     from .engine.engine import Engine
+    from .errors import ReproError
     from .tpcc.driver import generate_tpcc
     from .tpcc.loader import TPCCScale
 
@@ -181,13 +225,65 @@ def cmd_tpcc(args: argparse.Namespace) -> int:
         f"({', '.join(f'{k}={v}' for k, v in workload.mix_counts.items() if v)})"
     )
     baseline = Engine(workload.database, policy="none").apply(workload.log)
-    engine = Engine(workload.database, policy=args.policy).apply(workload.log)
+    if args.journal:
+        from .wal import JournaledEngine
+
+        try:
+            engine = JournaledEngine(
+                workload.database,
+                args.journal,
+                policy=args.policy,
+                sync=args.journal_sync,
+                checkpoint_every=args.checkpoint_every,
+            )
+            engine.apply(workload.log)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        engine = Engine(workload.database, policy=args.policy).apply(workload.log)
     report = engine.overhead_report(baseline)
     for key, value in report.items():
         print(f"  {key}: {value}")
+    if args.journal:
+        engine.close()
+        print(
+            f"  journal: {engine.journal.appended} records appended, "
+            f"{engine.checkpoints.written} checkpoints "
+            f"({engine.stats.checkpoint_time:.3f}s) -> {args.journal}"
+        )
     if not engine.result().same_contents(baseline.result()):
         print("error: provenance run diverged from the vanilla result", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .wal import recover
+
+    try:
+        engine = recover(
+            args.directory,
+            sync=args.journal_sync,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = engine.recovery
+    print(f"recovered {args.directory} (policy {report.policy})")
+    for key, value in report.as_dict().items():
+        if key != "policy":
+            print(f"  {key}: {value}")
+    stats = engine.stats
+    print(
+        f"  lifetime: {stats.queries} queries in {stats.transactions} transactions, "
+        f"{stats.rows_created} rows created"
+    )
+    # Fold the replayed tail into a fresh checkpoint so the next recovery
+    # starts clean, and close the journal.
+    engine.close()
     return 0
 
 

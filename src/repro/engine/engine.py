@@ -85,12 +85,19 @@ class Engine:
         policy: str = "normal_form",
         annotate: Callable[[str, tuple, int], str] | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        journal=None,
     ):
         self.policy = policy
         self.executor = make_executor(database, policy, annotate)
         self.stats = EngineStats()
         self._clock = clock
         self._applied: list[UpdateQuery] = []
+        #: Write-ahead journal hook (see ``repro.wal``).  Anything with
+        #: ``append_query`` / ``append_txn_end`` / ``append_batch_end``
+        #: works; every update is journaled *before* it is applied, so a
+        #: crash mid-apply re-applies the record on recovery (redo-log
+        #: discipline) instead of losing it.
+        self.journal = journal
 
     # -- applying updates -------------------------------------------------------
 
@@ -104,6 +111,8 @@ class Engine:
         elif isinstance(item, Transaction):
             for query in item:
                 self._apply_query(query)
+            if self.journal is not None:
+                self.journal.append_txn_end(item.name)
             self.executor.on_transaction_end(item.name)
             self.stats.transactions += 1
         elif isinstance(item, Iterable):
@@ -114,8 +123,21 @@ class Engine:
         return self
 
     def _apply_query(self, query: UpdateQuery) -> None:
+        # The journal append sits inside the timed section (as in the
+        # batched path), so a journaled run's wall_time reflects the
+        # per-record sync cost it actually pays.
         start = self._clock()
-        matched, created = self.executor.apply(query)
+        if self.journal is not None:
+            self.journal.append_query(query)
+        try:
+            matched, created = self.executor.apply(query)
+        except Exception:
+            if self.journal is not None:
+                # The write-ahead record must not replay on recovery:
+                # executors validate before mutating, so a raising apply
+                # left no state change to redo.
+                self.journal.append_abort()
+            raise
         elapsed = self._clock() - start
         self.stats.record(query.kind, matched, created, elapsed)
         self._sync_planner_stats()
@@ -146,7 +168,26 @@ class Engine:
             if not run:
                 return
             start = self._clock()
-            matched, created = self.executor.apply_batch(run)
+            if self.journal is None:
+                matched, created = self.executor.apply_batch(run)
+            else:
+                # Journaled runs take the per-query write-ahead protocol
+                # (append, apply, abort-compensate on a raising apply), so
+                # the journal always reflects exactly the applied prefix
+                # of a run.  Executor.apply_batch is bit-identical to this
+                # loop by construction (no executor overrides it), so run
+                # semantics are unchanged; only the fused call is given up.
+                matched = created = 0
+                for query in run:
+                    self.journal.append_query(query)
+                    try:
+                        m, c = self.executor.apply(query)
+                    except Exception:
+                        self.journal.append_abort()
+                        raise
+                    matched += m
+                    created += c
+                self.journal.append_batch_end(len(run))
             elapsed = self._clock() - start
             self.stats.record_batch([q.kind for q in run], matched, created, elapsed)
             self._sync_planner_stats()
@@ -163,6 +204,8 @@ class Engine:
                 for query in item:
                     feed(query)
                 flush_run()
+                if self.journal is not None:
+                    self.journal.append_txn_end(item.name)
                 self.executor.on_transaction_end(item.name)
                 self.stats.transactions += 1
             elif isinstance(item, Iterable):

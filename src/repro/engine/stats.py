@@ -36,6 +36,9 @@ class EngineStats:
     fallback_scans: int = 0
     #: Candidate rows the indexes handed to the predicate (indexed path only).
     index_rows_examined: int = 0
+    #: Wall time spent writing durability checkpoints (outside ``wall_time``,
+    #: which stays the per-query executor time the Section 6 series report).
+    checkpoint_time: float = 0.0
     per_query_time: list[float] = field(default_factory=list, repr=False)
 
     def record(self, kind: str, matched: int, created: int, elapsed: float) -> None:
@@ -85,6 +88,22 @@ class EngineStats:
         else:
             self.modifies += 1
 
+    @classmethod
+    def restore(cls, counters: "dict | None") -> "EngineStats":
+        """Rebuild stats from a :meth:`snapshot` dict (resumable engines).
+
+        Used by the WAL recovery path so a recovered engine's counters
+        continue from where the crashed process left off.  Unknown keys
+        are ignored (old checkpoints stay loadable); ``per_query_time``
+        is not part of a snapshot, so the restored list restarts empty —
+        documented in ``docs/ARCHITECTURE.md``.
+        """
+        stats = cls()
+        for key, value in (counters or {}).items():
+            if key in _SNAPSHOT_KEYS:
+                setattr(stats, key, value)
+        return stats
+
     def snapshot(self) -> dict[str, float | int]:
         """A plain-dict summary (stable keys for reports and benches)."""
         return {
@@ -102,4 +121,9 @@ class EngineStats:
             "index_hits": self.index_hits,
             "fallback_scans": self.fallback_scans,
             "index_rows_examined": self.index_rows_examined,
+            "checkpoint_time": self.checkpoint_time,
         }
+
+
+#: Scalar counters a snapshot round-trips (everything but per_query_time).
+_SNAPSHOT_KEYS = frozenset(EngineStats().snapshot())

@@ -21,6 +21,7 @@ little cross-row sharing to lose, and the format stays row-independent).
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 from pathlib import Path
 from typing import Callable, Iterator, Mapping
@@ -87,8 +88,8 @@ class AnnotatedSnapshot:
     # -- content access ---------------------------------------------------------
 
     def set(self, relation: str, row: tuple, expr: Expr, live: bool) -> None:
-        self.schema.relation(relation).check_row(row)
-        self._rows[relation][tuple(row)] = (expr, live)
+        checked = self.schema.relation(relation).check_row(row)
+        self._rows[relation][checked] = (expr, live)
 
     def annotation(self, relation: str, row: tuple) -> Expr | None:
         entry = self._rows.get(relation, {}).get(tuple(row))
@@ -209,33 +210,66 @@ CREATE TABLE rows (
 """
 
 
-def save_snapshot(snapshot: AnnotatedSnapshot, path: str | Path) -> None:
-    """Write a snapshot to a sqlite3 file (replacing any existing file)."""
+def save_snapshot(snapshot: AnnotatedSnapshot, path: str | Path, fsync: bool = False) -> None:
+    """Write a snapshot to a sqlite3 file (replacing any existing file).
+
+    The write is *atomic*: the snapshot is fully built in a sibling temp
+    file and moved onto ``path`` with :func:`os.replace`, so a crash
+    mid-save leaves any previous snapshot at ``path`` untouched — either
+    the old file or the complete new one exists, never a torn mix.  With
+    ``fsync`` the temp file and the containing directory are synced
+    around the rename, making the replacement survive power loss, not
+    just process crashes (the WAL checkpoint manager passes it through
+    from the journal's sync policy).
+    """
     path = Path(path)
-    if path.exists():
-        path.unlink()
-    conn = sqlite3.connect(path)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    conn = sqlite3.connect(tmp)
     try:
-        conn.executescript(_SCHEMA_SQL)
-        conn.executemany(
-            "INSERT INTO meta VALUES (?, ?)",
-            ((key, json.dumps(value)) for key, value in snapshot.meta.items()),
-        )
-        conn.executemany(
-            "INSERT INTO relations VALUES (?, ?)",
-            ((r.name, json.dumps(list(r.attributes))) for r in snapshot.schema),
-        )
-        conn.executemany(
-            "INSERT INTO rows VALUES (?, ?, ?, ?)",
-            (
-                (name, json.dumps(list(row)), int(live), json.dumps(expr_to_dict(expr)))
-                for name in snapshot.schema.names
-                for row, expr, live in snapshot.items(name)
-            ),
-        )
-        conn.commit()
+        try:
+            conn.executescript(_SCHEMA_SQL)
+            conn.executemany(
+                "INSERT INTO meta VALUES (?, ?)",
+                ((key, json.dumps(value)) for key, value in snapshot.meta.items()),
+            )
+            conn.executemany(
+                "INSERT INTO relations VALUES (?, ?)",
+                ((r.name, json.dumps(list(r.attributes))) for r in snapshot.schema),
+            )
+            conn.executemany(
+                "INSERT INTO rows VALUES (?, ?, ?, ?)",
+                (
+                    (name, json.dumps(list(row)), int(live), json.dumps(expr_to_dict(expr)))
+                    for name in snapshot.schema.names
+                    for row, expr, live in snapshot.items(name)
+                ),
+            )
+            conn.commit()
+        except (TypeError, ValueError) as exc:
+            raise StorageError(f"snapshot not JSON-serializable: {exc}") from exc
+        finally:
+            conn.close()
+        if fsync:
+            with open(tmp, "rb") as handle:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if fsync:
+            _fsync_directory(path.parent)
     finally:
-        conn.close()
+        if tmp.exists():
+            tmp.unlink()
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename by syncing the directory entry (POSIX best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def load_snapshot(path: str | Path) -> AnnotatedSnapshot:

@@ -183,3 +183,17 @@ class AnnotationStore:
         rows = self.relation(name).rows
         for rid, row in rows.items():
             yield row, rows.annotation(rid), rows.is_live(rid)
+
+    def state(self) -> dict[str, dict[tuple, tuple[object, bool]]]:
+        """A materialized ``{relation: {row: (annotation, live)}}`` capture.
+
+        The row-id-free view of the whole store — what a checkpoint
+        persists and what bit-identity comparisons compare (row ids and
+        indexes are storage artifacts, rebuilt on load).  The returned
+        dicts are detached from the store: mutating the store afterwards
+        does not change a captured state.
+        """
+        return {
+            name: {row: (ann, live) for row, ann, live in self.items(name)}
+            for name in self.schema.names
+        }

@@ -1,0 +1,319 @@
+"""The append-only write-ahead journal.
+
+One durable record per engine event, one line per record::
+
+    crc32-hex SP payload-json LF
+
+The payload is a compact JSON object carrying a monotonically increasing
+sequence number plus the event itself; queries serialize through the same
+codec as update logs (:func:`repro.workloads.logs.query_to_dict`), so a
+journal line is replayable with the exact annotation, pattern and
+assignments of the original update.  The CRC covers the payload bytes *as
+written*: verification never depends on JSON canonicalization, and any
+torn byte — in the checksum, the payload, or a missing trailing newline —
+makes the line invalid.
+
+Record kinds (see :meth:`UpdateLog.events` for the replay vocabulary):
+
+``query``
+    One hyperplane update, journaled *before* it is applied (write-ahead:
+    a crash mid-apply re-applies the record on recovery).
+``txn_end``
+    A transaction boundary — exactly where
+    :meth:`Executor.on_transaction_end` fires (the flush point of the
+    ``normal_form_batch`` policy).
+``batch_end``
+    A fused-run boundary of the batched pipeline.  Audit only: runs are
+    bit-identical to sequential application, so replay ignores it.
+``abort``
+    The immediately preceding ``query`` record raised before mutating any
+    state (validation errors).  Replay skips the aborted record.
+
+Sync policies trade durability for throughput:
+
+``"none"``
+    Buffered writes; records reach the OS only when the buffer fills or
+    the journal is closed.  A process crash loses the buffered tail.
+``"flush"`` (default)
+    Flush to the OS after every record: survives process crashes, may
+    lose the tail on a kernel crash / power loss.
+``"fsync"``
+    ``os.fsync`` after every record: survives power loss, at the cost of
+    one disk sync per update.
+
+Torn final records are expected, not fatal: :func:`scan_journal` parses
+the file up to the last complete, checksummed record and reports the torn
+tail so recovery can truncate it cleanly.  A *valid record after garbage*
+is not a torn write (appends are sequential), so it raises
+:class:`StorageError` instead of silently dropping data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..errors import StorageError
+from ..queries.updates import UpdateQuery
+from ..workloads.logs import query_from_dict, query_to_dict
+
+__all__ = [
+    "Journal",
+    "JournalScan",
+    "SYNC_POLICIES",
+    "encode_record",
+    "parse_line",
+    "records_to_events",
+    "scan_journal",
+    "truncate_torn_tail",
+]
+
+SYNC_POLICIES = ("none", "flush", "fsync")
+
+QUERY = "query"
+TXN_END = "txn_end"
+BATCH_END = "batch_end"
+ABORT = "abort"
+_KINDS = frozenset((QUERY, TXN_END, BATCH_END, ABORT))
+
+
+def encode_record(seq: int, kind: str, payload: Mapping[str, object]) -> bytes:
+    """One journal line (checksum, space, compact JSON, newline)."""
+    body = {"seq": seq, "kind": kind, **payload}
+    data = json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(data), data)
+
+
+def parse_line(line: bytes) -> dict | None:
+    """Decode one journal line; ``None`` if torn/invalid in any way."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    data = line[9:]
+    if zlib.crc32(data) != crc:
+        return None
+    try:
+        record = json.loads(data)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or record.get("kind") not in _KINDS:
+        return None
+    if not isinstance(record.get("seq"), int):
+        return None
+    return record
+
+
+@dataclass
+class JournalScan:
+    """The readable prefix of a journal file."""
+
+    #: decoded records, in file order (sequence numbers strictly increase).
+    records: list[dict]
+    #: byte offset just past the last complete record.
+    good_bytes: int
+    #: True if trailing bytes formed no complete record (torn final write).
+    torn: bool
+    #: number of trailing bytes the torn record occupies.
+    torn_bytes: int
+
+    @property
+    def last_seq(self) -> int | None:
+        return self.records[-1]["seq"] if self.records else None
+
+
+def scan_journal(path: str | Path) -> JournalScan:
+    """Parse a journal file, stopping cleanly at a torn final record.
+
+    A missing file is an empty journal.  Sequence numbers must strictly
+    increase; a decrease means the file was spliced, not torn, and raises
+    :class:`StorageError` — as does any complete record *after* unreadable
+    bytes, which sequential appends can never produce.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return JournalScan([], 0, False, 0)
+    records: list[dict] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        newline = data.find(b"\n", offset)
+        record = parse_line(data[offset:newline]) if newline != -1 else None
+        if record is None:
+            # Torn tail — unless a complete record follows on a *later*
+            # line, which means mid-file corruption rather than an
+            # interrupted final append.  (A newline-less final line is
+            # the torn record itself, even if its bytes happen to parse.)
+            rest = b"" if newline == -1 else data[newline + 1 :]
+            for candidate in rest.split(b"\n"):
+                if candidate and parse_line(candidate) is not None:
+                    raise StorageError(
+                        f"corrupt journal {path}: complete record after "
+                        f"unreadable bytes at offset {offset}"
+                    )
+            return JournalScan(records, offset, True, size - offset)
+        if records and record["seq"] <= records[-1]["seq"]:
+            raise StorageError(
+                f"corrupt journal {path}: sequence {record['seq']} after "
+                f"{records[-1]['seq']}"
+            )
+        records.append(record)
+        offset = newline + 1
+    return JournalScan(records, offset, False, 0)
+
+
+def truncate_torn_tail(path: str | Path, scan: JournalScan) -> int:
+    """Cut a torn final record off the file; returns bytes removed."""
+    if not scan.torn:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(scan.good_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return scan.torn_bytes
+
+
+def records_to_events(records: list[dict]) -> Iterator[tuple[str, object]]:
+    """Decode journal records into the :meth:`UpdateLog.events` vocabulary.
+
+    ``abort`` records cancel their preceding ``query`` record (the apply
+    raised before mutating state); ``batch_end`` markers are audit-only
+    and emit nothing.  Events are yielded lazily but aborts look one
+    record ahead, so the input is the materialized record list a
+    :func:`scan_journal` already produced.
+    """
+    index = 0
+    total = len(records)
+    while index < total:
+        record = records[index]
+        kind = record["kind"]
+        if kind == QUERY:
+            if index + 1 < total and records[index + 1]["kind"] == ABORT:
+                index += 2  # the apply raised; skip both records
+                continue
+            try:
+                query = query_from_dict(record["query"])
+            except (KeyError, TypeError, ValueError, StorageError) as exc:
+                raise StorageError(
+                    f"journal record {record.get('seq')} does not decode: {exc}"
+                ) from exc
+            yield (QUERY, query)
+        elif kind == TXN_END:
+            yield (TXN_END, str(record["name"]))
+        elif kind == ABORT:
+            raise StorageError(
+                f"journal record {record.get('seq')}: abort without a "
+                "preceding query record"
+            )
+        # BATCH_END: audit only.
+        index += 1
+
+
+class Journal:
+    """An open, append-only journal file with a sync policy.
+
+    Satisfies the :class:`~repro.engine.engine.Engine` journal hook
+    (``append_query`` / ``append_txn_end`` / ``append_batch_end``).
+    Sequence numbers continue across checkpoint truncations — recovery
+    filters the tail by ``seq > checkpoint seq``, so a crash *between*
+    writing a checkpoint and resetting the journal replays nothing twice.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        sync: str = "flush",
+        start_seq: int = 0,
+        preexisting_records: int = 0,
+    ):
+        if sync not in SYNC_POLICIES:
+            raise StorageError(
+                f"unknown sync policy {sync!r} (known: {', '.join(SYNC_POLICIES)})"
+            )
+        self.path = Path(path)
+        self.sync_policy = sync
+        self._seq = start_seq
+        self._file = open(self.path, "ab")
+        #: records appended since the last checkpoint reset (drives the
+        #: checkpoint threshold; recovery seeds it with the tail length).
+        self.records_since_reset = preexisting_records
+        #: records appended by this process over the journal's lifetime.
+        self.appended = 0
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    # -- appending ------------------------------------------------------------
+
+    def append_query(self, query: UpdateQuery) -> int:
+        return self._append(QUERY, {"query": query_to_dict(query)})
+
+    def append_txn_end(self, name: str) -> int:
+        return self._append(TXN_END, {"name": name})
+
+    def append_batch_end(self, n_queries: int) -> int:
+        return self._append(BATCH_END, {"queries": n_queries})
+
+    def append_abort(self) -> int:
+        return self._append(ABORT, {"undo": self._seq})
+
+    def _append(self, kind: str, payload: Mapping[str, object]) -> int:
+        self._seq += 1
+        self._file.write(encode_record(self._seq, kind, payload))
+        if self.sync_policy != "none":
+            self._file.flush()
+            if self.sync_policy == "fsync":
+                os.fsync(self._file.fileno())
+        self.records_since_reset += 1
+        self.appended += 1
+        return self._seq
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Empty the file after a checkpoint covered every record in it.
+
+        Sequence numbers are *not* reset — they order records across the
+        journal's whole lifetime, and recovery relies on comparing them
+        against the checkpoint's ``journal_seq``.
+        """
+        self._file.flush()
+        self._file.truncate(0)
+        if self.sync_policy == "fsync":
+            os.fsync(self._file.fileno())
+        self.records_since_reset = 0
+
+    def sync(self) -> None:
+        """Force everything appended so far to disk, whatever the policy."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Journal({str(self.path)!r}, sync={self.sync_policy!r}, "
+            f"seq={self._seq})"
+        )

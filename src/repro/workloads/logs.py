@@ -17,7 +17,14 @@ from ..errors import StorageError
 from ..queries.pattern import Pattern
 from ..queries.updates import Delete, Insert, Modify, Transaction, UpdateQuery
 
-__all__ = ["UpdateLog", "log_to_json", "log_from_json", "query_to_dict", "query_from_dict"]
+__all__ = [
+    "UpdateLog",
+    "log_to_json",
+    "log_from_json",
+    "log_from_events",
+    "query_to_dict",
+    "query_from_dict",
+]
 
 LogItem = UpdateQuery | Transaction
 
@@ -99,6 +106,23 @@ class UpdateLog:
         meta["prefix_queries"] = n_queries
         return UpdateLog(out, meta)
 
+    def events(self) -> Iterator[tuple[str, object]]:
+        """The log as a flat event stream: ``("query", q)`` / ``("txn_end", name)``.
+
+        This is the vocabulary the write-ahead journal records (one event
+        per durable record) and the recovery replay consumes: queries
+        carry their annotation, and a ``txn_end`` event marks exactly the
+        point where :meth:`Executor.on_transaction_end` fires.  A bare
+        query emits no ``txn_end``.
+        """
+        for item in self.items:
+            if isinstance(item, Transaction):
+                for query in item.queries:
+                    yield ("query", query)
+                yield ("txn_end", item.name)
+            else:
+                yield ("query", item)
+
     def kind_counts(self) -> dict[str, int]:
         """``{"insert": n, "delete": n, "modify": n}`` over all queries."""
         counts = {"insert": 0, "delete": 0, "modify": 0}
@@ -119,6 +143,50 @@ class UpdateLog:
         meta = dict(self.meta)
         meta["single_annotation"] = name
         return UpdateLog([Transaction(name, list(self.queries()))], meta)
+
+
+def log_from_events(
+    events: Iterable[tuple[str, object]], meta: Mapping[str, object] | None = None
+) -> UpdateLog:
+    """Rebuild an :class:`UpdateLog` from an :meth:`UpdateLog.events` stream.
+
+    Each ``txn_end`` event closes a :class:`Transaction` over the maximal
+    suffix of pending queries stamped with its annotation; pending
+    queries carrying other annotations stay bare items (a transaction's
+    constructor stamps its name onto every member, so membership is
+    recoverable from the annotation alone).  Trailing queries with no
+    closing ``txn_end`` — a journal tail cut short by a crash
+    mid-transaction — also stay bare, so replaying the rebuilt log fires
+    no transaction-end hook for the unfinished transaction (exactly the
+    crash semantics).
+
+    Replaying the rebuilt log is always equivalent to replaying the
+    original event stream.  The *item structure* also round-trips —
+    ``log_from_events(log.events()).items == log.items`` — except in one
+    ambiguous case the events cannot distinguish: a bare query whose
+    annotation happens to equal the name of the transaction immediately
+    following it is absorbed into that transaction (the hook still fires
+    at the same point, so replay is unaffected).
+    """
+    items: list[LogItem] = []
+    pending: list[UpdateQuery] = []
+    for kind, payload in events:
+        if kind == "query":
+            if not isinstance(payload, UpdateQuery):
+                raise StorageError(f"query event carries {type(payload).__name__}")
+            pending.append(payload)
+        elif kind == "txn_end":
+            name = str(payload)
+            split = len(pending)
+            while split > 0 and pending[split - 1].annotation == name:
+                split -= 1
+            items.extend(pending[:split])
+            items.append(Transaction(name, pending[split:]))
+            pending = []
+        else:
+            raise StorageError(f"unknown log event kind {kind!r}")
+    items.extend(pending)
+    return UpdateLog(items, meta)
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@ def test_snapshot_keys_are_stable():
         "index_hits",
         "fallback_scans",
         "index_rows_examined",
+        "checkpoint_time",
     }
 
 

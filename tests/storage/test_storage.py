@@ -99,6 +99,34 @@ class TestSnapshot:
         save_snapshot(snap, path)  # no error, clean overwrite
         assert load_snapshot(path) == snap
 
+    def test_save_is_atomic_on_serialization_failure(self, tmp_path):
+        """A failing save can never destroy the last good snapshot."""
+        _db, engine = self.make_engine()
+        good = AnnotatedSnapshot.from_engine(engine, meta={"generation": 1})
+        path = tmp_path / "snap.sqlite"
+        save_snapshot(good, path)
+        bad = AnnotatedSnapshot.from_engine(engine, meta={"handle": object()})
+        with pytest.raises(StorageError, match="JSON-serializable"):
+            save_snapshot(bad, path)
+        # The old file is intact and no temp debris is left behind.
+        assert load_snapshot(path) == good
+        assert load_snapshot(path).meta == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.sqlite"]
+
+    def test_unserializable_meta_raises_storage_error(self, tmp_path):
+        _db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine, meta={"handle": {1, 2}})
+        with pytest.raises(StorageError, match="JSON-serializable"):
+            save_snapshot(snap, tmp_path / "snap.sqlite")
+
+    def test_set_normalizes_rows_like_database_insert(self):
+        """`set` stores the checked tuple, so list rows land as tuples."""
+        _db, engine = self.make_engine()
+        snap = AnnotatedSnapshot.from_engine(engine)
+        snap.set("R", [7], var("x"), True)
+        assert snap.annotation("R", (7,)) is var("x")
+        assert (7,) in {row for row, _e, _l in snap.items("R")}
+
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(StorageError, match="no snapshot"):
             load_snapshot(tmp_path / "void.sqlite")

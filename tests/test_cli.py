@@ -35,6 +35,36 @@ def test_tpcc_command(capsys):
     assert "TPC-C" in out and "provenance_size" in out
 
 
+def test_tpcc_journal_then_recover(tmp_path, capsys):
+    directory = str(tmp_path / "wal")
+    code = main(
+        [
+            "tpcc", "--queries", "40", "--policy", "naive",
+            "--journal", directory, "--checkpoint-every", "30",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "journal:" in out and "checkpoints" in out
+    assert main(["recover", directory]) == 0
+    out = capsys.readouterr().out
+    assert "recovered" in out and "tail_records" in out and "lifetime" in out
+
+
+def test_tpcc_journal_rejects_non_resumable_policy(tmp_path, capsys):
+    code = main(
+        ["tpcc", "--queries", "10", "--policy", "normal_form",
+         "--journal", str(tmp_path / "wal")]
+    )
+    assert code == 2
+    assert "cannot be journaled" in capsys.readouterr().err
+
+
+def test_recover_without_checkpoint(tmp_path, capsys):
+    assert main(["recover", str(tmp_path / "void")]) == 2
+    assert "no checkpoint" in capsys.readouterr().err
+
+
 def test_figure_command_single(capsys, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
     assert main(["figure", "blowup"]) == 0

@@ -1,0 +1,147 @@
+"""The write-ahead journal: record codec, sync policies, torn-tail scans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify
+from repro.wal.journal import (
+    Journal,
+    encode_record,
+    parse_line,
+    records_to_events,
+    scan_journal,
+    truncate_torn_tail,
+)
+
+QUERIES = [
+    Insert("R", (1, "x"), "p"),
+    Delete("R", Pattern(2, eq={1: "x"}), "p"),
+    Modify("R", Pattern(2, eq={0: 1}), {1: "y"}, "q"),
+]
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "journal.log"
+
+
+def write_sample(path, sync="flush"):
+    with Journal(path, sync=sync) as journal:
+        for query in QUERIES:
+            journal.append_query(query)
+        journal.append_txn_end("p")
+        journal.append_batch_end(3)
+    return path
+
+
+class TestCodec:
+    def test_lines_round_trip(self, journal_path):
+        write_sample(journal_path)
+        scan = scan_journal(journal_path)
+        assert not scan.torn
+        assert [r["kind"] for r in scan.records] == [
+            "query", "query", "query", "txn_end", "batch_end",
+        ]
+        assert [r["seq"] for r in scan.records] == [1, 2, 3, 4, 5]
+
+    def test_events_round_trip_queries_exactly(self, journal_path):
+        write_sample(journal_path)
+        events = list(records_to_events(scan_journal(journal_path).records))
+        replayed = [payload for kind, payload in events if kind == "query"]
+        assert replayed == QUERIES  # annotation, pattern, assignments intact
+        assert events[-1] == ("txn_end", "p")  # batch_end is audit-only
+
+    def test_parse_line_rejects_any_mutation(self):
+        line = encode_record(1, "txn_end", {"name": "p"}).rstrip(b"\n")
+        assert parse_line(line) is not None
+        assert parse_line(line[:-1]) is None  # torn payload
+        assert parse_line(b"zz" + line[2:]) is None  # bad checksum hex
+        flipped = line[:9] + b"X" + line[10:]
+        assert parse_line(flipped) is None  # payload no longer matches crc
+        assert parse_line(b"") is None
+        assert parse_line(b"deadbeef not-json") is None
+
+    def test_abort_cancels_preceding_query(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append_query(QUERIES[0])
+            journal.append_query(QUERIES[1])
+            journal.append_abort()
+            journal.append_txn_end("p")
+        events = list(records_to_events(scan_journal(journal_path).records))
+        assert events == [("query", QUERIES[0]), ("txn_end", "p")]
+
+    def test_orphan_abort_is_corruption(self):
+        with pytest.raises(StorageError, match="abort without"):
+            list(records_to_events([{"seq": 1, "kind": "abort", "undo": 0}]))
+
+
+class TestScan:
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        scan = scan_journal(tmp_path / "void.log")
+        assert scan.records == [] and not scan.torn
+
+    def test_torn_final_record_at_every_byte(self, journal_path, tmp_path):
+        """Cutting the file anywhere loses at most the final record."""
+        write_sample(journal_path)
+        data = journal_path.read_bytes()
+        complete = scan_journal(journal_path).records
+        cut_path = tmp_path / "cut.log"
+        for cut in range(len(data) + 1):
+            cut_path.write_bytes(data[:cut])
+            scan = scan_journal(cut_path)
+            # The parsed prefix is always a prefix of the full record list.
+            assert scan.records == complete[: len(scan.records)]
+            assert scan.torn == (cut != scan.good_bytes)
+            if scan.torn:
+                assert truncate_torn_tail(cut_path, scan) == cut - scan.good_bytes
+                clean = scan_journal(cut_path)
+                assert not clean.torn and clean.records == scan.records
+
+    def test_valid_record_after_garbage_is_corruption(self, journal_path):
+        write_sample(journal_path)
+        lines = journal_path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"garbage line\n"
+        journal_path.write_bytes(b"".join(lines))
+        with pytest.raises(StorageError, match="complete record after"):
+            scan_journal(journal_path)
+
+    def test_decreasing_sequence_is_corruption(self, journal_path):
+        with open(journal_path, "wb") as handle:
+            handle.write(encode_record(5, "txn_end", {"name": "p"}))
+            handle.write(encode_record(3, "txn_end", {"name": "q"}))
+        with pytest.raises(StorageError, match="sequence"):
+            scan_journal(journal_path)
+
+
+class TestJournal:
+    @pytest.mark.parametrize("sync", ["none", "flush", "fsync"])
+    def test_sync_policies_produce_identical_files(self, tmp_path, sync):
+        path = write_sample(tmp_path / f"{sync}.log", sync=sync)
+        assert path.read_bytes() == write_sample(tmp_path / "ref.log").read_bytes()
+
+    def test_unknown_sync_policy(self, journal_path):
+        with pytest.raises(StorageError, match="sync policy"):
+            Journal(journal_path, sync="eventually")
+
+    def test_reset_empties_file_but_not_sequence(self, journal_path):
+        journal = Journal(journal_path)
+        journal.append_txn_end("p")
+        journal.reset()
+        assert journal_path.read_bytes() == b""
+        assert journal.records_since_reset == 0
+        seq = journal.append_txn_end("q")
+        assert seq == 2  # sequence numbers survive truncation
+        journal.close()
+        assert scan_journal(journal_path).records[0]["seq"] == 2
+
+    def test_append_after_preexisting_tail(self, journal_path):
+        write_sample(journal_path)
+        journal = Journal(journal_path, start_seq=5, preexisting_records=5)
+        journal.append_txn_end("r")
+        journal.close()
+        scan = scan_journal(journal_path)
+        assert [r["seq"] for r in scan.records] == [1, 2, 3, 4, 5, 6]
+        assert journal.records_since_reset == 6

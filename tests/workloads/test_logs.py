@@ -8,6 +8,7 @@ from repro.queries.pattern import Pattern
 from repro.queries.updates import Delete, Insert, Modify, Transaction
 from repro.workloads.logs import (
     UpdateLog,
+    log_from_events,
     log_from_json,
     log_to_json,
     query_from_dict,
@@ -66,6 +67,28 @@ class TestContainer:
 
     def test_getitem(self, log):
         assert isinstance(log[1], Modify)
+
+
+class TestEvents:
+    def test_events_interleave_queries_and_txn_ends(self, log):
+        kinds = [kind for kind, _payload in log.events()]
+        assert kinds == ["query", "query", "txn_end", "query", "query", "txn_end"]
+
+    def test_events_round_trip(self, log):
+        assert log_from_events(log.events()).items == log.items
+
+    def test_trailing_queries_stay_bare(self):
+        """A tail cut mid-transaction replays without the end-of-txn hook."""
+        txn = Transaction("t", [Insert("R", (1, 2)), Insert("R", (3, 4))])
+        events = [("query", txn.queries[0]), ("query", txn.queries[1])]
+        rebuilt = log_from_events(events)
+        assert rebuilt.items == list(txn.queries)  # bare, no Transaction
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(StorageError, match="unknown log event"):
+            log_from_events([("checkpoint", 3)])
+        with pytest.raises(StorageError, match="query event carries"):
+            log_from_events([("query", "not a query")])
 
 
 class TestQuerySerialization:
