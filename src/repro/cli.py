@@ -7,7 +7,9 @@ Subcommands::
     repro figure all --save out/      all figures, JSON+CSV persisted
     repro tpcc --queries 400          generate + run a TPC-C log, report overheads
     repro tpcc --journal state/ --policy naive   same, durably (WAL + checkpoints)
+    repro tpcc --shards 4             same, hash-partitioned with routed updates
     repro recover state/              resume a journaled directory after a crash
+                                      (sharded directories are auto-detected)
     repro sql --schema R:a,b script   execute a SQL-fragment script with provenance
     repro axioms                      check every shipped structure against Figure 3
 
@@ -74,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="checkpoint after N journal records (default: 1024)",
     )
+    tpcc.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hash-partition every relation across N shard engines with "
+        "pattern-routed updates (0 = unsharded; combines with --journal "
+        "for one durable directory per shard)",
+    )
+    tpcc.add_argument(
+        "--parallel-shards",
+        action="store_true",
+        help="run the shards in a process pool instead of in-process",
+    )
     tpcc.set_defaults(func=cmd_tpcc)
 
     recover = sub.add_parser(
@@ -94,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="checkpoint threshold for the resumed engine (match the original "
         "run; default: 1024)",
+    )
+    recover.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="expected shard count of a sharded directory (topology is "
+        "auto-detected from shards.json; this only validates it)",
+    )
+    recover.add_argument(
+        "--parallel-shards",
+        action="store_true",
+        help="recover and resume the shards in a process pool",
     )
     recover.set_defaults(func=cmd_recover)
 
@@ -225,10 +254,23 @@ def cmd_tpcc(args: argparse.Namespace) -> int:
         f"({', '.join(f'{k}={v}' for k, v in workload.mix_counts.items() if v)})"
     )
     baseline = Engine(workload.database, policy="none").apply(workload.log)
-    if args.journal:
-        from .wal import JournaledEngine
+    try:
+        if args.shards:
+            from .shard import ShardedEngine
 
-        try:
+            engine = ShardedEngine(
+                workload.database,
+                n_shards=args.shards,
+                policy=args.policy,
+                parallel=args.parallel_shards,
+                journal_dir=args.journal,
+                sync=args.journal_sync,
+                checkpoint_every=args.checkpoint_every,
+            )
+            engine.apply(workload.log)
+        elif args.journal:
+            from .wal import JournaledEngine
+
             engine = JournaledEngine(
                 workload.database,
                 args.journal,
@@ -237,22 +279,39 @@ def cmd_tpcc(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
             )
             engine.apply(workload.log)
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-    else:
-        engine = Engine(workload.database, policy=args.policy).apply(workload.log)
-    report = engine.overhead_report(baseline)
-    for key, value in report.items():
-        print(f"  {key}: {value}")
-    if args.journal:
-        engine.close()
-        print(
-            f"  journal: {engine.journal.appended} records appended, "
-            f"{engine.checkpoints.written} checkpoints "
-            f"({engine.stats.checkpoint_time:.3f}s) -> {args.journal}"
-        )
-    if not engine.result().same_contents(baseline.result()):
+        else:
+            engine = Engine(workload.database, policy=args.policy).apply(workload.log)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Observation stays inside the handler: on the process-pool backend a
+    # dead shard worker surfaces here as an EngineError, and the workers
+    # stop serving captures once closed.
+    try:
+        report = engine.overhead_report(baseline)
+        for key, value in report.items():
+            print(f"  {key}: {value}")
+        diverged = not engine.result().same_contents(baseline.result())
+        if args.shards:
+            if args.journal:
+                print(
+                    f"  journal: {args.shards} shard directories "
+                    f"({engine.stats.checkpoint_time:.3f}s checkpointing) -> {args.journal}"
+                )
+            engine.close()
+        elif args.journal:
+            engine.close()
+            print(
+                f"  journal: {engine.journal.appended} records appended, "
+                f"{engine.checkpoints.written} checkpoints "
+                f"({engine.stats.checkpoint_time:.3f}s) -> {args.journal}"
+            )
+    except ReproError as exc:
+        if args.shards:
+            engine.close(checkpoint=False)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if diverged:
         print("error: provenance run diverged from the vanilla result", file=sys.stderr)
         return 1
     return 0
@@ -260,8 +319,46 @@ def cmd_tpcc(args: argparse.Namespace) -> int:
 
 def cmd_recover(args: argparse.Namespace) -> int:
     from .errors import ReproError
+    from .shard import is_sharded_directory, recover_sharded
     from .wal import recover
 
+    if is_sharded_directory(args.directory):
+        try:
+            engine = recover_sharded(
+                args.directory,
+                parallel=args.parallel_shards,
+                sync=args.journal_sync,
+                checkpoint_every=args.checkpoint_every,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = engine.recovery
+        if args.shards is not None and report.n_shards != args.shards:
+            print(
+                f"error: {args.directory} holds {report.n_shards} shards, "
+                f"--shards says {args.shards}",
+                file=sys.stderr,
+            )
+            engine.close(checkpoint=False)
+            return 2
+        print(
+            f"recovered {args.directory} "
+            f"(policy {report.policy}, {report.n_shards} shards)"
+        )
+        for key, value in report.as_dict().items():
+            if key not in ("policy", "n_shards", "shards"):
+                print(f"  {key}: {value}")
+        for shard, shard_report in enumerate(report.shards):
+            print(
+                f"  shard {shard:02d}: tail {shard_report['tail_records']} records, "
+                f"{shard_report['replayed_queries']} queries replayed, "
+                f"{shard_report['support_rows']} support rows"
+            )
+        # close() force-checkpoints every journaled shard, folding the
+        # replayed tails in so the next recovery starts clean.
+        engine.close()
+        return 0
     try:
         engine = recover(
             args.directory,

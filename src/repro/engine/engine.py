@@ -115,7 +115,9 @@ class Engine:
                 self.journal.append_txn_end(item.name)
             self.executor.on_transaction_end(item.name)
             self.stats.transactions += 1
-        elif isinstance(item, Iterable):
+        elif isinstance(item, Iterable) and not isinstance(item, (str, bytes)):
+            # str/bytes are iterables of themselves one character down and
+            # would recurse forever; they are never applicable anyway.
             for element in item:
                 self.apply(element)
         else:
@@ -208,7 +210,7 @@ class Engine:
                     self.journal.append_txn_end(item.name)
                 self.executor.on_transaction_end(item.name)
                 self.stats.transactions += 1
-            elif isinstance(item, Iterable):
+            elif isinstance(item, Iterable) and not isinstance(item, (str, bytes)):
                 for element in item:
                     feed(element)
             else:
@@ -236,14 +238,12 @@ class Engine:
         return self.executor.provenance_items(relation)
 
     def annotation_of(self, relation: str, row: Iterable[object]) -> Expr:
-        """The provenance expression of one row (0 if never stored)."""
-        target = tuple(row)
-        for stored, expr, _live in self.executor.provenance_items(relation):
-            if stored == target:
-                return expr
-        from ..core.expr import ZERO
+        """The provenance expression of one row (0 if never stored).
 
-        return ZERO
+        Store-backed executors resolve this through the row-keyed index in
+        O(1); other executors fall back to a provenance scan.
+        """
+        return self.executor.annotation_of(relation, tuple(row))
 
     def tuple_var(self, relation: str, row: Iterable[object]) -> str | None:
         """Base annotation name of an initial tuple (for what-if valuations)."""
@@ -268,7 +268,13 @@ class Engine:
         return self.executor.provenance_dag_size()
 
     def overhead_report(self, baseline: "Engine | None" = None) -> dict[str, object]:
-        """The Section 6 measurements for this engine (vs. an optional baseline)."""
+        """The Section 6 measurements for this engine (vs. an optional baseline).
+
+        ``row_overhead`` is the tombstone overhead relative to the
+        baseline's live rows; when the baseline holds no live rows at all
+        the ratio is undefined and reported as ``None`` rather than a
+        value fabricated from a clamped denominator.
+        """
         report: dict[str, object] = {
             "policy": self.policy,
             "support_rows": self.support_count(),
@@ -280,8 +286,10 @@ class Engine:
             "fallback_scans": self.stats.fallback_scans,
         }
         if baseline is not None:
-            base_rows = max(baseline.live_count(), 1)
-            report["row_overhead"] = (self.support_count() - base_rows) / base_rows
+            base_rows = baseline.live_count()
+            report["row_overhead"] = (
+                (self.support_count() - base_rows) / base_rows if base_rows else None
+            )
             if baseline.stats.wall_time:
                 report["time_overhead"] = (
                     self.stats.wall_time - baseline.stats.wall_time

@@ -144,6 +144,18 @@ class Executor:
         """Yields ``(row, expression, live)`` for every stored row."""
         raise NotImplementedError
 
+    def annotation_of(self, relation: str, row: tuple) -> Expr:
+        """The annotation of one stored row (``0`` if never stored).
+
+        Generic fallback: a provenance scan.  Store-backed executors
+        override this with an O(1) probe of the row-keyed index.
+        """
+        target = tuple(row)
+        for stored, expr, _live in self.provenance_items(relation):
+            if stored == target:
+                return expr
+        return ZERO
+
     def tuple_var(self, relation: str, row: tuple) -> str | None:
         """The base annotation name assigned to an initial row, if any."""
         return None
@@ -177,6 +189,28 @@ class StoreBackedExecutor(Executor):
 
     def live_count(self) -> int:
         return self.store.live_count()
+
+    def annotation_of(self, relation: str, row: tuple) -> Expr:
+        """O(1) probe of the row-keyed index instead of a provenance scan.
+
+        Bit-identical to the generic scan: the probe hits exactly the slot
+        the scan would find (rows are unique in the support) and maps its
+        annotation through the same ``_expr_of`` hook.
+        """
+        rows = self._relation_store(relation).rows
+        rid = rows.rid_of(tuple(row))
+        if rid is None:
+            return ZERO
+        ann = rows.annotation(rid)
+        return ZERO if ann is None else self._expr_of(ann)
+
+    def _expr_of(self, ann: object) -> Expr:
+        """Map a stored annotation slot to its UP[X] expression.
+
+        The vanilla executor stores no annotations (every slot is
+        ``None``, handled above); annotated executors override this.
+        """
+        return ZERO
 
 
 class VanillaExecutor(StoreBackedExecutor):
@@ -508,6 +542,10 @@ class BatchNormalFormExecutor(NaiveExecutor):
     def provenance_items(self, relation: str) -> Iterator[tuple[tuple, Expr, bool]]:
         self.flush()
         return super().provenance_items(relation)
+
+    def annotation_of(self, relation: str, row: tuple) -> Expr:
+        self.flush()
+        return super().annotation_of(relation, row)
 
     def provenance_size(self) -> int:
         self.flush()

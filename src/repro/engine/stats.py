@@ -40,6 +40,13 @@ class EngineStats:
     #: which stays the per-query executor time the Section 6 series report).
     checkpoint_time: float = 0.0
     per_query_time: list[float] = field(default_factory=list, repr=False)
+    #: Planner-counter baseline restored from a checkpoint, as
+    #: ``(index_hits, fallback_scans, rows_examined)``.  A recovered
+    #: engine's store is rebuilt from the snapshot and its planner
+    #: counters restart at zero, so :meth:`sync_planner` adds this offset
+    #: instead of letting the rebuilt store's much smaller totals
+    #: overwrite the restored lifetime counters.
+    planner_base: tuple[int, int, int] = field(default=(0, 0, 0), repr=False)
 
     def record(self, kind: str, matched: int, created: int, elapsed: float) -> None:
         self.queries += 1
@@ -73,12 +80,16 @@ class EngineStats:
     def sync_planner(self, planner_stats) -> None:
         """Mirror a store's cumulative planner decisions into these counters.
 
-        Planner counters are monotone totals owned by the executor's store,
-        so they are copied, not summed.
+        Planner counters are monotone totals owned by the executor's store
+        — the store is the single writer, so they are mirrored, not summed
+        per call.  ``planner_base`` (non-zero only on engines restored
+        from a checkpoint, whose store counters restarted at zero) is
+        added on top so lifetime totals survive recovery.
         """
-        self.index_hits = planner_stats.index_hits
-        self.fallback_scans = planner_stats.fallback_scans
-        self.index_rows_examined = planner_stats.rows_examined
+        base_hits, base_scans, base_rows = self.planner_base
+        self.index_hits = base_hits + planner_stats.index_hits
+        self.fallback_scans = base_scans + planner_stats.fallback_scans
+        self.index_rows_examined = base_rows + planner_stats.rows_examined
 
     def _count_kind(self, kind: str) -> None:
         if kind == "insert":
@@ -97,11 +108,21 @@ class EngineStats:
         are ignored (old checkpoints stay loadable); ``per_query_time``
         is not part of a snapshot, so the restored list restarts empty —
         documented in ``docs/ARCHITECTURE.md``.
+
+        The restored planner totals become ``planner_base``: the engine
+        resuming from the checkpoint sits on a freshly rebuilt store whose
+        own counters start at zero, and :meth:`sync_planner` adds them to
+        this baseline.
         """
         stats = cls()
         for key, value in (counters or {}).items():
             if key in _SNAPSHOT_KEYS:
                 setattr(stats, key, value)
+        stats.planner_base = (
+            stats.index_hits,
+            stats.fallback_scans,
+            stats.index_rows_examined,
+        )
         return stats
 
     def snapshot(self) -> dict[str, float | int]:

@@ -1,0 +1,132 @@
+"""Wire codec between the shard coordinator and its worker processes.
+
+Two vocabularies cross the process boundary, both reusing codecs that
+already exist for durability:
+
+* **updates** travel as the :meth:`repro.workloads.logs.UpdateLog.events`
+  stream — ``("query", query_to_dict(q))`` / ``("txn_end", name)`` — the
+  same replay vocabulary the write-ahead journal records, decoded on the
+  worker with :func:`repro.workloads.logs.log_from_events` so transaction
+  hooks fire at exactly their event positions;
+* **annotated state** travels as
+  :meth:`repro.store.annotation_store.AnnotationStore.state`-style
+  captures whose expressions are encoded with
+  :func:`repro.storage.exprjson.expr_to_dict` — the DAG encoding, so even
+  naive-policy expressions ship in space proportional to their DAG size.
+
+Expressions are *never* pickled directly: hash-consed nodes unpickle into
+fresh objects, severing the interning identity the bit-identity checks
+(and every identity-keyed memo) rely on.  Decoding through the smart
+constructors re-interns every node in the receiving process, so a capture
+decoded at the coordinator is made of the *same* expression objects an
+unsharded engine running there would have built — the honest treatment of
+the process-global intern table across worker boundaries (see
+``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.expr import Expr
+from ..engine.engine import Engine
+from ..queries.updates import Transaction, UpdateQuery
+from ..storage.exprjson import expr_from_dict, expr_to_dict
+from ..workloads.logs import query_from_dict, query_to_dict
+
+__all__ = [
+    "Capture",
+    "capture_engine",
+    "decode_capture",
+    "decode_events",
+    "decode_tuple_vars",
+    "encode_capture",
+    "encode_tuple_vars",
+    "items_to_events",
+]
+
+#: Per-relation ``{row: (expression, live)}`` — the row-id-free view the
+#: bit-identity checks compare (expression-valued, whatever the policy
+#: stores internally; ``None`` for the provenance-free vanilla policy).
+Capture = dict[str, dict[tuple, tuple["Expr | None", bool]]]
+
+
+def items_to_events(
+    items: Iterable[UpdateQuery | Transaction],
+) -> list[tuple[str, object]]:
+    """Encode queries/transactions as a wire-ready event list."""
+    events: list[tuple[str, object]] = []
+    for item in items:
+        if isinstance(item, Transaction):
+            for query in item.queries:
+                events.append(("query", query_to_dict(query)))
+            events.append(("txn_end", item.name))
+        elif isinstance(item, UpdateQuery):
+            events.append(("query", query_to_dict(item)))
+        else:
+            raise TypeError(f"cannot encode {type(item).__name__}")
+    return events
+
+
+def decode_events(events: Iterable[tuple[str, object]]) -> list[tuple[str, object]]:
+    """Decode wire events back into the ``UpdateLog.events`` vocabulary."""
+    return [
+        (kind, query_from_dict(payload) if kind == "query" else payload)
+        for kind, payload in events
+    ]
+
+
+def capture_engine(engine: Engine) -> Capture:
+    """The engine's full annotated state, keyed by row.
+
+    Goes through :meth:`Engine.provenance` so the ``normal_form_batch``
+    policy flushes first, exactly as before any other observation.  The
+    vanilla policy captures ``None`` annotations (its support is its live
+    rows; storing a uniform ``0`` would only inflate the wire payload).
+    """
+    tracks = engine.executor.tracks_provenance
+    capture: Capture = {}
+    for name in engine.executor.schema.names:
+        capture[name] = {
+            row: (expr if tracks else None, live)
+            for row, expr, live in engine.provenance(name)
+        }
+    return capture
+
+
+def encode_capture(capture: Capture) -> dict[str, list]:
+    """Pickle-safe capture: rows stay tuples, expressions become DAG dicts."""
+    return {
+        name: [
+            [row, None if expr is None else expr_to_dict(expr), live]
+            for row, (expr, live) in rows.items()
+        ]
+        for name, rows in capture.items()
+    }
+
+
+def decode_capture(payload: dict[str, list]) -> Capture:
+    """Inverse of :func:`encode_capture`; re-interns every expression."""
+    return {
+        name: {
+            tuple(row): (None if expr is None else expr_from_dict(expr), bool(live))
+            for row, expr, live in rows
+        }
+        for name, rows in payload.items()
+    }
+
+
+def encode_tuple_vars(tuple_vars: dict[str, dict[tuple, str]]) -> list:
+    """``{relation: {row: name}}`` as a pickle-safe triple list."""
+    return [
+        [relation, row, name]
+        for relation, names in tuple_vars.items()
+        for row, name in names.items()
+    ]
+
+
+def decode_tuple_vars(payload: Iterable) -> dict[str, dict[tuple, str]]:
+    out: dict[str, dict[tuple, str]] = {}
+    for relation, row, name in payload:
+        out.setdefault(str(relation), {})[tuple(row)] = str(name)
+    return out

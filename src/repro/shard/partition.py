@@ -1,0 +1,156 @@
+"""Hash partitioning of relations across shards.
+
+Every relation designates one *shard-key position* (default: position 0,
+the leading key column of every shipped workload; the synthetic workload
+shards on ``grp``).  A row lives in the shard selected by a **stable
+hash** of its shard-key value — stable meaning *deterministic across
+processes and sessions*, which ``hash(str)`` is not (``PYTHONHASHSEED``)
+and ``id``-derived hashes are not either.  Routing (``repro.shard.router``)
+hashes pattern constants with the same function, so a pattern equality on
+the shard key lands on exactly the shard holding every row it can match.
+
+The partitioning invariant the router and the executors rely on:
+
+    a row ``t`` of relation ``R`` is stored in shard
+    ``stable_hash(t[key(R)]) % n_shards`` and nowhere else, at every
+    point of the update history.
+
+Inserts preserve it by construction (routed by the new row's key value);
+deletions never move rows; and modifications preserve it because a
+modification that does not assign the shard-key position maps every
+source onto an image with the *same* key value — the router rejects the
+one query form that could break it (a ``Modify`` assigning the shard key
+to a different constant, see :func:`repro.shard.router.route_query`).
+"""
+
+from __future__ import annotations
+
+import numbers
+import zlib
+from typing import Mapping
+
+from ..db.database import Database
+from ..db.schema import Schema
+from ..errors import EngineError
+
+__all__ = ["ShardMap", "routable", "stable_hash", "partition_database"]
+
+
+def stable_hash(value: object) -> int:
+    """A process- and session-independent hash, consistent with ``==``.
+
+    * numbers — every :class:`numbers.Number`, so ``bool``/``int``/
+      ``float`` but also ``Decimal``/``Fraction``/``complex`` — use the
+      built-in numeric hash, which is seed-free (the modular-prime
+      scheme) and agrees across numeric types exactly as pattern
+      matching's ``==`` does (``True == 1 == 1.0 == Decimal(1)`` must all
+      land on one shard); NaNs, whose built-in hash is id-derived since
+      Python 3.10, and numerics whose hash/comparison raises are pinned
+      to one bucket;
+    * ``str``/``bytes`` use CRC-32 of their bytes (``hash()`` of text is
+      randomized per process);
+    * ``None`` is pinned (its built-in hash is id-derived before 3.12);
+    * anything else falls back to CRC-32 of ``repr``.  The fallback is
+      deterministic but not ``==``-consistent across spellings (``(1,)``
+      equals ``(1.0,)``, their reprs differ), which is why the router
+      only ever *routes* on :func:`routable` values and broadcasts the
+      rest — broadcasts are always correct on disjoint shards.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, numbers.Number):
+        try:
+            if value == value:  # NaNs are the one self-unequal numeric
+                return hash(value)
+        except Exception:  # signaling NaNs raise on comparison/hashing
+            pass
+        return 1
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def routable(value: object) -> bool:
+    """True for values :func:`stable_hash` hashes ``==``-consistently.
+
+    Only these may *route* a pattern equality to a single shard; an
+    equality on any other constant — unhashable, or hashable with a
+    repr-based fallback hash, or a NaN (``==``-degenerate) — must
+    broadcast instead.
+    """
+    if value is None or isinstance(value, (str, bytes)):
+        return True
+    if isinstance(value, numbers.Number):
+        try:
+            return bool(value == value)  # NaN equalities can match nothing
+        except Exception:
+            return False
+    return False
+
+
+class ShardMap:
+    """Shard count plus the shard-key position of every relation."""
+
+    __slots__ = ("schema", "n_shards", "key_positions")
+
+    def __init__(
+        self,
+        schema: Schema,
+        n_shards: int,
+        shard_keys: Mapping[str, int | str] | None = None,
+    ):
+        if n_shards < 1:
+            raise EngineError(f"n_shards must be >= 1, got {n_shards}")
+        self.schema = schema
+        self.n_shards = n_shards
+        self.key_positions: dict[str, int] = {}
+        keys = dict(shard_keys or {})
+        for relation in schema:
+            key = keys.pop(relation.name, 0)
+            position = relation.index_of(key) if isinstance(key, str) else int(key)
+            if not 0 <= position < relation.arity:
+                raise EngineError(
+                    f"shard key position {position} out of range for "
+                    f"{relation.name!r} (arity {relation.arity})"
+                )
+            self.key_positions[relation.name] = position
+        if keys:
+            raise EngineError(f"shard keys name unknown relations: {sorted(keys)}")
+
+    def key_position(self, relation: str) -> int:
+        try:
+            return self.key_positions[relation]
+        except KeyError:
+            raise EngineError(f"unknown relation {relation!r}") from None
+
+    def shard_of_value(self, value: object) -> int:
+        """The shard a shard-key *value* belongs to."""
+        return stable_hash(value) % self.n_shards
+
+    def shard_of_row(self, relation: str, row: tuple) -> int:
+        """The home shard of a row under the partitioning invariant."""
+        return self.shard_of_value(row[self.key_position(relation)])
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready description (persisted in the sharded manifest)."""
+        return {
+            "n_shards": self.n_shards,
+            "key_positions": dict(self.key_positions),
+            "schema": {r.name: list(r.attributes) for r in self.schema},
+        }
+
+
+def partition_database(database: Database, shard_map: ShardMap) -> list[Database]:
+    """Split a database into one per-shard database (shared schema).
+
+    The per-shard databases are disjoint and their union is the input —
+    asserted by construction, since every row goes to exactly its home
+    shard.
+    """
+    parts = [Database(database.schema) for _ in range(shard_map.n_shards)]
+    for name in database.relations():
+        for row in database.rows(name):
+            parts[shard_map.shard_of_row(name, row)].insert(name, row)
+    return parts

@@ -1,0 +1,66 @@
+"""Compile update queries into shard routes.
+
+The router makes the same planning decision as
+:func:`repro.store.planner.compile_plan`, one level up: instead of asking
+*which column indexes can serve this pattern*, it asks *which shards can
+hold a row this pattern matches*.  The answer is exact for the one
+constraint class the partitioner understands — a *routable* equality
+(:func:`repro.shard.partition.routable`: ``None``, numbers, strings,
+bytes — the values ``stable_hash`` hashes ``==``-consistently) on the
+relation's shard-key position routes to the single shard whose hash
+bucket holds every possibly-matching row — and conservatively broadcast
+for everything else (variable shard key, disequalities only, or an
+equality constant outside the routable class, mirroring the planner's
+linear-scan fallback).  A broadcast is always *correct*: shards hold disjoint row
+sets, so applying the same hyperplane update to every shard applies it to
+exactly the rows the unsharded engine would match.
+
+Modifications get one extra check.  A ``Modify`` that assigns the
+shard-key position to a constant different from what its own pattern pins
+would move every image row into the assigned constant's shard while the
+per-shard executors create the images locally — breaking the partitioning
+invariant and, worse, silently splitting contribution merges that the
+unsharded semantics performs on one target row.  No shipped workload
+produces such a query (TPC-C never reassigns a key prefix column; the
+synthetic generator modifies value columns only), so the router rejects
+it loudly instead of supporting cross-shard row migration.
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineError
+from ..queries.updates import Delete, Insert, Modify, UpdateQuery
+from .partition import ShardMap, routable
+
+__all__ = ["route_query"]
+
+_MISSING = object()
+
+
+def route_query(query: UpdateQuery, shard_map: ShardMap) -> tuple[int, ...]:
+    """The shards ``query`` must be applied on, in ascending order.
+
+    A one-element tuple is a routed query; the full shard range is a
+    broadcast.  Raises :class:`~repro.errors.EngineError` for a
+    modification that would re-shard its images (see module docstring).
+    """
+    position = shard_map.key_position(query.relation)
+    if isinstance(query, Insert):
+        return (shard_map.shard_of_row(query.relation, query.row),)
+    if not isinstance(query, (Delete, Modify)):
+        raise EngineError(f"unknown query type {type(query).__name__}")
+    pattern = query.pattern
+    if isinstance(query, Modify):
+        assigned = query.assignments.get(position, _MISSING)
+        if assigned is not _MISSING and pattern.eq.get(position, _MISSING) != assigned:
+            relation = shard_map.schema.relation(query.relation)
+            raise EngineError(
+                f"modification {query!r} assigns the shard key "
+                f"{relation.attributes[position]!r} of {query.relation!r}; "
+                "re-sharding modifications are not supported — shard on a "
+                "column the workload never assigns (shard_keys=...)"
+            )
+    value = pattern.eq.get(position, _MISSING)
+    if value is not _MISSING and routable(value):
+        return (shard_map.shard_of_value(value),)
+    return tuple(range(shard_map.n_shards))

@@ -110,12 +110,11 @@ def recover(
     for relation, row, name in snapshot.meta.get("tuple_vars", []):
         tuple_vars.setdefault(str(relation), {})[tuple(row)] = str(name)
     executor._tuple_vars = tuple_vars
+    # The restored planner totals become the stats' baseline offset: the
+    # rebuilt store's own counters restart at zero and honestly count only
+    # post-recovery matchings; EngineStats.sync_planner adds the baseline
+    # so the engine-level lifetime totals continue across the crash.
     stats = EngineStats.restore(snapshot.meta.get("stats"))
-    # Planner counters are monotone totals owned by the store; seed the
-    # rebuilt store so EngineStats.sync_planner keeps continuing totals.
-    executor.store.stats.index_hits = stats.index_hits
-    executor.store.stats.fallback_scans = stats.fallback_scans
-    executor.store.stats.rows_examined = stats.index_rows_examined
 
     scan = scan_journal(manager.journal_path)
     torn_dropped = truncate_torn_tail(manager.journal_path, scan)

@@ -1,0 +1,125 @@
+"""Regression tests for the PR 4 engine-surface bugfix sweep.
+
+Covers: ``apply``/``apply_batch`` rejecting strings instead of recursing
+character-by-character, ``annotation_of`` probing the store's row-keyed
+index instead of scanning provenance (bit-identical to the scan), and
+``overhead_report`` refusing to fabricate a ``row_overhead`` ratio
+against an empty baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expr import ZERO
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import EngineError
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+
+from ..conftest import PRODUCTS_ROWS, paper_transactions
+
+
+@pytest.mark.parametrize("method", ["apply", "apply_batch"])
+@pytest.mark.parametrize("bad", ["oops", b"oops", ""])
+def test_apply_rejects_strings_and_bytes(products_db, method, bad):
+    """A str satisfies isinstance(Iterable) but must not recurse char-wise."""
+    engine = Engine(products_db, policy="naive")
+    with pytest.raises(EngineError, match="cannot apply"):
+        getattr(engine, method)(bad)
+
+
+@pytest.mark.parametrize("method", ["apply", "apply_batch"])
+def test_apply_rejects_strings_nested_in_iterables(products_db, method):
+    """The guard also fires one level down, inside a list of items."""
+    engine = Engine(products_db, policy="naive")
+    rel = products_db.relation("products")
+    good = Delete.where(rel, where={"category": "Sport"}, annotation="p")
+    with pytest.raises(EngineError, match="cannot apply"):
+        getattr(engine, method)([good, "oops"])
+    # apply executes the valid prefix before the guard fires (like any
+    # mid-iterable failure); apply_batch still had it buffered in the
+    # pending run, which the raise discards unapplied.
+    assert engine.stats.queries == (1 if method == "apply" else 0)
+
+
+@pytest.mark.parametrize(
+    "policy", ["none", "naive", "normal_form", "normal_form_batch"]
+)
+def test_annotation_of_matches_provenance_scan(products_db, products_namer, policy):
+    """The O(1) probe returns exactly what the old full scan returned."""
+    engine = Engine(products_db, policy=policy, annotate=products_namer)
+    t1, _t1p, t2 = paper_transactions(products_db)
+    engine.apply([t1, t2])
+
+    def scan(relation, target):
+        for stored, expr, _live in engine.executor.provenance_items(relation):
+            if stored == target:
+                return expr
+        return ZERO
+
+    stored_rows = [row for row, _e, _l in engine.provenance("products")]
+    assert stored_rows  # the scenario keeps tombstones around
+    for row in stored_rows:
+        assert engine.annotation_of("products", row) is scan("products", row)
+    # Never-stored rows answer 0, exactly like the scan.
+    missing = ("No such product", "Nope", -1)
+    assert engine.annotation_of("products", missing) is ZERO
+    assert scan("products", missing) is ZERO
+
+
+def test_annotation_of_does_not_scan_provenance(products_db):
+    """Store-backed executors must not fall back to provenance_items."""
+    engine = Engine(products_db, policy="naive")
+    engine.apply(paper_transactions(products_db)[0])
+    calls = []
+    original = engine.executor.provenance_items
+    engine.executor.provenance_items = lambda rel: calls.append(rel) or original(rel)
+    row = next(iter(PRODUCTS_ROWS))
+    engine.annotation_of("products", row)
+    assert calls == []
+
+
+def test_annotation_of_flushes_batched_policy(products_db):
+    """The batched policy must expose normalized annotations, as the scan did."""
+    engine = Engine(products_db, policy="normal_form_batch")
+    rel = products_db.relation("products")
+    engine.apply(
+        Transaction(
+            "p", [Modify.set(rel, where={"category": "Sport"}, set_values={"price": 50})]
+        )
+    )
+    engine.apply(Delete.where(rel, where={"price": 50}, annotation="q"))
+    # Un-flushed layers pending; annotation_of must flush before reading.
+    for row, expr, _live in engine.provenance("products"):
+        assert engine.annotation_of("products", row) is expr
+
+
+def test_annotation_of_unknown_relation_raises(products_db):
+    engine = Engine(products_db, policy="naive")
+    with pytest.raises(EngineError):
+        engine.annotation_of("nope", ("x",))
+
+
+def test_row_overhead_is_none_against_empty_baseline():
+    """No live baseline rows -> no meaningful ratio, not a fabricated one."""
+    empty = Database.from_rows("r", ["a", "b"], [])
+    baseline = Engine(empty, policy="none")
+    engine = Engine(empty, policy="naive")
+    engine.apply(Insert("r", (1, 2), "p"))
+    engine.apply(Delete.where(empty.relation("r"), where={"a": 1}, annotation="q"))
+    assert baseline.live_count() == 0
+    assert engine.support_count() == 1  # one tombstone
+    report = engine.overhead_report(baseline)
+    assert report["row_overhead"] is None
+
+
+def test_row_overhead_still_reported_against_live_baseline(products_db):
+    baseline = Engine(products_db, policy="none")
+    engine = Engine(products_db, policy="naive")
+    t1, _t1p, t2 = paper_transactions(products_db)
+    baseline.apply([t1, t2])
+    engine.apply([t1, t2])
+    report = engine.overhead_report(baseline)
+    assert report["row_overhead"] is not None
+    assert report["row_overhead"] > 0  # tombstones

@@ -1,0 +1,122 @@
+"""Stable hashing and database partitioning."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Relation, Schema
+from repro.errors import EngineError
+from repro.shard.partition import ShardMap, partition_database, stable_hash
+
+from ..conftest import subprocess_env
+
+
+def test_stable_hash_consistent_with_equality_across_numeric_types():
+    """Pattern matching compares with ==, so equal values must co-locate."""
+    from decimal import Decimal
+    from fractions import Fraction
+
+    assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+    assert stable_hash(False) == stable_hash(0) == stable_hash(0.0)
+    assert stable_hash(7) != stable_hash(8)
+    # Every numbers.Number spelling of one value co-locates, not just the
+    # builtin trio — Decimal(1) == 1 must not slip into the repr fallback.
+    assert stable_hash(Decimal(1)) == stable_hash(1) == stable_hash(Fraction(1))
+    assert stable_hash(Decimal("2.5")) == stable_hash(2.5)
+    # NaNs (id-hashed by the builtin since 3.10) pin deterministically.
+    assert stable_hash(float("nan")) == stable_hash(float("nan")) == 1
+
+
+def test_non_routable_equalities_broadcast_but_rows_still_match():
+    """Decimal-keyed rows and int equalities: == across the repr fallback.
+
+    Regression for the reviewed routing bug: Decimal(1) == 1, so a delete
+    pinning the shard key to int 1 must reach a Decimal(1)-keyed row.
+    Both spellings now hash through the numeric branch; the engine-level
+    assertion is that sharded results match unsharded ones.
+    """
+    from decimal import Decimal
+
+    from repro.engine.engine import Engine
+    from repro.queries.pattern import Pattern
+    from repro.queries.updates import Delete, Insert
+    from repro.shard import ShardedEngine
+
+    schema = Schema([Relation("r", ["k", "v"])])
+    stream = [
+        Insert("r", (Decimal(1), "a"), "p"),
+        Insert("r", (1.0, "b"), "p"),
+        Delete("r", Pattern(2, eq={0: 1}), "q"),
+    ]
+    unsharded = Engine(Database(schema), policy="naive").apply(stream)
+    sharded = ShardedEngine(Database(schema), n_shards=4, policy="naive").apply(stream)
+    assert sharded.live_rows("r") == unsharded.live_rows("r") == set()
+    assert sharded.support_count() == unsharded.support_count() == 2
+
+
+def test_stable_hash_is_deterministic_across_interpreters():
+    """str hashing is PYTHONHASHSEED-randomized; stable_hash must not be."""
+    values = ["warehouse-3", "", "日本", 17, -1, 2.5, None, True, b"\x00ab"]
+    script = (
+        "from repro.shard.partition import stable_hash\n"
+        f"print([stable_hash(v) for v in {values!r}])\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        env=subprocess_env(),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert eval(out.stdout.strip()) == [stable_hash(v) for v in values]
+
+
+def test_stable_hash_handles_unhashable_values():
+    assert stable_hash([1, 2]) == stable_hash([1, 2])
+    assert isinstance(stable_hash([1, 2]), int)
+
+
+def _schema() -> Schema:
+    return Schema([Relation("r", ["k", "g", "v"]), Relation("s", ["a", "b"])])
+
+
+def test_shard_map_resolves_names_and_positions():
+    shard_map = ShardMap(_schema(), 4, {"r": "g", "s": 1})
+    assert shard_map.key_position("r") == 1
+    assert shard_map.key_position("s") == 1
+    # Default key is position 0.
+    assert ShardMap(_schema(), 4).key_position("r") == 0
+
+
+def test_shard_map_rejects_bad_configuration():
+    with pytest.raises(EngineError):
+        ShardMap(_schema(), 0)
+    with pytest.raises(EngineError):
+        ShardMap(_schema(), 4, {"r": 9})
+    with pytest.raises(EngineError):
+        ShardMap(_schema(), 4, {"nope": 0})
+    with pytest.raises(EngineError):
+        ShardMap(_schema(), 4).key_position("nope")
+
+
+def test_partition_database_is_a_disjoint_cover():
+    schema = _schema()
+    db = Database(schema)
+    db.extend("r", [(i, f"g{i % 5}", i * 2) for i in range(40)])
+    db.extend("s", [(f"a{i}", i) for i in range(10)])
+    shard_map = ShardMap(schema, 3, {"r": "g"})
+    parts = partition_database(db, shard_map)
+    assert len(parts) == 3
+    for name in ("r", "s"):
+        rebuilt: list = []
+        for part in parts:
+            rows = part.rows(name)
+            assert not set(rebuilt) & rows  # disjoint
+            rebuilt.extend(rows)
+            for row in rows:  # every row is in its home shard
+                assert shard_map.shard_of_row(name, row) == parts.index(part)
+        assert set(rebuilt) == db.rows(name)  # full cover

@@ -1,0 +1,67 @@
+"""Pattern → shard-set routing decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import Relation, Schema
+from repro.errors import EngineError
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Insert, Modify
+from repro.shard.partition import ShardMap
+from repro.shard.router import route_query
+
+SCHEMA = Schema([Relation("r", ["k", "g", "v"])])
+
+
+@pytest.fixture
+def shard_map() -> ShardMap:
+    return ShardMap(SCHEMA, 4, {"r": "g"})
+
+
+def test_insert_routes_to_the_rows_home_shard(shard_map):
+    route = route_query(Insert("r", (1, "hot", 9), "p"), shard_map)
+    assert route == (shard_map.shard_of_value("hot"),)
+
+
+def test_shard_key_equality_routes_to_one_shard(shard_map):
+    query = Delete("r", Pattern(3, eq={1: "hot"}), "p")
+    assert route_query(query, shard_map) == (shard_map.shard_of_value("hot"),)
+    modify = Modify("r", Pattern(3, eq={1: "hot"}), {2: 0}, "p")
+    assert route_query(modify, shard_map) == (shard_map.shard_of_value("hot"),)
+
+
+def test_everything_else_broadcasts(shard_map):
+    broadcast = (0, 1, 2, 3)
+    # No constraint on the shard key at all.
+    assert route_query(Delete("r", Pattern(3, eq={0: 5}), "p"), shard_map) == broadcast
+    assert route_query(Delete("r", Pattern.any(3), "p"), shard_map) == broadcast
+    # Disequalities never route (they exclude one bucket's worth at best).
+    assert (
+        route_query(Delete("r", Pattern(3, neq={1: {"hot"}}), "p"), shard_map)
+        == broadcast
+    )
+    # Unhashable equality constants mirror the planner's scan fallback.
+    assert (
+        route_query(Delete("r", Pattern(3, eq={1: ["un", "hashable"]}), "p"), shard_map)
+        == broadcast
+    )
+
+
+def test_numeric_equality_routes_like_row_placement(shard_map):
+    """True == 1 == 1.0: the routed shard must hold rows keyed by any of them."""
+    shards = {
+        route_query(Delete("r", Pattern(3, eq={1: value}), "p"), shard_map)
+        for value in (True, 1, 1.0)
+    }
+    assert len(shards) == 1
+    assert shards.pop() == (shard_map.shard_of_value(1),)
+
+
+def test_resharding_modification_is_rejected(shard_map):
+    with pytest.raises(EngineError, match="re-sharding"):
+        route_query(Modify("r", Pattern(3, eq={0: 7}), {1: "elsewhere"}, "p"), shard_map)
+    # Assigning the key to the very constant the pattern pins is the
+    # canonical identity-modification anchor — images stay home.
+    identity = Modify("r", Pattern(3, eq={1: "hot"}), {1: "hot"}, "p")
+    assert route_query(identity, shard_map) == (shard_map.shard_of_value("hot"),)

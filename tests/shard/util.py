@@ -1,0 +1,41 @@
+"""Shared assertions for the sharded bit-identity suite."""
+
+from __future__ import annotations
+
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete, Modify, Transaction
+from repro.workloads.logs import UpdateLog
+
+
+def assert_bit_identical(unsharded, sharded, schema) -> None:
+    """Merged sharded state == unsharded state, annotation objects included."""
+    tracks = unsharded.executor.tracks_provenance
+    for relation in schema.names:
+        a = {row: (expr, live) for row, expr, live in unsharded.provenance(relation)}
+        b = {row: (expr, live) for row, expr, live in sharded.provenance(relation)}
+        assert a.keys() == b.keys(), relation
+        for row, (expr, live) in a.items():
+            other_expr, other_live = b[row]
+            assert live == other_live, (relation, row)
+            if tracks:
+                # Identity, not equality: interning makes the same
+                # expression the same object, even across worker processes
+                # (captures re-intern at the coordinator).
+                assert expr is other_expr, (relation, row, expr, other_expr)
+    assert sharded.result().same_contents(unsharded.result())
+
+
+def with_broadcasts(log: UpdateLog, relation, arity: int) -> UpdateLog:
+    """The synthetic log plus queries no grp-equality can route.
+
+    Appends a value-column modification (equality off the shard key), a
+    disequality-only deletion, and a match-all deletion — all broadcast —
+    so mixed streams exercise both router paths.
+    """
+    v0 = relation.index_of("v0")
+    extra = [
+        Transaction("bc0", [Modify(relation.name, Pattern(arity, eq={v0: 1}), {v0: 2})]),
+        Delete(relation.name, Pattern(arity, neq={v0: {3}}), "bc1"),
+        Transaction("bc2", [Delete(relation.name, Pattern.any(arity))]),
+    ]
+    return UpdateLog(list(log.items) + extra, log.meta)

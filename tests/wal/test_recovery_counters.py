@@ -1,0 +1,104 @@
+"""Recovery counter continuity (PR 4 regression fix).
+
+Pre-fix, ``EngineStats.sync_planner`` copied the rebuilt store's planner
+counters over the WAL-restored lifetime totals on the first post-recovery
+query; now the restored totals are a baseline offset the store's (honestly
+zero-restarting) counters are added to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.engine.stats import EngineStats
+from repro.queries.pattern import Pattern
+from repro.queries.updates import Delete
+from repro.wal import JournaledEngine, recover
+from repro.workloads.synthetic import synthetic_workload
+
+
+@pytest.fixture
+def workload():
+    return synthetic_workload(
+        n_tuples=400,
+        n_queries=60,
+        n_groups=6,
+        group_size=4,
+        queries_per_transaction=5,
+        seed=11,
+    )
+
+
+def _planner_triple(stats) -> tuple[int, int, int]:
+    return (stats.index_hits, stats.fallback_scans, stats.index_rows_examined)
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form_batch"])
+def test_planner_counters_continue_across_checkpoint_and_replay(
+    tmp_path, workload, policy
+):
+    engine = JournaledEngine(
+        workload.database, tmp_path, policy=policy, checkpoint_every=25
+    )
+    engine.apply(workload.log)
+    before = _planner_triple(engine.stats)
+    queries_before = engine.stats.queries
+    assert before[0] > 0  # the workload is selective: indexes were used
+    engine.journal.close()  # crash: tail left in place
+
+    recovered = recover(tmp_path, checkpoint_every=25)
+    assert recovered.recovery.tail_records > 0  # a genuine tail replayed
+    # Lifetime totals are continuous immediately after recovery...
+    assert _planner_triple(recovered.stats) == before
+    assert recovered.stats.queries == queries_before
+    # ...while the rebuilt store honestly counts only post-checkpoint work.
+    store = recovered.executor.store.stats
+    assert 0 < store.index_hits < before[0]
+
+    # The first post-recovery queries ADD to the totals instead of
+    # overwriting them with the store's smaller cumulative counters.
+    relation = workload.database.schema.relation("synthetic")
+    grp = relation.index_of("grp")
+    for group in range(3):
+        recovered.apply(
+            Delete("synthetic", Pattern(relation.arity, eq={grp: group}), "post")
+        )
+    after = _planner_triple(recovered.stats)
+    assert after[0] == before[0] + 3
+    assert after[0] > before[0] >= store.index_hits
+    recovered.journal.close()
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form_batch"])
+def test_recovered_totals_match_an_uncrashed_run(tmp_path, workload, policy):
+    """Recovered counters equal a never-crashed engine's, to the unit."""
+    engine = JournaledEngine(
+        workload.database, tmp_path, policy=policy, checkpoint_every=30
+    )
+    engine.apply(workload.log)
+    engine.journal.close()
+    recovered = recover(tmp_path, checkpoint_every=30)
+    plain = Engine(workload.database, policy=policy).apply(workload.log)
+    assert _planner_triple(recovered.stats) == _planner_triple(plain.stats)
+    assert recovered.stats.queries == plain.stats.queries
+    assert recovered.stats.rows_matched == plain.stats.rows_matched
+    recovered.journal.close()
+
+
+def test_restore_sets_planner_baseline():
+    restored = EngineStats.restore(
+        {"index_hits": 7, "fallback_scans": 2, "index_rows_examined": 40}
+    )
+    assert restored.planner_base == (7, 2, 40)
+
+    class FakePlanner:
+        index_hits = 3
+        fallback_scans = 1
+        rows_examined = 10
+
+    restored.sync_planner(FakePlanner())
+    assert _planner_triple(restored) == (10, 3, 50)
+    # Syncing is idempotent per store state: totals mirror, never re-add.
+    restored.sync_planner(FakePlanner())
+    assert _planner_triple(restored) == (10, 3, 50)
