@@ -40,6 +40,7 @@ __all__ = [
     "IndexComparison",
     "RecoveryComparison",
     "SeriesRun",
+    "ServerComparison",
     "ShardComparison",
     "UsageMeasurement",
     "batch_comparison",
@@ -48,6 +49,7 @@ __all__ = [
     "repeated_normalization_workload",
     "rewrite_cache_comparison",
     "series_run",
+    "server_comparison",
     "shard_comparison",
     "usage_measurement",
     "checkpoints_for",
@@ -591,6 +593,171 @@ def shard_comparison(
         broadcast_queries=broadcast,
         unsharded_time=unsharded_time,
         sharded_time=sharded_time,
+        consistent=consistent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serving: admission batching vs. per-call dispatch (ISSUE 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServerComparison:
+    """One multi-client workload served with and without admission batching.
+
+    Both runs are the identical server, engine, protocol and client code;
+    the only difference is ``admission_max`` — how many queued apply
+    requests the single writer may fuse into one
+    :meth:`~repro.engine.engine.Engine.apply_batch` call per cycle.
+    ``admission_max=1`` is per-call dispatch: every request pays its own
+    writer wake-up, executor handoff and engine bookkeeping.  Clients
+    pipeline their requests, so the admission queue stays deep enough for
+    fusion to matter (the realistic high-traffic regime the ROADMAP's
+    north star describes).
+
+    ``consistent`` asserts both final server states are bit-identical —
+    equal rows and liveness, the identical re-interned annotation object
+    per row — to a direct in-process engine applying each client's
+    queries in order (client workloads live in disjoint relations, so
+    cross-client interleaving cannot change the final state).
+
+    The batched run goes first: both runs build the same interned
+    expressions, so whichever runs second inherits a warm intern table
+    and warm rewrite memos — timing batched-first hands that warmth to
+    the per-call side, biasing the measurement *against* the asserted
+    speedup.
+    """
+
+    policy: str
+    clients: int
+    requests: int
+    queries: int
+    percall_time: float
+    batched_time: float
+    batched_max_admitted: int
+    batched_cycles: int
+    percall_cycles: int
+    consistent: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.percall_time / self.batched_time if self.batched_time else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "clients": self.clients,
+            "requests": self.requests,
+            "queries": self.queries,
+            "percall_time": self.percall_time,
+            "batched_time": self.batched_time,
+            "speedup": self.speedup,
+            "batched_max_admitted": self.batched_max_admitted,
+            "batched_cycles": self.batched_cycles,
+            "percall_cycles": self.percall_cycles,
+            "consistent": self.consistent,
+        }
+
+
+def server_comparison(
+    clients: int = 6,
+    requests_per_client: int = 100,
+    policy: str = "normal_form_batch",
+    verify: bool = True,
+) -> ServerComparison:
+    """Serve a multi-client insert stream batched and per-call and compare.
+
+    Each of ``clients`` concurrent connections pipelines
+    ``requests_per_client`` single-insert apply requests into its own
+    relation.  Elapsed time covers every client finishing its workload
+    (server start/stop and verification sit outside both timed sections).
+    """
+    import threading
+
+    from ..db.schema import Relation, Schema
+    from ..queries.updates import Insert
+    from ..server import ServerClient, ServerConfig, serve_in_thread
+    from ..shard.codec import capture_engine
+
+    schema = Schema(
+        [Relation(f"client_{i}", ["id", "value"]) for i in range(clients)]
+    )
+
+    def client_queries(i: int) -> list[Insert]:
+        return [
+            Insert(f"client_{i}", (j, f"v{i}_{j}"), annotation=f"c{i}q{j}")
+            for j in range(requests_per_client)
+        ]
+
+    def run(admission_max: int) -> tuple[float, dict, dict]:
+        config = ServerConfig(port=0, policy=policy, admission_max=admission_max)
+        handle = serve_in_thread(Database(schema), config)
+        try:
+            barrier = threading.Barrier(clients + 1)
+            failures: list[BaseException] = []
+
+            def worker(i: int) -> None:
+                try:
+                    with ServerClient(handle.host, handle.port) as connection:
+                        barrier.wait()
+                        # One frame per request, pipelined: the admission
+                        # queue sees the whole backlog, not lockstep pairs.
+                        connection.apply_pipelined(client_queries(i))
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failures.append(exc)
+                    barrier.abort()
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                # A worker failed before the barrier and aborted it; its
+                # exception (in `failures`) is the one worth reporting.
+                pass
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            if failures:
+                raise failures[0]
+            with ServerClient(handle.host, handle.port) as connection:
+                # The writer is quiescent here (every apply answered), so
+                # decoding — which interns — does not race it.
+                state = connection.state()
+                counters = connection.stats()["server"]
+        finally:
+            handle.stop()
+        return elapsed, state, counters
+
+    batched_time, batched_state, batched_counters = run(256)
+    percall_time, percall_state, percall_counters = run(1)
+
+    consistent = True
+    if verify:
+        direct = Engine(Database(schema), policy=policy)
+        for i in range(clients):
+            direct.apply(client_queries(i))
+        direct_state = capture_engine(direct)
+        consistent = _states_bit_identical(
+            batched_state, direct_state
+        ) and _states_bit_identical(percall_state, direct_state)
+
+    return ServerComparison(
+        policy=policy,
+        clients=clients,
+        requests=clients * requests_per_client,
+        queries=clients * requests_per_client,
+        percall_time=percall_time,
+        batched_time=batched_time,
+        batched_max_admitted=int(batched_counters["max_admitted"]),
+        batched_cycles=int(batched_counters["writer_cycles"]),
+        percall_cycles=int(percall_counters["writer_cycles"]),
         consistent=consistent,
     )
 

@@ -10,6 +10,10 @@ Subcommands::
     repro tpcc --shards 4             same, hash-partitioned with routed updates
     repro recover state/              resume a journaled directory after a crash
                                       (sharded directories are auto-detected)
+    repro serve state/ --schema R:a,b serve the engine over TCP (recovers state/
+                                      if it already holds a journaled deployment)
+    repro client apply log.json       talk to a running server (also: ping, stats,
+                                      provenance REL, state, checkpoint, shutdown)
     repro sql --schema R:a,b script   execute a SQL-fragment script with provenance
     repro axioms                      check every shipped structure against Figure 3
 
@@ -125,6 +129,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="recover and resume the shards in a process pool",
     )
     recover.set_defaults(func=cmd_recover)
+
+    serve = sub.add_parser(
+        "serve", help="serve the engine over TCP (length-prefixed JSON protocol)"
+    )
+    serve.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="durable directory (journaled/sharded backends); an existing "
+        "deployment there is recovered and resumed. Omit for a purely "
+        "in-memory server",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None, help="default: 7464")
+    serve.add_argument(
+        "--backend",
+        choices=["auto", "plain", "journaled", "sharded"],
+        default="auto",
+        help="auto = journaled when a directory is given (sharded if it holds "
+        "shards.json), plain otherwise",
+    )
+    serve.add_argument(
+        "--policy",
+        default="normal_form_batch",
+        help="engine policy (journaled backends need a resumable one: naive "
+        "or normal_form_batch; default: normal_form_batch)",
+    )
+    serve.add_argument(
+        "--schema",
+        action="append",
+        default=[],
+        metavar="REL:a,b,c",
+        help="relation declaration for a fresh server (repeatable; ignored "
+        "when recovering an existing directory)",
+    )
+    serve.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="REL=path",
+        help="load initial rows for REL from a CSV file (repeatable)",
+    )
+    serve.add_argument("--shards", type=int, default=4, metavar="N")
+    serve.add_argument("--parallel-shards", action="store_true")
+    serve.add_argument(
+        "--journal-sync", choices=["none", "flush", "fsync"], default="flush"
+    )
+    serve.add_argument("--checkpoint-every", type=int, default=1024, metavar="N")
+    serve.add_argument(
+        "--admission-max",
+        type=int,
+        default=256,
+        metavar="N",
+        help="most apply requests fused into one writer cycle (1 = per-call "
+        "dispatch; default: 256)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser("client", help="talk to a running repro server")
+    client.add_argument(
+        "action",
+        choices=[
+            "ping",
+            "stats",
+            "state",
+            "provenance",
+            "apply",
+            "checkpoint",
+            "shutdown",
+        ],
+    )
+    client.add_argument(
+        "argument",
+        nargs="?",
+        default=None,
+        help="relation name (provenance) or update-log JSON file (apply)",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=None, help="default: 7464")
+    client.add_argument(
+        "--retry",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="keep retrying the connection this long (default: 5)",
+    )
+    client.set_defaults(func=cmd_client)
 
     sql = sub.add_parser("sql", help="run a SQL-fragment script with provenance tracking")
     sql.add_argument("script", help="path to the script, or '-' for stdin")
@@ -381,6 +472,148 @@ def cmd_recover(args: argparse.Namespace) -> int:
     # Fold the replayed tail into a fresh checkpoint so the next recovery
     # starts clean, and close the journal.
     engine.close()
+    return 0
+
+
+def _database_from_specs(schema_specs: list[str], csv_specs: list[str]):
+    """Build a Database from repeated ``REL:a,b`` / ``REL=path`` options."""
+    from .db.database import Database
+    from .db.schema import Relation, Schema
+    from .errors import ReproError
+    from .storage.csvio import load_csv
+
+    relations = []
+    for spec in schema_specs:
+        name, _, attrs = spec.partition(":")
+        if not attrs:
+            raise ReproError(f"schema spec {spec!r} must look like REL:a,b,c")
+        relations.append(Relation(name.strip(), [a.strip() for a in attrs.split(",")]))
+    db = Database(Schema(relations))
+    for item in csv_specs:
+        name, _, path = item.partition("=")
+        if not path:
+            raise ReproError(f"--csv spec {item!r} must look like REL=path")
+        loaded = load_csv(path, f"__tmp_{name}")
+        db.extend(name, loaded.rows(f"__tmp_{name}"))
+    return db
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import ReproError
+    from .server.protocol import DEFAULT_PORT
+    from .server.server import ProvenanceServer
+    from .server.service import ProvenanceService, ServerConfig, build_engine
+
+    backend = args.backend
+    if backend == "auto":
+        if args.directory is None:
+            backend = "plain"
+        else:
+            from .shard import is_sharded_directory
+
+            backend = "sharded" if is_sharded_directory(args.directory) else "journaled"
+    config = ServerConfig(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        backend=backend,
+        policy=args.policy,
+        directory=args.directory,
+        shards=args.shards,
+        parallel_shards=args.parallel_shards,
+        sync=args.journal_sync,
+        checkpoint_every=args.checkpoint_every,
+        admission_max=args.admission_max,
+    )
+
+    async def _run() -> int:
+        try:
+            if args.csv and not args.schema:
+                raise ReproError("--csv needs --schema to declare its relation")
+            database = _database_from_specs(args.schema, args.csv) if args.schema else None
+            service = ProvenanceService(build_engine(database, config), config)
+            server = ProvenanceServer(service)
+            await server.start()
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        recovery = getattr(service.engine, "recovery", None)
+        if recovery is not None:
+            print(f"recovered {args.directory}: {recovery.as_dict()}")
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"(backend={backend}, policy={config.policy}, "
+            f"admission_max={config.admission_max})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        # The loop holds only a weak reference to tasks; keep a strong one
+        # so the graceful stop cannot be garbage-collected mid-shutdown.
+        stop_tasks: list[asyncio.Task] = []
+        try:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(
+                    signum,
+                    lambda: stop_tasks.append(loop.create_task(server.stop())),
+                )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-posix
+            pass
+        await server.wait_stopped()
+        print("server stopped (flushed and checkpointed)")
+        return 0
+
+    return asyncio.run(_run())
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .server.client import ServerClient
+    from .server.protocol import DEFAULT_PORT
+    from .workloads.logs import log_from_json
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        with ServerClient(args.host, port, connect_retry=args.retry) as client:
+            if args.action == "ping":
+                for key, value in client.ping().items():
+                    print(f"  {key}: {value}")
+            elif args.action == "stats":
+                stats = client.stats()
+                for section in ("engine", "server"):
+                    print(f"-- {section}")
+                    for key, value in stats[section].items():
+                        print(f"  {key}: {value}")
+            elif args.action == "state":
+                for relation, rows in client.state().items():
+                    print(f"-- {relation}")
+                    for row, (expr, live) in sorted(rows.items(), key=repr):
+                        flag = "live" if live else "gone"
+                        print(f"  [{flag}] {row!r}  ::  {expr}")
+            elif args.action == "provenance":
+                if not args.argument:
+                    raise ReproError("provenance needs a relation name argument")
+                for row, expr, live in sorted(
+                    client.provenance(args.argument), key=repr
+                ):
+                    flag = "live" if live else "gone"
+                    print(f"  [{flag}] {row!r}  ::  {expr}")
+            elif args.action == "apply":
+                if not args.argument:
+                    raise ReproError("apply needs an update-log JSON file argument")
+                log, _schema = log_from_json(Path(args.argument).read_text())
+                applied = client.apply_batch(log.items)
+                print(f"applied {applied} queries")
+            elif args.action == "checkpoint":
+                print(f"checkpoints written: {client.checkpoint()}")
+            elif args.action == "shutdown":
+                client.shutdown()
+                print("server shutting down")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -179,11 +179,17 @@ _GENERATION = 0
 
 
 def _intern(kind: str, name: str | None, children: tuple[Expr, ...]) -> Expr:
+    # The miss path goes through dict.setdefault: key comparison is pure
+    # C-level (ints, strs, identity-compared Exprs), so the insert-if-absent
+    # is atomic under the GIL and two threads interning the same shape both
+    # receive the single table entry.  A plain check-then-insert could let
+    # each thread escape with its own node, silently breaking the
+    # structural-equality-iff-identity invariant for the process (the
+    # provenance server runs its writer in a thread beside client decoders).
     key = (kind, name, tuple(id(c) for c in children), children)
     node = _INTERN.get(key)
     if node is None:
-        node = Expr(kind, name, children)
-        _INTERN[key] = node
+        node = _INTERN.setdefault(key, Expr(kind, name, children))
     return node
 
 

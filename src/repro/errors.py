@@ -8,6 +8,7 @@ __all__ = [
     "EngineError",
     "StructureError",
     "StorageError",
+    "ServerError",
 ]
 
 
@@ -46,3 +47,7 @@ class StructureError(ReproError):
 
 class StorageError(ReproError):
     """Serialization / persistence failures."""
+
+
+class ServerError(ReproError):
+    """Wire-protocol violations and provenance-service failures."""

@@ -1,0 +1,236 @@
+"""A blocking client for the provenance service.
+
+:class:`ServerClient` speaks the length-prefixed JSON protocol over one
+TCP connection and presents the familiar engine surface: ``apply`` /
+``apply_batch``, ``provenance`` / ``annotation_of`` / ``state``,
+``specialize``, ``stats``, ``checkpoint``, ``shutdown``.  Updates are
+encoded as the journal's replay vocabulary; provenance expressions come
+back as ``exprjson`` DAG payloads and are **re-interned locally** — in
+the server's own process the decoded objects are therefore the very
+nodes the engine holds, which is what the bit-identity tests assert.
+
+Requests on a connection are answered in order, so
+:meth:`apply_pipelined` may ship many apply frames before reading any
+response — the client-side half of admission batching: a deep queue lets
+the server's writer fuse an entire backlog into one ``apply_batch`` call.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Iterable, Mapping
+
+from ..core.expr import Expr, ZERO
+from ..errors import ServerError
+from ..queries.updates import Transaction, UpdateQuery
+from ..shard.codec import decode_capture, decode_tuple_vars, items_to_events
+from ..storage.exprjson import expr_from_dict
+from .protocol import DEFAULT_PORT, recv_frame, send_frame
+
+__all__ = ["ServerClient"]
+
+#: Anything `apply` accepts: a query, a transaction, or nested iterables.
+Applyable = UpdateQuery | Transaction | Iterable
+
+
+def _as_items(item: Applyable) -> list[UpdateQuery | Transaction]:
+    if isinstance(item, (UpdateQuery, Transaction)):
+        return [item]
+    if isinstance(item, Iterable) and not isinstance(item, (str, bytes)):
+        items: list[UpdateQuery | Transaction] = []
+        for element in item:
+            items.extend(_as_items(element))
+        return items
+    raise ServerError(f"cannot apply {type(item).__name__}")
+
+
+class ServerClient:
+    """One blocking connection to a running provenance server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+        connect_retry: float = 0.0,
+    ):
+        """Connect, retrying for up to ``connect_retry`` seconds.
+
+        The retry window makes "start the server, then connect" scriptable
+        without sleeps (the CI smoke test and the CLI client use it).
+        """
+        deadline = time.monotonic() + connect_retry
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ServerError(
+                        f"cannot connect to {host}:{port}: {exc}"
+                    ) from exc
+                time.sleep(0.05)
+        self.host, self.port = host, port
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, op: str, **payload: object) -> None:
+        try:
+            send_frame(self._sock, {"op": op, **payload})
+        except OSError as exc:
+            raise ServerError(f"send to {self.host}:{self.port} failed: {exc}") from exc
+
+    def _flush(self, buffer: bytearray) -> None:
+        try:
+            self._sock.sendall(buffer)
+        except OSError as exc:
+            raise ServerError(f"send to {self.host}:{self.port} failed: {exc}") from exc
+
+    def _receive(self) -> dict:
+        try:
+            response = recv_frame(self._sock)
+        except OSError as exc:
+            raise ServerError(f"read from {self.host}:{self.port} failed: {exc}") from exc
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                f"server error [{error.get('type', 'unknown')}]: "
+                f"{error.get('message', 'no message')}"
+            )
+        return response
+
+    def _call(self, op: str, **payload: object) -> dict:
+        self._send(op, **payload)
+        return self._receive()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- the engine surface ----------------------------------------------------
+
+    def ping(self) -> dict:
+        """Server identity: version, policy, backend, schema."""
+        return self._call("ping")["server"]
+
+    def apply(self, item: Applyable, batch: bool = False) -> int:
+        """Apply a query / transaction / iterable; returns queries applied."""
+        events = items_to_events(_as_items(item))
+        return int(self._call("apply", events=events, batch=batch)["applied"])
+
+    def apply_batch(self, item: Applyable) -> int:
+        """Like :meth:`apply`, requesting the batched pipeline server-side."""
+        return self.apply(item, batch=True)
+
+    def apply_pipelined(self, items: Iterable[Applyable], batch: bool = False) -> int:
+        """Ship one apply frame per element, then read every response.
+
+        Pipelining keeps the server's admission queue deep, which is what
+        lets the writer fuse a whole backlog into one ``apply_batch`` call
+        — the measured win of ``server_comparison``.  Returns total
+        queries applied; raises on the first failed response (later
+        pipelined responses are drained so the connection stays usable).
+        """
+        from .protocol import encode_frame
+
+        buffer = bytearray()
+        shipped = 0
+        for element in items:
+            buffer += encode_frame(
+                {"op": "apply", "events": items_to_events(_as_items(element)), "batch": batch}
+            )
+            shipped += 1
+            if len(buffer) >= 1 << 20:  # flush in ~1 MiB bursts
+                self._flush(buffer)
+                buffer.clear()
+        if buffer:
+            self._flush(buffer)
+        applied = 0
+        failure: ServerError | None = None
+        for _ in range(shipped):
+            try:
+                applied += int(self._receive()["applied"])
+            except ServerError as exc:
+                failure = failure or exc
+        if failure is not None:
+            raise failure
+        return applied
+
+    def provenance(self, relation: str) -> list[tuple[tuple, Expr, bool]]:
+        """``(row, expression, live)`` per stored row, re-interned locally.
+
+        The provenance-free policy reports ``ZERO`` expressions, exactly
+        like :meth:`repro.shard.engine.ShardedEngine.provenance`.
+        """
+        response = self._call("provenance", relation=relation)
+        return [
+            (tuple(row), ZERO if encoded is None else expr_from_dict(encoded), bool(live))
+            for row, encoded, live in response["rows"]
+        ]
+
+    def state(self) -> dict[str, dict[tuple, tuple[Expr | None, bool]]]:
+        """The full ``{relation: {row: (expression, live)}}`` snapshot."""
+        return decode_capture(self._call("state")["relations"])
+
+    def raw_state(self) -> tuple[int, dict]:
+        """The snapshot *without* decoding expressions: ``(version, payload)``.
+
+        For readers that must not intern while another thread in the same
+        process is still writing heavily (decode later, when quiescent) —
+        the concurrent-reader stress test records these.
+        """
+        response = self._call("state")
+        return int(response["version"]), response["relations"]
+
+    def annotation_of(self, relation: str, row: Iterable[object]) -> Expr:
+        """One row's provenance expression (``ZERO`` if never stored)."""
+        response = self._call("annotation_of", relation=relation, row=list(row))
+        encoded = response["expr"]
+        return ZERO if encoded is None else expr_from_dict(encoded)
+
+    def specialize(
+        self, env: Mapping[str, bool], default: bool = True
+    ) -> dict[str, dict[tuple, bool]]:
+        """Boolean-structure valuation of every stored annotation.
+
+        ``env`` assigns truth values by annotation name; unnamed
+        annotations take ``default``.  The shape matches
+        :meth:`repro.engine.engine.Engine.specialize` under
+        :class:`~repro.semantics.boolean.BooleanStructure`.
+        """
+        response = self._call(
+            "specialize", structure="boolean", env=dict(env), default=default
+        )
+        return {
+            name: {tuple(row): bool(value) for row, value in rows}
+            for name, rows in response["values"].items()
+        }
+
+    def tuple_vars(self) -> dict[str, dict[tuple, str]]:
+        """Initial-tuple annotation names, ``{relation: {row: name}}``."""
+        return decode_tuple_vars(self._call("tuple_vars")["tuple_vars"])
+
+    def stats(self) -> dict:
+        """``{"engine": engine counters, "server": admission counters}``."""
+        response = self._call("stats")
+        return {"engine": response["engine"], "server": response["server"]}
+
+    def checkpoint(self) -> int:
+        """Force a durability checkpoint; returns checkpoints written."""
+        return int(self._call("checkpoint")["written"])
+
+    def shutdown(self, checkpoint: bool = True) -> None:
+        """Ask the server to stop gracefully, then close this connection."""
+        try:
+            self._call("shutdown", checkpoint=checkpoint)
+        finally:
+            self.close()

@@ -1,0 +1,434 @@
+"""The asyncio TCP transport of the provenance service.
+
+:class:`ProvenanceServer` accepts connections, reads request frames, and
+dispatches them against a :class:`~repro.server.service.ProvenanceService`.
+Each connection is served by one task and answered strictly in order;
+concurrency comes from many connections, whose ``apply`` admissions the
+service's writer fuses and whose reads share published snapshots.
+
+The event loop never touches the engine and never interns expressions:
+request decoding stops at queries/patterns (plain data), and responses
+encode expressions *from* immutable snapshots (``expr_to_dict`` creates
+no nodes).  Every engine mutation stays on the service's writer thread.
+
+:func:`serve_in_thread` runs a whole server on a background thread —
+what the benchmarks, the stress tests and the example use to host a
+server and its clients in one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterable
+
+from .._version import __version__
+from ..core.expr import evaluate
+from ..db.database import Database
+from ..errors import ReproError, ServerError
+from ..queries.updates import Insert, Transaction, UpdateQuery
+from ..semantics.boolean import BooleanStructure
+from ..shard.codec import decode_events, encode_capture, encode_tuple_vars
+from ..storage.exprjson import expr_to_dict
+from ..workloads.logs import log_from_events
+from .protocol import encode_frame, error_payload, read_frame
+from .service import ProvenanceService, ServerConfig, build_engine
+
+__all__ = ["ProvenanceServer", "ServerHandle", "serve_in_thread"]
+
+
+async def _const(payload: dict, closing: bool) -> tuple[dict, bool]:
+    """A pre-computed dispatch result (framing errors)."""
+    return payload, closing
+
+
+class ProvenanceServer:
+    """One TCP endpoint over one :class:`ProvenanceService`."""
+
+    def __init__(self, service: ProvenanceService, host: str | None = None, port: int | None = None):
+        self.service = service
+        self.host = host if host is not None else service.config.host
+        self.port = port if port is not None else service.config.port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._stopped = asyncio.Event()
+        self._stopping = False
+        self._stop_task: asyncio.Task | None = None
+        self._shutdown_checkpoint = True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start the writer, begin accepting connections."""
+        self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self, checkpoint: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain admissions, close backend."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.close(checkpoint=checkpoint)
+        for writer in list(self._connections):
+            writer.close()
+        self._stopped.set()
+
+    # -- connection handling ---------------------------------------------------
+
+    #: In-flight pipelined requests one connection may hold.  Bounds the
+    #: dispatch tasks (and decoded payloads) a single peer can pin in
+    #: memory; deep enough that admission fusion saturates long before it.
+    MAX_PIPELINE = 1024
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Serve one connection: pipelined dispatch, strictly ordered replies.
+
+        Each request is dispatched on its own task *as soon as its frame
+        arrives*, so a client that pipelines N apply frames lands N
+        admissions in the service queue back-to-back — the depth the
+        writer's run fusion feeds on.  A single responder drains the
+        dispatch tasks in arrival order, so replies stay positional.
+        Admission order equals frame order because tasks are scheduled
+        FIFO and admission is their first suspension point.
+        """
+        self._connections.add(writer)
+        loop = asyncio.get_running_loop()
+        pending: asyncio.Queue[asyncio.Task | None] = asyncio.Queue()
+        in_flight = asyncio.Semaphore(self.MAX_PIPELINE)
+        responder = loop.create_task(self._respond(writer, pending))
+        try:
+            while not responder.done():
+                try:
+                    request = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break  # peer hung up (or stop() closed the transport)
+                except ServerError as exc:
+                    # Framing is broken: answer once, then hang up — the
+                    # stream position can no longer be trusted.
+                    await pending.put(loop.create_task(_const(error_payload(exc), False)))
+                    break
+                await in_flight.acquire()
+                task = loop.create_task(self._dispatch(request))
+                task.add_done_callback(lambda _t: in_flight.release())
+                await pending.put(task)
+        finally:
+            await pending.put(None)  # EOF marker for the responder
+            try:
+                await responder
+            finally:
+                self._connections.discard(writer)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, pending: "asyncio.Queue[asyncio.Task | None]"
+    ) -> None:
+        """Write responses in arrival order; returns on EOF/hang-up/shutdown."""
+        while True:
+            task = await pending.get()
+            if task is None:
+                return
+            response, closing = await task
+            try:
+                frame = encode_frame(response)
+            except ServerError as exc:
+                # A response that cannot serialize (non-JSON state values,
+                # a capture bigger than MAX_FRAME) must still answer its
+                # request — error_payload always encodes.
+                frame = encode_frame(error_payload(exc))
+            try:
+                writer.write(frame)
+                # Flush only at pipeline gaps: with more responses already
+                # waiting, the transport buffer coalesces them into fewer
+                # writes (drain still fires on every gap and before close,
+                # so no response is ever left unflushed).
+                if pending.empty() or closing:
+                    await writer.drain()
+                write_failed = False
+            except (ConnectionError, OSError):
+                write_failed = True  # peer is gone; an accepted shutdown still runs
+            if closing:
+                # Reply is flushed first: the requester learns its shutdown
+                # was accepted, then the server drains, flushes, checkpoints
+                # and exits.  stop() closes every connection, which unblocks
+                # this handler's reader.  The task reference is held on the
+                # server — the loop only keeps a weak one, and a GC'd stop
+                # task would skip the final checkpoint.
+                self._stop_task = asyncio.get_running_loop().create_task(
+                    self.stop(checkpoint=self._shutdown_checkpoint)
+                )
+                return
+            if write_failed:
+                return
+
+    async def _dispatch(self, request: dict) -> tuple[dict, bool]:
+        """Route one request; returns ``(response, close-after-reply)``."""
+        op = request.get("op")
+        handler = _OPS.get(op)
+        if handler is None:
+            known = ", ".join(sorted(_OPS))
+            return error_payload(ServerError(f"unknown op {op!r} (known: {known})")), False
+        try:
+            response = await handler(self, request)
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            return error_payload(exc), False
+        except Exception as exc:  # noqa: BLE001 - a bug must not kill the connection
+            return error_payload(ServerError(f"internal error: {exc}")), False
+        return response, op == "shutdown"
+
+    # -- op handlers -----------------------------------------------------------
+
+    async def _op_ping(self, _request: dict) -> dict:
+        return {
+            "ok": True,
+            "server": {
+                "version": __version__,
+                "policy": getattr(self.service.engine, "policy", None),
+                "backend": self.service.config.backend,
+                "snapshot_version": self.service.version,
+                "schema": {
+                    relation.name: list(relation.attributes)
+                    for relation in self.service.schema
+                },
+            },
+        }
+
+    async def _op_apply(self, request: dict) -> dict:
+        items = self._decode_items(request.get("events"))
+        result = await self.service.apply(items, batch=bool(request.get("batch")))
+        return {"ok": True, **result}
+
+    def _decode_items(self, events) -> list:
+        if not isinstance(events, list):
+            raise ServerError("apply needs an 'events' list")
+        items = log_from_events(decode_events(events)).items
+        schema = self.service.schema
+        for item in items:
+            queries: Iterable[UpdateQuery] = (
+                item.queries if isinstance(item, Transaction) else (item,)
+            )
+            for query in queries:
+                if query.relation not in schema:
+                    raise ServerError(
+                        f"unknown relation {query.relation!r} "
+                        f"(schema: {', '.join(schema.names)})"
+                    )
+                arity = schema.relation(query.relation).arity
+                got = len(query.row) if isinstance(query, Insert) else query.pattern.arity
+                if got != arity:
+                    raise ServerError(
+                        f"arity mismatch on {query.relation!r}: query says {got}, "
+                        f"schema says {arity}"
+                    )
+        return items
+
+    async def _op_provenance(self, request: dict) -> dict:
+        relation = self._known_relation(request)
+        snapshot = await self.service.snapshot()
+        rows = [
+            [list(row), None if expr is None else expr_to_dict(expr), live]
+            for row, (expr, live) in snapshot.state[relation].items()
+        ]
+        return {"ok": True, "version": snapshot.version, "rows": rows}
+
+    async def _op_state(self, _request: dict) -> dict:
+        snapshot = await self.service.snapshot()
+        return {
+            "ok": True,
+            "version": snapshot.version,
+            "relations": encode_capture(snapshot.state),
+        }
+
+    async def _op_annotation_of(self, request: dict) -> dict:
+        relation = self._known_relation(request)
+        row = request.get("row")
+        if not isinstance(row, list):
+            raise ServerError("annotation_of needs a 'row' list")
+        snapshot = await self.service.snapshot()
+        entry = snapshot.state[relation].get(tuple(row))
+        expr = entry[0] if entry is not None else None
+        return {
+            "ok": True,
+            "version": snapshot.version,
+            "expr": None if expr is None else expr_to_dict(expr),
+            "stored": entry is not None,
+            "live": bool(entry[1]) if entry is not None else False,
+        }
+
+    async def _op_specialize(self, request: dict) -> dict:
+        structure = request.get("structure", "boolean")
+        if structure != "boolean":
+            raise ServerError(
+                f"unsupported wire structure {structure!r}; the wire protocol "
+                "ships the Boolean Update-Structure (use the library API for "
+                "arbitrary structures)"
+            )
+        policy = getattr(self.service.engine, "policy", None)
+        if policy in ("none", "no_provenance"):
+            raise ServerError(f"policy {policy!r} does not track provenance")
+        env = request.get("env") or {}
+        if not isinstance(env, dict):
+            raise ServerError("specialize needs an 'env' object of name -> bool")
+        default = bool(request.get("default", True))
+        assignment = {str(name): bool(value) for name, value in env.items()}
+        structure_obj = BooleanStructure()
+        lookup = lambda name: assignment.get(name, default)  # noqa: E731
+        snapshot = await self.service.snapshot()
+        values = {
+            name: [
+                [list(row), bool(evaluate(expr, structure_obj, lookup))]
+                for row, (expr, _live) in rows.items()
+                if expr is not None
+            ]
+            for name, rows in snapshot.state.items()
+        }
+        return {"ok": True, "version": snapshot.version, "values": values}
+
+    async def _op_tuple_vars(self, _request: dict) -> dict:
+        return {
+            "ok": True,
+            "tuple_vars": encode_tuple_vars(self.service.tuple_vars()),
+        }
+
+    async def _op_stats(self, _request: dict) -> dict:
+        return {"ok": True, **await self.service.stats()}
+
+    async def _op_checkpoint(self, _request: dict) -> dict:
+        return {"ok": True, "written": await self.service.checkpoint()}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        # The reply ships before stop() runs (see _respond): the requesting
+        # client learns its shutdown was accepted, then the server drains
+        # admissions, flushes, checkpoints and exits.
+        self._shutdown_checkpoint = bool(request.get("checkpoint", True))
+        return {"ok": True, "closing": True}
+
+    def _known_relation(self, request: dict) -> str:
+        relation = request.get("relation")
+        if not isinstance(relation, str) or relation not in self.service.schema:
+            raise ServerError(
+                f"unknown relation {relation!r} "
+                f"(schema: {', '.join(self.service.schema.names)})"
+            )
+        return relation
+
+
+_OPS = {
+    "ping": ProvenanceServer._op_ping,
+    "apply": ProvenanceServer._op_apply,
+    "provenance": ProvenanceServer._op_provenance,
+    "state": ProvenanceServer._op_state,
+    "annotation_of": ProvenanceServer._op_annotation_of,
+    "specialize": ProvenanceServer._op_specialize,
+    "tuple_vars": ProvenanceServer._op_tuple_vars,
+    "stats": ProvenanceServer._op_stats,
+    "checkpoint": ProvenanceServer._op_checkpoint,
+    "shutdown": ProvenanceServer._op_shutdown,
+}
+
+
+# ---------------------------------------------------------------------------
+# Background-thread hosting (benchmarks, tests, examples)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread, stoppable from the caller."""
+
+    def __init__(self, thread: threading.Thread, loop: asyncio.AbstractEventLoop, server: ProvenanceServer):
+        self._thread = thread
+        self._loop = loop
+        self._server = server
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.host, self._server.port
+
+    @property
+    def service(self) -> ProvenanceService:
+        return self._server.service
+
+    def stop(self, checkpoint: bool = True, timeout: float = 60.0) -> None:
+        """Graceful shutdown from the hosting thread; idempotent."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self._server.stop(checkpoint=checkpoint), self._loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except RuntimeError:
+                pass  # loop already shut down concurrently
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - stuck shutdown
+            raise ServerError("server thread did not stop in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    database: Database | None = None,
+    config: ServerConfig | None = None,
+    start_timeout: float = 30.0,
+) -> ServerHandle:
+    """Start a provenance server on a daemon thread; returns its handle.
+
+    The engine is built (or recovered) on the server thread, the bound
+    address is available as ``handle.host`` / ``handle.port`` once this
+    returns, and ``handle.stop()`` performs the same graceful shutdown as
+    the ``shutdown`` op.  Construction failures re-raise here.
+    """
+    config = config or ServerConfig()
+    started = threading.Event()
+    holder: dict[str, object] = {}
+
+    async def _main() -> None:
+        try:
+            service = ProvenanceService(build_engine(database, config), config)
+            server = ProvenanceServer(service)
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            holder["error"] = exc
+            started.set()
+            return
+        holder["loop"] = asyncio.get_running_loop()
+        holder["server"] = server
+        started.set()
+        await server.wait_stopped()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), name="repro-server", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=start_timeout):  # pragma: no cover - hung start
+        raise ServerError("server did not start in time")
+    error = holder.get("error")
+    if error is not None:
+        thread.join(timeout=start_timeout)
+        raise error  # type: ignore[misc]
+    return ServerHandle(thread, holder["loop"], holder["server"])  # type: ignore[arg-type]

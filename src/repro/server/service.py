@@ -1,0 +1,504 @@
+"""The concurrent provenance service: one writer, snapshot-isolated readers.
+
+A :class:`ProvenanceService` wraps exactly one backend engine — a plain
+:class:`~repro.engine.engine.Engine`, a durable
+:class:`~repro.wal.engine.JournaledEngine`, or a
+:class:`~repro.shard.engine.ShardedEngine` — behind an **admission
+queue**.  All engine access is confined to a single writer running on a
+dedicated one-thread executor:
+
+* ``apply`` requests are admitted in arrival order; each writer cycle
+  pops every pending request (up to ``admission_max``) and **fuses
+  contiguous apply admissions into one** :meth:`Engine.apply_batch` call.
+  ``apply_batch`` is semantically identical to sequential application by
+  construction, so fusion changes throughput, never results.  With
+  ``admission_max=1`` the service degrades to per-call dispatch — the
+  baseline ``server_comparison`` measures against.
+* provenance reads never touch the engine.  They are answered from
+  **versioned immutable snapshots**: row-keyed
+  :meth:`~repro.store.annotation_store.AnnotationStore.state`-style
+  captures published by the writer at quiescent points (between admitted
+  groups, never inside one).  A reader that finds the published snapshot
+  stale enqueues one coalesced ``capture`` admission and awaits it; any
+  number of readers then share the same immutable capture, so readers
+  never block the writer and never observe a half-applied batch.
+
+The engine, the expression intern table and the rewrite memos are only
+ever *written* by the writer thread; snapshots cross to reader tasks as
+frozen objects.  (Client-side decoding may intern concurrently — interning
+is atomic, see ``repro.core.expr._intern``.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..core.expr import Expr
+from ..db.database import Database
+from ..engine.engine import Engine
+from ..errors import EngineError, ServerError
+from ..queries.updates import Transaction, UpdateQuery
+from ..shard.codec import capture_engine
+from ..shard.engine import ShardedEngine
+from ..wal.checkpoint import DEFAULT_EVERY_RECORDS, CheckpointManager
+from ..wal.engine import JournaledEngine
+
+__all__ = ["ProvenanceService", "ServerConfig", "Snapshot", "build_engine"]
+
+
+@dataclass
+class ServerConfig:
+    """Deployment shape of one provenance service."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral (the bound port is reported back)
+    #: ``plain`` (in-memory Engine), ``journaled`` (WAL + checkpoints in
+    #: ``directory``), or ``sharded`` (hash-partitioned; durable when
+    #: ``directory`` is set).
+    backend: str = "plain"
+    policy: str = "normal_form_batch"
+    directory: str | None = None
+    shards: int = 4
+    parallel_shards: bool = False
+    shard_keys: Mapping[str, int | str] | None = None
+    sync: str = "flush"
+    checkpoint_every: int = DEFAULT_EVERY_RECORDS
+    #: Most apply admissions fused into one writer cycle; 1 = per-call
+    #: dispatch (each request pays its own executor handoff).
+    admission_max: int = 256
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable published observation of the engine.
+
+    ``state`` is the row-keyed ``{relation: {row: (expression, live)}}``
+    capture (``None`` expressions under the provenance-free policy) taken
+    at a quiescent point; ``version`` counts the apply admissions folded
+    in, so two snapshots with equal versions hold identical state.
+    """
+
+    version: int
+    state: Mapping[str, Mapping[tuple, tuple["Expr | None", bool]]]
+    stats: Mapping[str, float | int]
+
+
+@dataclass
+class ServiceCounters:
+    """Admission accounting (server-side half of the ``stats`` op)."""
+
+    admitted: int = 0  #: apply requests admitted and applied
+    writer_cycles: int = 0  #: executor handoffs the writer paid
+    fused_runs: int = 0  #: cycles that fused >= 2 apply admissions
+    max_admitted: int = 0  #: largest fusion achieved by one cycle
+    captures: int = 0  #: snapshots captured and published
+    apply_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "writer_cycles": self.writer_cycles,
+            "fused_runs": self.fused_runs,
+            "max_admitted": self.max_admitted,
+            "captures": self.captures,
+            "apply_errors": self.apply_errors,
+        }
+
+
+def build_engine(database: Database | None, config: ServerConfig):
+    """Construct (or recover) the backend engine a config describes.
+
+    An existing durable directory wins over ``database``: ``journaled``
+    resumes via :func:`repro.wal.recovery.recover` when ``directory``
+    already holds a checkpoint, and ``sharded`` resumes via
+    :func:`repro.shard.recovery.recover_sharded` when it holds a
+    ``shards.json`` manifest — so restarting ``repro serve DIR`` after a
+    crash is itself the recovery procedure.
+    """
+    if config.backend == "plain":
+        if database is None:
+            raise ServerError("backend 'plain' needs an initial database")
+        return Engine(database, policy=config.policy)
+    if config.backend == "journaled":
+        if config.directory is None:
+            raise ServerError("backend 'journaled' needs a durable directory")
+        if CheckpointManager(config.directory).has_checkpoint():
+            from ..wal.recovery import recover
+
+            return recover(
+                config.directory,
+                sync=config.sync,
+                checkpoint_every=config.checkpoint_every,
+            )
+        if database is None:
+            raise ServerError(
+                f"{config.directory} holds no checkpoint; a fresh journaled "
+                "server needs an initial database"
+            )
+        return JournaledEngine(
+            database,
+            config.directory,
+            policy=config.policy,
+            sync=config.sync,
+            checkpoint_every=config.checkpoint_every,
+        )
+    if config.backend == "sharded":
+        from ..shard.recovery import is_sharded_directory, recover_sharded
+
+        if config.directory is not None and is_sharded_directory(config.directory):
+            return recover_sharded(
+                config.directory,
+                parallel=config.parallel_shards,
+                sync=config.sync,
+                checkpoint_every=config.checkpoint_every,
+            )
+        if database is None:
+            raise ServerError("backend 'sharded' needs an initial database")
+        return ShardedEngine(
+            database,
+            n_shards=config.shards,
+            policy=config.policy,
+            shard_keys=config.shard_keys,
+            parallel=config.parallel_shards,
+            journal_dir=config.directory,
+            sync=config.sync,
+            checkpoint_every=config.checkpoint_every,
+        )
+    raise ServerError(
+        f"unknown backend {config.backend!r} (known: plain, journaled, sharded)"
+    )
+
+
+@dataclass
+class _Admission:
+    """One queue entry awaiting the writer."""
+
+    kind: str  #: apply | capture | stats | checkpoint | close
+    future: asyncio.Future
+    items: list = field(default_factory=list)
+    batch: bool = False
+    n_queries: int = 0
+    checkpoint: bool = True
+
+
+class ProvenanceService:
+    """The single-writer service core (transport-free; see ``server.py``)."""
+
+    def __init__(self, engine, config: ServerConfig | None = None):
+        self.engine = engine
+        self.config = config or ServerConfig()
+        if self.config.admission_max < 1:
+            raise ServerError("admission_max must be >= 1")
+        self.counters = ServiceCounters()
+        self.schema = getattr(engine, "schema", None) or engine.executor.schema
+        self._queue: asyncio.Queue[_Admission] = asyncio.Queue()
+        self._version = 0
+        self._snapshot: Snapshot | None = None
+        self._pending_capture: asyncio.Future | None = None
+        self._closing = False
+        self._closed = False
+        # ONE worker thread: every engine/intern-table write happens here.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-writer"
+        )
+        self._writer_task: asyncio.Task | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the writer task on the running event loop."""
+        if self._writer_task is None:
+            self._writer_task = asyncio.get_running_loop().create_task(self._writer())
+
+    async def close(self, checkpoint: bool = True) -> None:
+        """Drain the queue, flush/checkpoint the backend, stop the writer.
+
+        Every admission enqueued before the close barrier is still served;
+        later ones are rejected with :class:`ServerError`.  ``checkpoint``
+        mirrors :meth:`JournaledEngine.close` — pass ``False`` to leave
+        journal tails for recovery (a simulated crash).
+        """
+        if self._closed:
+            return
+        if self._closing:
+            if self._writer_task is not None:
+                await asyncio.shield(self._writer_task)
+            return
+        self._closing = True
+        loop = asyncio.get_running_loop()
+        if self._writer_task is not None and self._writer_task.done():
+            # The writer died on an internal error; a queued close barrier
+            # would never be served, so close the engine directly (still on
+            # the dedicated worker thread).
+            try:
+                await loop.run_in_executor(
+                    self._executor, self._close_engine, checkpoint
+                )
+            finally:
+                self._closed = True
+                self._executor.shutdown(wait=True)
+            return
+        future = loop.create_future()
+        await self._queue.put(_Admission("close", future, checkpoint=checkpoint))
+        try:
+            await future
+        finally:
+            if self._writer_task is not None:
+                await self._writer_task
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def version(self) -> int:
+        """Apply admissions folded into the engine so far."""
+        return self._version
+
+    # -- admission (reader/connection side) ------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closing or self._closed:
+            raise ServerError("provenance service is shut down")
+        if self._writer_task is None:
+            raise ServerError("provenance service is not started")
+        if self._writer_task.done():
+            raise ServerError("provenance service writer failed; restart the server")
+
+    async def apply(self, items: Iterable[UpdateQuery | Transaction], batch: bool = False) -> dict:
+        """Admit a decoded item sequence; resolves once applied."""
+        self._check_open()
+        items = list(items)
+        n_queries = sum(
+            len(item) if isinstance(item, Transaction) else 1 for item in items
+        )
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(
+            _Admission("apply", future, items=items, batch=batch, n_queries=n_queries)
+        )
+        return await future
+
+    async def snapshot(self) -> Snapshot:
+        """The newest published snapshot, capturing one if stale.
+
+        Concurrent stale readers coalesce onto a single ``capture``
+        admission; the writer serves it at the next quiescent point.
+        """
+        snap = self._snapshot
+        if snap is not None and snap.version == self._version:
+            return snap
+        self._check_open()
+        pending = self._pending_capture
+        if pending is None or pending.done():
+            pending = asyncio.get_running_loop().create_future()
+            self._pending_capture = pending
+            await self._queue.put(_Admission("capture", pending))
+        # shield: one cancelled reader must not cancel the shared capture.
+        return await asyncio.shield(pending)
+
+    async def stats(self) -> dict:
+        """Engine counters observed at a quiescent point, plus admission counters."""
+        self._check_open()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Admission("stats", future))
+        engine_stats = await future
+        return {
+            "engine": engine_stats,
+            "server": {
+                **self.counters.as_dict(),
+                "version": self._version,
+                "backend": self.config.backend,
+                "policy": getattr(self.engine, "policy", None),
+                "admission_max": self.config.admission_max,
+            },
+        }
+
+    async def checkpoint(self) -> int:
+        """Force a durability checkpoint; returns checkpoints written."""
+        self._check_open()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Admission("checkpoint", future))
+        return await future
+
+    def tuple_vars(self) -> dict[str, dict[tuple, str]]:
+        """Initial-tuple annotation names (static after construction)."""
+        if isinstance(self.engine, ShardedEngine):
+            return self.engine._tuple_vars
+        return getattr(self.engine.executor, "_tuple_vars", {})
+
+    # -- the writer ------------------------------------------------------------
+
+    async def _writer(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            batch = [entry]
+            while len(batch) < self.config.admission_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                outcomes, stop = await loop.run_in_executor(
+                    self._executor, self._process, batch
+                )
+            except BaseException as exc:  # noqa: BLE001 - writer must not die silently
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(
+                            ServerError(f"writer failed: {exc}")
+                        )
+                raise
+            for future, outcome in outcomes:
+                if future.done():
+                    continue
+                if isinstance(outcome, BaseException):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result(outcome)
+            if stop:
+                return
+
+    def _process(self, batch: list[_Admission]) -> tuple[list, bool]:
+        """Run one writer cycle on the worker thread.  Single engine toucher."""
+        outcomes: list[tuple[asyncio.Future, object]] = []
+        self.counters.writer_cycles += 1
+        index = 0
+        while index < len(batch):
+            entry = batch[index]
+            if entry.kind == "apply":
+                group = [entry]
+                while (
+                    index + len(group) < len(batch)
+                    and batch[index + len(group)].kind == "apply"
+                ):
+                    group.append(batch[index + len(group)])
+                index += len(group)
+                self._apply_group(group, outcomes)
+            elif entry.kind == "capture":
+                index += 1
+                outcomes.append((entry.future, self._outcome_of(self._capture)))
+            elif entry.kind == "stats":
+                index += 1
+                outcomes.append(
+                    (entry.future, self._outcome_of(self.engine.stats.snapshot))
+                )
+            elif entry.kind == "checkpoint":
+                index += 1
+                outcomes.append((entry.future, self._outcome_of(self._checkpoint_now)))
+            elif entry.kind == "close":
+                # Anything admitted after the close barrier is rejected.
+                for late in batch[index + 1 :]:
+                    outcomes.append(
+                        (late.future, ServerError("provenance service is shut down"))
+                    )
+                try:
+                    self._close_engine(entry.checkpoint)
+                except Exception as exc:  # noqa: BLE001 - shipped to the closer
+                    outcomes.append((entry.future, ServerError(f"close failed: {exc}")))
+                else:
+                    outcomes.append((entry.future, True))
+                return outcomes, True
+            else:  # pragma: no cover - admission kinds are internal
+                index += 1
+                outcomes.append(
+                    (entry.future, ServerError(f"unknown admission {entry.kind!r}"))
+                )
+        return outcomes, False
+
+    @staticmethod
+    def _outcome_of(operation):
+        """Run one admission's work; a failure is that admission's outcome.
+
+        The writer task must survive any single request's failure — an
+        exception escaping :meth:`_process` would kill the writer and
+        deadlock every later admission (including close).
+        """
+        try:
+            return operation()
+        except Exception as exc:  # noqa: BLE001 - shipped to the one requester
+            return exc
+
+    def _apply_group(self, group: list[_Admission], outcomes: list) -> None:
+        """Apply one fused run of contiguous apply admissions."""
+        items = [item for entry in group for item in entry.items]
+        try:
+            if len(group) > 1 or group[0].batch:
+                # Fusion is always legal: apply_batch is semantically
+                # identical to sequential apply, whatever each request asked.
+                self.engine.apply_batch(items)
+            else:
+                self.engine.apply(items)
+        except Exception as exc:  # noqa: BLE001 - shipped to every admitted client
+            # The engine holds the applied prefix of the fused run (exactly
+            # the in-process apply_batch contract); the whole group shares
+            # the failure because per-request attribution does not exist
+            # inside one fused call.
+            self._version += len(group)
+            self.counters.apply_errors += len(group)
+            error = ServerError(
+                f"apply failed mid-group ({len(group)} fused requests; the "
+                f"applied prefix persists): {exc}"
+            )
+            for entry in group:
+                outcomes.append((entry.future, error))
+            return
+        self._version += len(group)
+        self.counters.admitted += len(group)
+        if len(group) > 1:
+            self.counters.fused_runs += 1
+        self.counters.max_admitted = max(self.counters.max_admitted, len(group))
+        for entry in group:
+            outcomes.append(
+                (entry.future, {"applied": entry.n_queries, "version": self._version})
+            )
+
+    def _capture(self) -> Snapshot:
+        """Capture and publish a snapshot (writer thread, quiescent point)."""
+        if isinstance(self.engine, ShardedEngine):
+            state = self.engine.state()
+        else:
+            state = capture_engine(self.engine)
+        snapshot = Snapshot(
+            version=self._version, state=state, stats=self.engine.stats.snapshot()
+        )
+        self._snapshot = snapshot
+        self.counters.captures += 1
+        return snapshot
+
+    def _checkpoint_now(self) -> int:
+        if isinstance(self.engine, ShardedEngine):
+            if not self.engine.journaled:
+                raise EngineError("sharded backend is not journaled; pass directory=")
+            return int(self.engine.checkpoint())
+        if isinstance(self.engine, JournaledEngine):
+            return int(self.engine.checkpoint())
+        raise EngineError("backend 'plain' keeps no durable state to checkpoint")
+
+    def _close_engine(self, checkpoint: bool) -> None:
+        """Graceful shutdown: flush pending normalization, then close.
+
+        * sharded — drain buffered runs, checkpoint journaled shards, stop
+          workers (:meth:`ShardedEngine.close`);
+        * journaled — force a final checkpoint so the next start recovers
+          instantly from a clean directory (:meth:`JournaledEngine.close`);
+        * plain — one observation flush, so the ``normal_form_batch``
+          policy's deferred normalization is not silently dropped work.
+        """
+        engine = self.engine
+        if isinstance(engine, ShardedEngine):
+            engine.close(checkpoint=checkpoint and engine.journaled)
+        elif isinstance(engine, JournaledEngine):
+            engine.close(checkpoint=checkpoint)
+        else:
+            engine.support_count()
+
+    @property
+    def directory(self) -> Path | None:
+        return Path(self.config.directory) if self.config.directory else None

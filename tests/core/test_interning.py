@@ -54,3 +54,40 @@ def test_clear_semantics_in_isolated_process():
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip() == "ok"
+
+
+def test_concurrent_interning_yields_one_object_per_shape():
+    """The intern table is race-free under concurrent construction (PR 5).
+
+    The provenance server runs its writer on a thread beside client
+    decoders in the same process, so two threads may intern the same
+    shape simultaneously.  ``_intern``'s miss path goes through the
+    atomic ``dict.setdefault``, so both must receive the single table
+    entry — a check-then-insert would let each escape with its own node,
+    silently breaking structural-equality-iff-identity for the process.
+    """
+    import threading
+
+    n_threads, n_shapes = 8, 300
+    results: list[list] = [[] for _ in range(n_threads)]
+    barrier = threading.Barrier(n_threads)
+
+    def worker(k: int) -> None:
+        barrier.wait()  # maximize overlap on the miss path
+        for i in range(n_shapes):
+            results[k].append(
+                plus_m(
+                    minus(var(f"race_a{i}"), var(f"race_p{i}")),
+                    times_m(var(f"race_a{i}"), var(f"race_p{i}")),
+                )
+            )
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    for k in range(1, n_threads):
+        assert len(results[k]) == n_shapes
+        for left, right in zip(results[0], results[k]):
+            assert left is right

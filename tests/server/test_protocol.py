@@ -1,0 +1,99 @@
+"""Wire-framing unit tests: round trips, bounds, torn streams."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.protocol import MAX_FRAME, encode_frame, recv_frame, send_frame
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5)
+    b.settimeout(5)
+    return a, b
+
+
+def test_frame_round_trip():
+    a, b = socket_pair()
+    payload = {"op": "apply", "events": [["query", {"kind": "insert"}]], "n": 3}
+    send_frame(a, payload)
+    assert recv_frame(b) == payload
+    a.close()
+    b.close()
+
+
+def test_frames_preserve_order():
+    a, b = socket_pair()
+    for i in range(10):
+        send_frame(a, {"i": i})
+    assert [recv_frame(b)["i"] for i in range(10)] == list(range(10))
+    a.close()
+    b.close()
+
+
+def test_encode_rejects_unserializable_payload():
+    with pytest.raises(ServerError, match="JSON"):
+        encode_frame({"expr": object()})
+
+
+def test_oversized_length_prefix_rejected():
+    a, b = socket_pair()
+    a.sendall(struct.pack(">I", MAX_FRAME + 1))
+    with pytest.raises(ServerError, match="exceeds"):
+        recv_frame(b)
+    a.close()
+    b.close()
+
+
+def test_malformed_json_payload_rejected():
+    a, b = socket_pair()
+    body = b"{not json"
+    a.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ServerError, match="malformed"):
+        recv_frame(b)
+    a.close()
+    b.close()
+
+
+def test_non_object_payload_rejected():
+    a, b = socket_pair()
+    body = b"[1, 2, 3]"
+    a.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ServerError, match="JSON object"):
+        recv_frame(b)
+    a.close()
+    b.close()
+
+
+def test_torn_stream_reported():
+    a, b = socket_pair()
+    frame = encode_frame({"op": "ping"})
+    a.sendall(frame[: len(frame) - 2])  # cut mid-payload
+    a.close()
+    with pytest.raises(ServerError, match="mid-frame"):
+        recv_frame(b)
+    b.close()
+
+
+def test_large_frame_streams_in_chunks():
+    """A frame bigger than one recv() arrives reassembled."""
+    a, b = socket_pair()
+    payload = {"blob": "x" * 300_000}
+    received: list[dict] = []
+
+    def reader():
+        received.append(recv_frame(b))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    send_frame(a, payload)
+    thread.join(timeout=10)
+    assert received == [payload]
+    a.close()
+    b.close()

@@ -1,0 +1,234 @@
+"""ISSUE 5 acceptance: server round trips are bit-identical to the engine.
+
+Every test hosts a real asyncio server on a background thread and talks
+to it over TCP with the blocking client.  Because client decoding
+re-interns expressions in this very process, "bit-identical" is asserted
+at full strength: equal rows, equal liveness, and the *identical*
+interned annotation object per row, compared against a direct in-process
+engine applying the same items — across the plain, journaled and sharded
+backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import ServerError
+from repro.queries.updates import Delete, Insert, Modify, Transaction
+from repro.semantics.boolean import BooleanStructure
+from repro.server import ServerClient, ServerConfig, serve_in_thread
+from repro.shard.codec import capture_engine
+from repro.wal.recovery import recover
+from repro.workloads.synthetic import SyntheticConfig, synthetic_database, synthetic_log
+
+
+def small_workload(seed: int = 11):
+    config = SyntheticConfig(
+        n_tuples=300, n_queries=60, n_groups=8, group_size=3,
+        queries_per_transaction=4, seed=seed,
+    )
+    return synthetic_database(config), list(synthetic_log(config).items)
+
+
+def assert_states_identical(observed, expected, tracks_provenance=True):
+    assert observed.keys() == expected.keys()
+    for name in expected:
+        assert observed[name].keys() == expected[name].keys(), name
+        for row, (expr, live) in expected[name].items():
+            got_expr, got_live = observed[name][row]
+            assert got_live == live, (name, row)
+            if tracks_provenance:
+                assert got_expr is expr, (name, row)
+
+
+def serve(database, **overrides):
+    config = ServerConfig(port=0, **overrides)
+    return serve_in_thread(database, config)
+
+
+@pytest.mark.parametrize("backend", ["plain", "journaled", "sharded"])
+def test_round_trip_bit_identical_across_backends(backend, tmp_path):
+    database, items = small_workload()
+    overrides = {"policy": "normal_form_batch", "backend": backend}
+    if backend == "journaled":
+        overrides["directory"] = str(tmp_path / "state")
+    if backend == "sharded":
+        overrides["shards"] = 3
+
+    direct = Engine(database, policy="normal_form_batch")
+    with serve(database, **overrides) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            # Mix the two application paths, mirroring them on the direct
+            # engine; interleave reads so snapshots land mid-stream too.
+            for position, item in enumerate(items):
+                if position % 3 == 0:
+                    applied = client.apply_batch(item)
+                    direct.apply_batch(item)
+                else:
+                    applied = client.apply(item)
+                    direct.apply(item)
+                assert applied == (len(item) if isinstance(item, Transaction) else 1)
+                if position % 10 == 0:
+                    client.provenance("synthetic")
+
+            expected = capture_engine(direct)
+            assert_states_identical(client.state(), expected)
+
+            # provenance() agrees with state() row for row.
+            observed = {
+                row: (expr, live)
+                for row, expr, live in client.provenance("synthetic")
+            }
+            for row, (expr, live) in expected["synthetic"].items():
+                assert observed[row][0] is expr
+                assert observed[row][1] == live
+
+            # annotation_of: the identical interned object, O(1) per row.
+            sample = list(expected["synthetic"])[:10]
+            for row in sample:
+                assert client.annotation_of("synthetic", row) is (
+                    expected["synthetic"][row][0]
+                )
+
+            # Engine counters crossed the wire.
+            stats = client.stats()
+            assert stats["engine"]["queries"] == direct.stats.queries
+            assert stats["server"]["admitted"] > 0
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form", "none"])
+def test_round_trip_bit_identical_across_policies(policy):
+    database, items = small_workload(seed=5)
+    direct = Engine(database, policy=policy)
+    with serve(database, policy=policy) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            client.apply(items)
+            direct.apply(items)
+            assert_states_identical(
+                client.state(),
+                capture_engine(direct),
+                tracks_provenance=direct.executor.tracks_provenance,
+            )
+
+
+def test_specialize_matches_in_process_engine(products_db):
+    rel = products_db.relation("products")
+    t1 = Transaction("txn_mod", [
+        Modify.set(rel, where={"category": "Kids"}, set_values={"category": "Sport"}),
+    ])
+    t2 = Transaction("txn_del", [Delete.where(rel, {"category": "Sport"})])
+    # No custom annotator on either side: both assign the default x1..x4
+    # tuple names, so the what-if toggles the same annotation space.
+    direct = Engine(products_db, policy="normal_form")
+    direct.apply([t1, t2])
+
+    with serve(products_db, policy="normal_form") as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            client.apply([t1, t2])
+            env = {"txn_del": False}  # what-if: abort the deletion
+            over_wire = client.specialize(env, default=True)
+            in_process = direct.specialize(
+                BooleanStructure(), lambda name: env.get(name, True)
+            )
+            assert over_wire.keys() == in_process.keys()
+            for name in in_process:
+                assert over_wire[name] == {
+                    row: bool(value) for row, value in in_process[name].items()
+                }
+
+
+def test_graceful_shutdown_checkpoints_journaled_state(tmp_path):
+    """The shutdown op flushes and checkpoints; recovery finds zero tail."""
+    database, items = small_workload(seed=7)
+    directory = tmp_path / "state"
+    direct = Engine(database, policy="normal_form_batch")
+    handle = serve(
+        database, backend="journaled", policy="normal_form_batch",
+        directory=str(directory),
+    )
+    client = ServerClient(handle.host, handle.port)
+    client.apply(items)
+    direct.apply(items)
+    client.shutdown()  # graceful: drains, flushes, checkpoints
+    handle.stop()
+
+    recovered = recover(directory)
+    assert recovered.recovery.tail_records == 0  # shutdown checkpointed
+    assert_states_identical(capture_engine(recovered), capture_engine(direct))
+    recovered.journal.close()
+
+
+def test_restarting_serve_recovers_previous_state(tmp_path):
+    directory = tmp_path / "state"
+    database = Database.from_rows("items", ["sku", "qty"], [("a", 1)])
+    with serve(
+        database, backend="journaled", policy="naive", directory=str(directory)
+    ) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            client.apply(Transaction("t1", [Insert("items", ("b", 2))]))
+    # Same directory, no database: the server recovers the deployment.
+    with serve(
+        None, backend="journaled", policy="naive", directory=str(directory)
+    ) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            live = {row for row, _e, lv in client.provenance("items") if lv}
+            assert live == {("a", 1), ("b", 2)}
+
+
+def test_errors_do_not_kill_the_connection():
+    database = Database.from_rows("items", ["sku", "qty"], [("a", 1)])
+    with serve(database, policy="naive") as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            with pytest.raises(ServerError, match="unknown relation"):
+                client.apply(Insert("nope", ("x",), annotation="t"))
+            with pytest.raises(ServerError, match="arity mismatch"):
+                client.apply(Insert("items", ("x", 1, 2), annotation="t"))
+            with pytest.raises(ServerError, match="unknown relation"):
+                client.provenance("nope")
+            with pytest.raises(ServerError, match="unknown op"):
+                client._call("frobnicate")
+            # The connection survived every error above.
+            assert client.apply(Insert("items", ("b", 2), annotation="t")) == 1
+            assert ("b", 2) in {r for r, _e, lv in client.provenance("items") if lv}
+
+
+def test_specialize_rejected_for_provenance_free_policy():
+    database = Database.from_rows("items", ["sku"], [("a",)])
+    with serve(database, policy="none") as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            with pytest.raises(ServerError, match="does not track provenance"):
+                client.specialize({})
+
+
+def test_checkpoint_op_rejected_for_plain_backend():
+    database = Database.from_rows("items", ["sku"], [("a",)])
+    with serve(database, policy="naive") as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            with pytest.raises(ServerError, match="no durable state"):
+                client.checkpoint()
+
+
+def test_requests_after_shutdown_are_rejected():
+    database = Database.from_rows("items", ["sku"], [("a",)])
+    handle = serve(database, policy="naive")
+    first = ServerClient(handle.host, handle.port)
+    second = ServerClient(handle.host, handle.port)
+    first.shutdown()
+    handle.stop()  # wait until the shutdown completed (no race with it)
+    with pytest.raises(ServerError):
+        second.apply(Insert("items", ("b",), annotation="t"))
+    second.close()
+
+
+def test_pipelined_applies_preserve_order_and_counts():
+    database = Database.from_rows("items", ["sku", "qty"], [("a", 1)])
+    with serve(database, policy="naive") as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            queries = [
+                Insert("items", (f"s{i}", i), annotation=f"t{i}") for i in range(50)
+            ]
+            assert client.apply_pipelined(queries) == 50
+            live = {row for row, _e, lv in client.provenance("items") if lv}
+            assert live == {("a", 1), *((f"s{i}", i) for i in range(50))}

@@ -144,3 +144,67 @@ def test_sql_command_bad_schema_spec(capsys):
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def free_port() -> int:
+    """A port that was free a moment ago (good enough for test servers)."""
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_serve_and_client_round_trip(tmp_path, capsys):
+    """``repro serve`` in a child process, driven by ``repro client``."""
+    import json
+    import subprocess
+    import sys
+
+    from .conftest import subprocess_env
+
+    directory = str(tmp_path / "state")
+    port = str(free_port())
+    log_file = tmp_path / "log.json"
+    log_file.write_text(json.dumps({
+        "meta": {},
+        "items": [{
+            "type": "transaction",
+            "name": "t1",
+            "queries": [{"kind": "insert", "relation": "items", "row": ["widget", 3]}],
+        }],
+    }))
+    server = subprocess.Popen(
+        [sys.executable, "-c",
+         "from repro.cli import main; raise SystemExit(main("
+         f"['serve', {directory!r}, '--backend', 'journaled', '--policy', 'naive',"
+         " '--schema', 'items:sku,qty', '--port', " + repr(port) + "]))"],
+        env=subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        client = ["client", "--port", port]  # --retry waits for the bind
+        assert main([*client, "apply", str(log_file)]) == 0
+        assert "applied 1 queries" in capsys.readouterr().out
+        assert main([*client, "provenance", "items"]) == 0
+        assert "('widget', 3)" in capsys.readouterr().out
+        assert main([*client, "stats"]) == 0
+        assert "admitted: 1" in capsys.readouterr().out
+        assert main([*client, "shutdown"]) == 0
+        output, _ = server.communicate(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+    assert server.returncode == 0, output
+    assert "server stopped (flushed and checkpointed)" in output
+    # The graceful shutdown checkpointed: the directory recovers cleanly.
+    assert main(["recover", directory]) == 0
+    assert "tail_records: 0" in capsys.readouterr().out
+
+
+def test_client_without_server_reports_error(capsys):
+    assert main(["client", "ping", "--port", str(free_port()), "--retry", "0.1"]) == 2
+    assert "cannot connect" in capsys.readouterr().err

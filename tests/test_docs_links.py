@@ -1,0 +1,35 @@
+"""The docs link gate, enforced in tier-1 (CI also runs the script)."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_no_broken_relative_links_in_docs():
+    completed = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_links.py"), str(ROOT)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stdout
+    assert "0 broken relative links" in completed.stdout
+
+
+def test_link_checker_detects_breakage(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/real.md) and [broken](docs/missing.md)\n"
+    )
+    (tmp_path / "docs" / "real.md").write_text("see [up](../README.md)\n")
+    completed = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_links.py"), str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "docs/missing.md" in completed.stdout
+    assert "1 broken relative links" in completed.stdout

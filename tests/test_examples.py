@@ -17,6 +17,7 @@ MARKERS = {
     "tpcc_audit.py": "consistent with a full re-run: yes",
     "sql_provenance.py": "had 'clearance' never run",
     "trusted_pipeline.py": "certified rows at trust level L = 0.8",
+    "provenance_service.py": "server state agrees with the in-process engine: yes",
 }
 
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in README.md and docs/**/*.md.
+
+CI runs this as the docs gate (and ``tests/test_docs_links.py`` runs it
+in the tier-1 suite): every markdown link whose target is a relative
+path must point at a file or directory that exists in the repository.
+External targets (``http(s)://``, ``mailto:``) and pure fragments
+(``#section``) are skipped; a relative target's ``#fragment`` suffix is
+stripped before the existence check.
+
+Usage:  python tools/check_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — the target must not contain whitespace or a
+#: closing parenthesis (images ``![alt](target)`` match too).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return files
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    broken = []
+    for path in markdown_files(root):
+        in_code_fence = False
+        for line in path.read_text().splitlines():
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if not (path.parent / relative).exists():
+                    broken.append((path, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    broken = broken_links(root)
+    for path, target in broken:
+        print(f"BROKEN  {path.relative_to(root)}: ({target})")
+    print(f"checked {len(files)} markdown files: {len(broken)} broken relative links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
