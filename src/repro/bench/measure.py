@@ -19,10 +19,12 @@ Size metrics (see DESIGN.md §5):
 
 from __future__ import annotations
 
+import json
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.expr import Expr, clear_intern_table, intern_table_size
 from ..core.memo import clear_memos, memo_stats
@@ -34,6 +36,7 @@ from ..semantics.boolean import BooleanStructure
 from ..workloads.logs import UpdateLog
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "BatchComparison",
     "CacheComparison",
     "Checkpoint",
@@ -53,7 +56,67 @@ __all__ = [
     "shard_comparison",
     "usage_measurement",
     "checkpoints_for",
+    "git_revision",
+    "write_bench_json",
 ]
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json trajectory files (shared result-writing)
+# ---------------------------------------------------------------------------
+
+#: Version of the envelope every ``BENCH_*.json`` file carries.  The body
+#: under ``"payload"`` is owned by the producing subsystem (which may
+#: version it separately, e.g. ``repro.loadgen.report.SCHEMA_VERSION``).
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_revision() -> str:
+    """The working tree's commit hash, or ``"unknown"`` outside a checkout.
+
+    Stamped into every trajectory file so a ``BENCH_*.json`` regression
+    can be attributed to the exact code that produced it.
+    """
+    import subprocess
+
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else "unknown"
+
+
+def write_bench_json(
+    kind: str, name: str, payload: Mapping[str, object], directory: str | Path = "."
+) -> Path:
+    """Write one ``BENCH_<kind>_<name>.json`` trajectory file.
+
+    The envelope (schema version, kind/name, git revision, wall-clock
+    timestamp) is uniform across producers so downstream tooling can
+    index every trajectory the same way; ``payload`` is the producer's
+    body.  Returns the written path.
+    """
+    safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in name) or "run"
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{kind}_{safe}.json"
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": kind,
+        "name": name,
+        "git_rev": git_revision(),
+        "written_at": time.time(),
+        "payload": dict(payload),
+    }
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n")
+    return path
 
 
 @dataclass

@@ -14,6 +14,9 @@ Subcommands::
                                       if it already holds a journaled deployment)
     repro client apply log.json       talk to a running server (also: ping, stats,
                                       provenance REL, state, checkpoint, shutdown)
+    repro loadgen --profile tiny      drive a running server with a multiprocess
+                                      client swarm; p50/p90/p99/max per op type,
+                                      SLO floors, BENCH_loadgen_*.json trajectory
     repro sql --schema R:a,b script   execute a SQL-fragment script with provenance
     repro axioms                      check every shipped structure against Figure 3
 
@@ -216,6 +219,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying the connection this long (default: 5)",
     )
     client.set_defaults(func=cmd_client)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running repro server with a multiprocess load swarm "
+        "(per-op latency histograms, SLO floors, BENCH_*.json trajectory)",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=None, help="default: 7464")
+    loadgen.add_argument(
+        "--profile",
+        default="tiny",
+        help="named profile (tiny | smoke | medium) the flags below override",
+    )
+    loadgen.add_argument("--workers", type=int, default=None, metavar="N")
+    loadgen.add_argument(
+        "--ops", type=int, default=None, metavar="N", help="timed operations per worker"
+    )
+    loadgen.add_argument(
+        "--rows", type=int, default=None, metavar="N", help="prelude rows per worker"
+    )
+    loadgen.add_argument("--seed", type=int, default=None)
+    loadgen.add_argument(
+        "--mix",
+        default=None,
+        metavar="KIND=W,...",
+        help="op mix weights, e.g. apply=0.6,provenance=0.25,state=0.1,annotation_of=0.05",
+    )
+    loadgen.add_argument(
+        "--max-rate",
+        type=float,
+        default=None,
+        metavar="OPS/S",
+        help="token-bucket pace the whole swarm at this aggregate rate (0 = unpaced)",
+    )
+    loadgen.add_argument(
+        "--schedule",
+        default=None,
+        metavar="RATExSECS,...",
+        help="ramp schedule, e.g. 50x5,200x10,0 (overrides --max-rate)",
+    )
+    loadgen.add_argument(
+        "--pipeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max contiguous applies shipped as one pipelined burst",
+    )
+    loadgen.add_argument(
+        "--threads",
+        action="store_true",
+        help="run workers as threads instead of processes (testing/debugging)",
+    )
+    loadgen.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="OP:pNN<SECS",
+        help="latency floor, e.g. apply:p99<0.05 (repeatable; violations exit 1)",
+    )
+    loadgen.add_argument(
+        "--save",
+        default=".",
+        metavar="DIR",
+        help="directory for the BENCH_loadgen_<profile>.json trajectory (default: .)",
+    )
+    loadgen.add_argument(
+        "--no-save", action="store_true", help="skip writing the trajectory file"
+    )
+    loadgen.add_argument(
+        "--csv", default=None, metavar="PATH", help="also export per-op quantiles as CSV"
+    )
+    loadgen.add_argument(
+        "--report-every",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="periodic stats-line interval (0 = quiet until the summary)",
+    )
+    loadgen.add_argument(
+        "--print-serve-args",
+        action="store_true",
+        help="print the repro serve --schema flags this profile needs, then exit",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
 
     sql = sub.add_parser("sql", help="run a SQL-fragment script with provenance tracking")
     sql.add_argument("script", help="path to the script, or '-' for stdin")
@@ -615,6 +702,91 @@ def cmd_client(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .errors import ReproError, ServerError
+    from .loadgen import (
+        ATTRIBUTES,
+        check_slos,
+        parse_slos,
+        profile_from_name,
+        run_loadgen,
+        schema_specs,
+        worker_relation,
+        write_result,
+    )
+    from .server.client import ServerClient
+    from .server.protocol import DEFAULT_PORT
+
+    try:
+        overrides: dict[str, object] = {}
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.ops is not None:
+            overrides["ops_per_worker"] = args.ops
+        if args.rows is not None:
+            overrides["rows_per_worker"] = args.rows
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.mix is not None:
+            from .loadgen import MixSpec
+
+            overrides["mix"] = MixSpec.parse(args.mix)
+        if args.max_rate is not None:
+            overrides["max_rate"] = args.max_rate
+        if args.schedule is not None:
+            overrides["schedule"] = args.schedule
+        if args.pipeline is not None:
+            overrides["pipeline"] = args.pipeline
+        profile = profile_from_name(args.profile, **overrides)
+        slos = parse_slos(args.slo)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.print_serve_args:
+        print(" ".join(f"--schema {spec}" for spec in schema_specs(profile)))
+        return 0
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        with ServerClient(args.host, port, connect_retry=10.0) as client:
+            served = client.ping().get("schema", {})
+        missing = [
+            worker_relation(w)
+            for w in range(profile.workers)
+            if list(served.get(worker_relation(w), [])) != list(ATTRIBUTES)
+        ]
+        if missing:
+            wanted = " ".join(f"--schema {spec}" for spec in schema_specs(profile))
+            raise ServerError(
+                f"server is missing loadgen relations {missing}; "
+                f"start it with: repro serve {wanted}"
+            )
+        result = run_loadgen(
+            profile,
+            host=args.host,
+            port=port,
+            mode="thread" if args.threads else "process",
+            progress=print if args.report_every > 0 else None,
+            report_every=args.report_every,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(result.format_summary())
+    if not args.no_save:
+        path = write_result(result, args.save)
+        print(f"wrote {path}")
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv())
+        print(f"wrote {args.csv}")
+    violations = check_slos(result, slos)
+    for violation in violations:
+        print(f"SLO violated: {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def cmd_sql(args: argparse.Namespace) -> int:

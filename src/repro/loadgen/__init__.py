@@ -1,0 +1,67 @@
+"""The latency load harness (PR 6).
+
+A dbworkload-style driver against the PR-5 provenance service: a
+multiprocess client swarm with a configurable read/write mix, seeded
+deterministic workload generation, token-bucket pacing with ramp
+schedules, and per-op latencies in fixed-bucket histograms that merge
+across workers into p50/p90/p99/max — reported live, exported as CSV,
+persisted as schema-versioned ``BENCH_loadgen_*.json`` trajectories, and
+gated by SLO floors in tier-1.  See ``docs/OPERATIONS.md`` (loadgen
+section) for the runbook.
+"""
+
+from .driver import run_loadgen
+from .histogram import LatencyHistogram, merge_histograms
+from .report import (
+    SCHEMA_VERSION,
+    SLO,
+    LoadgenResult,
+    check_slos,
+    format_stats_line,
+    parse_slos,
+    write_result,
+)
+from .schedule import Pacer, RatePhase, parse_schedule, phases_for
+from .workload import (
+    ATTRIBUTES,
+    PROFILES,
+    LoadgenProfile,
+    MixSpec,
+    Op,
+    loadgen_schema,
+    ops_fingerprint,
+    profile_from_name,
+    schema_specs,
+    worker_ops,
+    worker_prelude,
+    worker_relation,
+)
+
+__all__ = [
+    "ATTRIBUTES",
+    "PROFILES",
+    "SCHEMA_VERSION",
+    "SLO",
+    "LatencyHistogram",
+    "LoadgenProfile",
+    "LoadgenResult",
+    "MixSpec",
+    "Op",
+    "Pacer",
+    "RatePhase",
+    "check_slos",
+    "format_stats_line",
+    "loadgen_schema",
+    "merge_histograms",
+    "ops_fingerprint",
+    "parse_schedule",
+    "parse_slos",
+    "phases_for",
+    "profile_from_name",
+    "run_loadgen",
+    "schema_specs",
+    "worker_ops",
+    "worker_prelude",
+    "worker_relation",
+    "write_result",
+]

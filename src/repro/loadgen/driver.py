@@ -1,0 +1,285 @@
+"""The multiprocess load driver: a client swarm with per-op latency capture.
+
+:func:`run_loadgen` launches one worker per ``profile.workers`` — OS
+processes by default, threads for in-process hosting (the tier-1 SLO
+test drives a :func:`~repro.server.server.serve_in_thread` server this
+way) — each holding one TCP connection to the target server.  A worker
+applies its setup prelude untimed, meets the others at a barrier so the
+timed sections align, then executes its deterministic operation stream
+under the profile's pacing schedule, recording every operation's latency
+into per-kind :class:`~repro.loadgen.histogram.LatencyHistogram`\\ s.
+
+Contiguous ``apply`` operations ship as one pipelined burst (up to
+``profile.pipeline`` deep) through
+:meth:`~repro.server.client.ServerClient.apply_pipelined` with its
+per-request timing hooks, so pipelined operations get honest individual
+latencies — the admission queue sees realistic depth without the
+measurements degenerating into batch-amortized averages.
+
+Workers stream periodic ticks (operation counts plus serialized
+histograms) to the driver, which prints merged stats lines during the
+run and folds everything into one :class:`~repro.loadgen.report.LoadgenResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from typing import Callable
+
+from ..errors import ServerError
+from ..server.client import ServerClient
+from ..server.protocol import DEFAULT_PORT
+from .histogram import LatencyHistogram
+from .report import LoadgenResult, format_stats_line
+from .schedule import Pacer, phases_for
+from .workload import LoadgenProfile, worker_ops, worker_prelude
+
+__all__ = ["run_loadgen"]
+
+#: A worker emits at most one tick per this many seconds.
+TICK_EVERY = 0.5
+#: Workers abandon the start barrier (and report failure) after this long.
+BARRIER_TIMEOUT = 60.0
+#: The driver gives up when the swarm goes silent for this long.
+SILENCE_TIMEOUT = 120.0
+
+
+def _worker_main(
+    host: str,
+    port: int,
+    profile: LoadgenProfile,
+    worker: int,
+    results,
+    barrier,
+) -> None:
+    """One swarm member: prelude, barrier, then the timed paced stream.
+
+    Runs in a child process (or a thread, in ``thread`` mode); every
+    outcome — ticks, the final report, or a failure — travels through
+    ``results``.  Operation errors the server answers (``ServerError``)
+    are counted per kind and the stream continues; anything else (a dead
+    connection, a bug) fails the worker.
+    """
+    try:
+        ops = worker_ops(profile, worker)
+        hists: dict[str, LatencyHistogram] = {}
+        errors: dict[str, int] = {}
+
+        def record(kind: str, seconds: float) -> None:
+            hists.setdefault(kind, LatencyHistogram()).record(seconds)
+
+        with ServerClient(host, port, connect_retry=10.0) as client:
+            client.apply(worker_prelude(profile, worker))
+            barrier.wait(timeout=BARRIER_TIMEOUT)
+            pacer = Pacer(
+                phases_for(profile.max_rate, profile.schedule),
+                scale=1.0 / profile.workers,
+            )
+            started = time.perf_counter()
+            last_tick = started
+            index = 0
+            done = 0
+            while index < len(ops):
+                op = ops[index]
+                if op.kind == "apply":
+                    burst = [op]
+                    while (
+                        len(burst) < profile.pipeline
+                        and index + len(burst) < len(ops)
+                        and ops[index + len(burst)].kind == "apply"
+                    ):
+                        burst.append(ops[index + len(burst)])
+                    # The burst consumes one token per operation, so
+                    # pipelining never cheats the schedule.
+                    delay = sum(pacer.delay() for _ in burst)
+                    if delay > 0:
+                        time.sleep(delay)
+                    timings: list[tuple[float, float]] = []
+                    try:
+                        client.apply_pipelined(
+                            [b.item for b in burst], timings=timings
+                        )
+                    except ServerError:
+                        errors["apply"] = errors.get("apply", 0) + 1
+                    for send, recv in timings:
+                        record("apply", recv - send)
+                    index += len(burst)
+                    done += len(burst)
+                else:
+                    delay = pacer.delay()
+                    if delay > 0:
+                        time.sleep(delay)
+                    start = time.perf_counter()
+                    try:
+                        if op.kind == "state":
+                            # raw: latency measures the server round-trip,
+                            # not this client's local expression decoding.
+                            client.raw_state()
+                        elif op.kind == "provenance":
+                            client.provenance(op.relation)
+                        else:
+                            client.annotation_of(op.relation, op.row)
+                    except ServerError:
+                        errors[op.kind] = errors.get(op.kind, 0) + 1
+                    record(op.kind, time.perf_counter() - start)
+                    index += 1
+                    done += 1
+                now = time.perf_counter()
+                if now - last_tick >= TICK_EVERY:
+                    last_tick = now
+                    results.put(
+                        (
+                            "tick",
+                            worker,
+                            {
+                                "ops": done,
+                                "elapsed": now - started,
+                                "hists": {k: h.to_dict() for k, h in hists.items()},
+                                "errors": dict(errors),
+                            },
+                        )
+                    )
+            elapsed = time.perf_counter() - started
+        results.put(
+            (
+                "done",
+                worker,
+                {
+                    "worker": worker,
+                    "ops": done,
+                    "elapsed": elapsed,
+                    "hists": {k: h.to_dict() for k, h in hists.items()},
+                    "errors": dict(errors),
+                },
+            )
+        )
+    except BaseException as exc:  # noqa: BLE001 - shipped to the driver
+        results.put(("fail", worker, f"{type(exc).__name__}: {exc}"))
+
+
+def run_loadgen(
+    profile: LoadgenProfile,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    mode: str = "process",
+    progress: Callable[[str], None] | None = None,
+    report_every: float = 1.0,
+) -> LoadgenResult:
+    """Run one load profile against a server; returns the merged result.
+
+    ``mode`` is ``"process"`` (the real swarm: one OS process per worker,
+    each with its own interpreter, socket, and histograms) or
+    ``"thread"`` (workers as threads — for tests hosting the server in
+    the same process).  ``progress`` receives one merged stats line at
+    most every ``report_every`` seconds, e.g.::
+
+        loadgen t=  2.0s ops=1480 rate=740/s errors=0 apply p50=0.9ms p99=4.1ms ...
+    """
+    if mode == "thread":
+        results: "queue_module.Queue | multiprocessing.Queue" = queue_module.Queue()
+        barrier = threading.Barrier(profile.workers)
+        workers = [
+            threading.Thread(
+                target=_worker_main,
+                args=(host, port, profile, w, results, barrier),
+                name=f"loadgen-{w}",
+                daemon=True,
+            )
+            for w in range(profile.workers)
+        ]
+    elif mode == "process":
+        context = multiprocessing.get_context()
+        results = context.Queue()
+        barrier = context.Barrier(profile.workers)
+        workers = [
+            context.Process(
+                target=_worker_main,
+                args=(host, port, profile, w, results, barrier),
+                name=f"loadgen-{w}",
+                daemon=True,
+            )
+            for w in range(profile.workers)
+        ]
+    else:
+        raise ServerError(f"unknown loadgen mode {mode!r} (known: process, thread)")
+
+    for member in workers:
+        member.start()
+
+    latest: dict[int, dict] = {}  # newest tick/done payload per worker
+    reports: dict[int, dict] = {}
+    failures: dict[int, str] = {}
+    run_started = time.perf_counter()
+    last_line = run_started
+    try:
+        while len(reports) + len(failures) < profile.workers:
+            try:
+                kind, worker, payload = results.get(timeout=SILENCE_TIMEOUT)
+            except queue_module.Empty:
+                raise ServerError(
+                    f"loadgen swarm went silent for {SILENCE_TIMEOUT:.0f}s "
+                    f"({len(reports)}/{profile.workers} workers reported)"
+                ) from None
+            if kind == "fail":
+                failures[worker] = str(payload)
+                continue
+            latest[worker] = payload
+            if kind == "done":
+                reports[worker] = payload
+            now = time.perf_counter()
+            if progress is not None and now - last_line >= report_every:
+                last_line = now
+                progress(_merged_line(latest, now - run_started))
+    finally:
+        for member in workers:
+            member.join(timeout=10.0)
+
+    if failures:
+        worker, message = sorted(failures.items())[0]
+        raise ServerError(f"loadgen worker {worker} failed: {message}")
+
+    ordered = [reports[w] for w in sorted(reports)]
+    hists: dict[str, LatencyHistogram] = {}
+    errors: dict[str, int] = {}
+    for report in ordered:
+        for op_kind, data in report["hists"].items():
+            partial = LatencyHistogram.from_dict(data)
+            hists.setdefault(op_kind, LatencyHistogram()).merge(partial)
+        for op_kind, n in report["errors"].items():
+            errors[op_kind] = errors.get(op_kind, 0) + int(n)
+    elapsed = max((report["elapsed"] for report in ordered), default=0.0)
+    ops_total = sum(report["ops"] for report in ordered)
+    result = LoadgenResult(
+        profile=profile,
+        ops_total=ops_total,
+        elapsed=elapsed,
+        achieved_rate=ops_total / elapsed if elapsed > 0 else 0.0,
+        hists=hists,
+        errors=errors,
+        worker_reports=[
+            {"worker": r["worker"], "ops": r["ops"], "elapsed": r["elapsed"], "errors": r["errors"]}
+            for r in ordered
+        ],
+    )
+    if progress is not None:
+        progress(_merged_line(latest, time.perf_counter() - run_started))
+    return result
+
+
+def _merged_line(latest: dict[int, dict], elapsed: float) -> str:
+    """One stats line over the newest payload from every reporting worker."""
+    ops = sum(payload["ops"] for payload in latest.values())
+    errors = sum(
+        sum(payload["errors"].values()) for payload in latest.values()
+    )
+    merged: dict[str, LatencyHistogram] = {}
+    for payload in latest.values():
+        for op_kind, data in payload["hists"].items():
+            merged.setdefault(op_kind, LatencyHistogram()).merge(
+                LatencyHistogram.from_dict(data)
+            )
+    rate = ops / elapsed if elapsed > 0 else 0.0
+    return format_stats_line(elapsed, ops, rate, merged, errors)

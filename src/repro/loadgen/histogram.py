@@ -1,0 +1,200 @@
+"""Fixed-bucket latency histograms that merge across worker processes.
+
+Every :class:`LatencyHistogram` shares one global bucket scheme —
+geometrically spaced edges, :data:`PER_DECADE` buckets per decade from
+:data:`LOWEST` to :data:`HIGHEST` seconds — so merging is plain
+element-wise addition: associative, commutative, and loss-free, which is
+what lets each loadgen worker process keep its own histograms and the
+driver fold them into one run-wide view in any order.
+
+Quantiles are read from bucket upper edges, so a reported ``p99`` is an
+*upper bound* on the true sample quantile, at most one bucket ratio
+(``10 ** (1 / PER_DECADE)``, about 12%) above it — tight enough for SLO
+floors, and safe in the direction that matters (a passing floor never
+hides a violation).  The maximum is tracked exactly, outside the bucket
+grid, and values beyond :data:`HIGHEST` land in a dedicated overflow
+bucket whose quantile reads report that exact maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from ..errors import ReproError
+
+__all__ = ["LatencyHistogram", "merge_histograms", "HIGHEST", "LOWEST", "PER_DECADE"]
+
+#: Lower edge of the first bucket (1 microsecond).
+LOWEST = 1e-6
+#: Buckets per decade; the bucket ratio is ``10 ** (1 / PER_DECADE)``.
+PER_DECADE = 20
+#: Eight decades: 1 µs .. 100 s.  Anything slower overflows.
+_DECADES = 8
+#: Upper edge of the last regular bucket.
+HIGHEST = LOWEST * 10**_DECADES
+
+_N_BUCKETS = _DECADES * PER_DECADE
+#: ``_EDGES[i]`` is the lower edge of bucket ``i``; bucket ``i`` covers
+#: ``[_EDGES[i], _EDGES[i + 1])``.
+_EDGES = tuple(LOWEST * 10 ** (i / PER_DECADE) for i in range(_N_BUCKETS + 1))
+
+#: Written into every serialized histogram; a mismatch on load means the
+#: counts were recorded under a different grid and cannot merge.
+_SCHEME = {"lowest": LOWEST, "per_decade": PER_DECADE, "decades": _DECADES}
+
+
+def _bucket_index(value: float) -> int:
+    """The regular-bucket index of ``value``; ``_N_BUCKETS`` = overflow."""
+    if value < _EDGES[1]:  # everything at or below the first edge
+        return 0
+    if value >= HIGHEST:
+        return _N_BUCKETS
+    index = int(math.log10(value / LOWEST) * PER_DECADE)
+    # Float log rounding can land one bucket off either way near an edge;
+    # nudge until the half-open invariant _EDGES[i] <= value < _EDGES[i+1]
+    # holds (at most one step).
+    if value < _EDGES[index]:
+        index -= 1
+    elif value >= _EDGES[index + 1]:
+        index += 1
+    return index
+
+
+class LatencyHistogram:
+    """Latencies (seconds) in fixed geometric buckets, exact min/max/total."""
+
+    __slots__ = ("counts", "overflow", "count", "total", "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self.counts: list[int] = [0] * _N_BUCKETS
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one latency.  Negative values clamp to zero (bucket 0)."""
+        value = max(0.0, float(seconds))
+        index = _bucket_index(value)
+        if index >= _N_BUCKETS:
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram in place; returns ``self``."""
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        return self
+
+    def merged_with(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """A new histogram holding both sides' samples (pure merge)."""
+        return LatencyHistogram().merge(self).merge(other)
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """An upper bound on the ``q``-quantile of the recorded samples.
+
+        Returns the upper edge of the bucket holding the rank-``ceil(q*n)``
+        sample, clamped to the exact tracked maximum (so ``quantile(1.0)``
+        is the true max, and overflow-bucket reads are exact too).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= target:
+                return min(_EDGES[index + 1], self.max_value)
+        return self.max_value  # rank falls in the overflow bucket
+
+    def summary(self) -> dict[str, float | int]:
+        """The quantile row every report shows: count/p50/p90/p99/max/mean."""
+        return {
+            "count": self.count,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max_value,
+            "mean": self.mean,
+        }
+
+    # -- serialization (crosses the worker-process boundary) -------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready dict; zero buckets are omitted (sparse counts)."""
+        return {
+            "scheme": dict(_SCHEME),
+            "counts": {str(i): n for i, n in enumerate(self.counts) if n},
+            "overflow": self.overflow,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value if self.count else None,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LatencyHistogram":
+        if data.get("scheme") != _SCHEME:
+            raise ReproError(
+                f"histogram bucket scheme mismatch: {data.get('scheme')!r} != {_SCHEME!r}"
+            )
+        hist = cls()
+        for key, n in dict(data.get("counts", {})).items():
+            index = int(key)
+            if not 0 <= index < _N_BUCKETS:
+                raise ReproError(f"histogram bucket index {index} out of range")
+            hist.counts[index] = int(n)
+        hist.overflow = int(data.get("overflow", 0))
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        minimum = data.get("min")
+        hist.min_value = math.inf if minimum is None else float(minimum)
+        hist.max_value = float(data["max"])
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.overflow == other.overflow
+            and self.count == other.count
+            and self.total == other.total
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+        )
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram(count={self.count}, max={self.max_value:.6f})"
+
+
+def merge_histograms(histograms: Iterable[LatencyHistogram]) -> LatencyHistogram:
+    """Fold any number of histograms into a fresh one (order-independent)."""
+    merged = LatencyHistogram()
+    for histogram in histograms:
+        merged.merge(histogram)
+    return merged

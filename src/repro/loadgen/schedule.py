@@ -1,0 +1,115 @@
+"""Rate pacing: ``--max-rate`` token buckets and ramp schedules.
+
+A schedule is a sequence of :class:`RatePhase` steps — ``"50x5,200x10,0"``
+reads "50 ops/sec for 5 seconds, then 200 ops/sec for 10 seconds, then
+unpaced for the rest of the run".  Each worker paces at the *global* rate
+divided by the worker count, so the swarm's aggregate admission rate
+tracks the schedule whatever the per-worker latencies are doing.
+
+The pacer is a no-burst token bucket over an injectable clock: the next
+permitted instant advances by one interval per operation and never falls
+behind the present (idle time earns no credit), so a stall is followed by
+the scheduled rate, not a compensating burst that would spike the very
+tail latencies the harness exists to measure.  The injectable clock is
+what makes pacing unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import ReproError
+
+__all__ = ["Pacer", "RatePhase", "parse_schedule", "phases_for"]
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One schedule step: ``rate`` ops/sec (0 = unpaced) for ``duration`` s."""
+
+    rate: float
+    duration: float | None = None  #: ``None`` = until the run ends
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ReproError(f"rate must be non-negative, got {self.rate}")
+        if self.duration is not None and self.duration <= 0:
+            raise ReproError(f"phase duration must be positive, got {self.duration}")
+
+
+def parse_schedule(text: str) -> list[RatePhase]:
+    """``"RATExSECONDS,RATExSECONDS,...,RATE"`` — a bare final rate is open-ended."""
+    phases: list[RatePhase] = []
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if not parts:
+        raise ReproError("empty schedule")
+    for index, part in enumerate(parts):
+        rate_text, sep, duration_text = part.partition("x")
+        try:
+            rate = float(rate_text)
+            duration = float(duration_text) if sep else None
+        except ValueError as exc:
+            raise ReproError(f"bad schedule step {part!r} (want RATE or RATExSECONDS)") from exc
+        if duration is None and index != len(parts) - 1:
+            raise ReproError(f"only the final schedule step may omit a duration: {part!r}")
+        phases.append(RatePhase(rate, duration))
+    return phases
+
+
+def phases_for(max_rate: float, schedule: str | None) -> list[RatePhase]:
+    """The effective schedule of a profile: ``schedule`` wins over ``max_rate``."""
+    if schedule:
+        return parse_schedule(schedule)
+    return [RatePhase(max_rate)]
+
+
+class Pacer:
+    """A no-burst token bucket following a phase schedule.
+
+    ``scale`` is this worker's share of the global rate (``1 / workers``).
+    :meth:`delay` returns how long to sleep before the next operation may
+    ship, advancing the bucket; the clock starts on the first call.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[RatePhase],
+        scale: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not phases:
+            raise ReproError("pacer needs at least one phase")
+        if scale <= 0:
+            raise ReproError(f"scale must be positive, got {scale}")
+        self._phases = list(phases)
+        self._scale = scale
+        self._clock = clock
+        self._start: float | None = None
+        self._next = 0.0
+
+    def _interval_at(self, elapsed: float) -> float:
+        """Seconds between this worker's operations at ``elapsed`` into the run."""
+        offset = 0.0
+        for phase in self._phases:
+            if phase.duration is None or elapsed < offset + phase.duration:
+                return 1.0 / (phase.rate * self._scale) if phase.rate > 0 else 0.0
+            offset += phase.duration
+        return 0.0  # past the last bounded phase: unpaced
+
+    def delay(self) -> float:
+        """Seconds to wait before the next operation (0 = go now)."""
+        now = self._clock()
+        if self._start is None:
+            self._start = now
+            self._next = now
+        interval = self._interval_at(now - self._start)
+        if interval <= 0.0:
+            self._next = now
+            return 0.0
+        wait = max(0.0, self._next - now)
+        # No bursts: idle time earns no credit, so a stalled worker resumes
+        # at the scheduled rate instead of spiking to catch up.
+        self._next = max(self._next + interval, now)
+        return wait

@@ -1,0 +1,296 @@
+"""Seeded deterministic loadgen workloads over the ``workloads`` vocabulary.
+
+Each worker owns one relation, ``load_<worker>(id, grp, v0)``, and a
+deterministic operation stream derived from ``(seed, worker)`` alone:
+running the same profile twice produces byte-identical operations, so an
+SLO regression between two runs is attributable to the engine, never to
+the generator.  Worker relations are disjoint, so any cross-worker
+interleaving the server admits leaves the final state identical to
+replaying the per-worker streams in order through a direct in-process
+:class:`~repro.engine.engine.Engine` — the end-to-end bit-identity check.
+
+Write operations reuse the synthetic workload's shape (insert into a hot
+group, delete/modify by ``grp`` equality) and travel as the journal's
+replay vocabulary; read operations exercise the server's snapshot path
+(``state``, ``provenance``, ``annotation_of``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..db.schema import Relation, Schema
+from ..errors import ReproError
+from ..queries.pattern import Pattern
+from ..queries.updates import Delete, Insert, Modify, Transaction
+from ..workloads.logs import query_to_dict
+
+__all__ = [
+    "ATTRIBUTES",
+    "PROFILES",
+    "LoadgenProfile",
+    "MixSpec",
+    "Op",
+    "loadgen_schema",
+    "ops_fingerprint",
+    "profile_from_name",
+    "schema_specs",
+    "worker_ops",
+    "worker_prelude",
+    "worker_relation",
+]
+
+#: Attributes of every worker relation: a row id, the hot-group selector
+#: (the column deletes/modifies select on), and one value column.
+ATTRIBUTES = ("id", "grp", "v0")
+
+
+def worker_relation(worker: int) -> str:
+    return f"load_{worker}"
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """Relative weights of the four operation kinds.
+
+    ``apply`` ships an update transaction; ``state`` reads the full
+    snapshot; ``provenance`` reads one relation's annotated rows;
+    ``annotation_of`` reads a single row's expression.
+    """
+
+    apply: float = 0.55
+    state: float = 0.1
+    provenance: float = 0.25
+    annotation_of: float = 0.1
+
+    def __post_init__(self) -> None:
+        weights = self.as_dict()
+        if min(weights.values()) < 0 or sum(weights.values()) <= 0:
+            raise ReproError(f"mix weights must be non-negative and not all zero: {weights}")
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "apply": self.apply,
+            "state": self.state,
+            "provenance": self.provenance,
+            "annotation_of": self.annotation_of,
+        }
+
+    @classmethod
+    def parse(cls, text: str) -> "MixSpec":
+        """``"apply=0.6,provenance=0.3,state=0.1"`` — omitted kinds weigh 0."""
+        weights = dict.fromkeys(cls().as_dict(), 0.0)
+        for part in text.split(","):
+            name, sep, value = part.partition("=")
+            name = name.strip()
+            if not sep or name not in weights:
+                known = ", ".join(weights)
+                raise ReproError(f"bad mix entry {part!r} (want kind=weight; kinds: {known})")
+            try:
+                weights[name] = float(value)
+            except ValueError as exc:
+                raise ReproError(f"bad mix weight in {part!r}") from exc
+        return cls(**weights)
+
+
+@dataclass(frozen=True)
+class LoadgenProfile:
+    """Everything that determines a loadgen run's operation streams.
+
+    The operation streams are a pure function of this profile (see
+    :func:`worker_ops`); pacing (``max_rate`` / ``schedule``) and
+    transport (``pipeline``) shape *when* operations ship, never *what*
+    ships, so they cannot perturb determinism or the final state.
+    """
+
+    name: str = "custom"
+    workers: int = 2
+    ops_per_worker: int = 200
+    rows_per_worker: int = 60
+    n_groups: int = 6
+    domain_size: int = 100
+    seed: int = 7
+    mix: MixSpec = field(default_factory=MixSpec)
+    #: Global ops/sec target across all workers; 0 = unpaced.
+    max_rate: float = 0.0
+    #: Ramp schedule, e.g. ``"50x5,200x10,0"`` (overrides ``max_rate``).
+    schedule: str | None = None
+    #: Max contiguous apply operations shipped as one pipelined burst.
+    pipeline: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 1 or self.ops_per_worker < 1:
+            raise ReproError("workers and ops_per_worker must be positive")
+        if self.rows_per_worker < 1 or self.n_groups < 1:
+            raise ReproError("rows_per_worker and n_groups must be positive")
+        if self.pipeline < 1:
+            raise ReproError("pipeline depth must be >= 1")
+        if self.max_rate < 0:
+            raise ReproError("max_rate must be non-negative")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "ops_per_worker": self.ops_per_worker,
+            "rows_per_worker": self.rows_per_worker,
+            "n_groups": self.n_groups,
+            "domain_size": self.domain_size,
+            "seed": self.seed,
+            "mix": self.mix.as_dict(),
+            "max_rate": self.max_rate,
+            "schedule": self.schedule,
+            "pipeline": self.pipeline,
+        }
+
+
+#: Named profiles: ``tiny`` is the CI/tier-1 floor scale, ``smoke`` a
+#: quick local check, ``medium`` a real measurement.
+PROFILES: Mapping[str, LoadgenProfile] = {
+    "tiny": LoadgenProfile(name="tiny", workers=2, ops_per_worker=60, rows_per_worker=20),
+    "smoke": LoadgenProfile(name="smoke", workers=2, ops_per_worker=300, rows_per_worker=60),
+    "medium": LoadgenProfile(
+        name="medium", workers=4, ops_per_worker=2_000, rows_per_worker=400, n_groups=20
+    ),
+}
+
+
+def profile_from_name(name: str, **overrides: object) -> LoadgenProfile:
+    if name not in PROFILES:
+        raise ReproError(f"unknown profile {name!r} (known: {', '.join(PROFILES)})")
+    profile = PROFILES[name]
+    return replace(profile, **overrides) if overrides else profile
+
+
+def loadgen_schema(profile: LoadgenProfile) -> Schema:
+    """One relation per worker: ``load_<w>(id, grp, v0)``."""
+    return Schema(
+        Relation(worker_relation(worker), list(ATTRIBUTES))
+        for worker in range(profile.workers)
+    )
+
+
+def schema_specs(profile: LoadgenProfile) -> list[str]:
+    """The ``repro serve --schema`` specs a matching server needs."""
+    attrs = ",".join(ATTRIBUTES)
+    return [f"{worker_relation(w)}:{attrs}" for w in range(profile.workers)]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One generated operation: an apply transaction or a snapshot read."""
+
+    kind: str  #: apply | state | provenance | annotation_of
+    item: Transaction | None = None  #: the update (apply only)
+    relation: str | None = None  #: target relation (provenance / annotation_of)
+    row: tuple | None = None  #: target row (annotation_of only)
+
+
+def _rng(profile: LoadgenProfile, worker: int) -> random.Random:
+    # A string seed hashes through SHA-512, stable across processes and
+    # Python versions — the determinism the property test pins down.
+    return random.Random(f"loadgen:{profile.seed}:{worker}")
+
+
+def worker_prelude(profile: LoadgenProfile, worker: int) -> Transaction:
+    """The setup transaction populating the worker's relation.
+
+    Applied (and journaled, and replayed by the bit-identity check) like
+    any update, but executed before the timed section so a tiny profile's
+    latency picture is not dominated by one bulk insert.
+    """
+    rng = _rng(profile, worker)
+    relation = worker_relation(worker)
+    inserts = [
+        Insert(relation, (row_id, row_id % profile.n_groups, rng.randrange(profile.domain_size)))
+        for row_id in range(profile.rows_per_worker)
+    ]
+    return Transaction(f"w{worker}-init", inserts)
+
+
+def worker_ops(profile: LoadgenProfile, worker: int) -> list[Op]:
+    """The worker's timed operation stream, deterministic in ``(seed, worker)``.
+
+    The prelude's rng draws are replayed first so the stream is identical
+    whether or not the caller also materialized :func:`worker_prelude`.
+    """
+    rng = _rng(profile, worker)
+    relation = worker_relation(worker)
+    arity = len(ATTRIBUTES)
+    grp_pos = ATTRIBUTES.index("grp")
+    v_pos = ATTRIBUTES.index("v0")
+    initial_rows = [
+        (row_id, row_id % profile.n_groups, rng.randrange(profile.domain_size))
+        for row_id in range(profile.rows_per_worker)
+    ]
+    next_id = profile.rows_per_worker
+
+    weights = profile.mix.as_dict()
+    kinds = list(weights)
+    total = sum(weights.values())
+    thresholds = []
+    cumulative = 0.0
+    for kind in kinds:
+        cumulative += weights[kind] / total
+        thresholds.append((cumulative, kind))
+
+    def pick_kind() -> str:
+        roll = rng.random()
+        for threshold, kind in thresholds:
+            if roll < threshold:
+                return kind
+        return kinds[-1]
+
+    def one_update(index: int) -> Transaction:
+        nonlocal next_id
+        group = rng.randrange(profile.n_groups)
+        roll = rng.random()
+        if roll < 1 / 3:
+            row = (next_id, group, rng.randrange(profile.domain_size))
+            next_id += 1
+            query = Insert(relation, row)
+        elif roll < 2 / 3:
+            query = Delete(relation, Pattern(arity, eq={grp_pos: group}))
+        else:
+            constant = rng.randrange(profile.domain_size)
+            query = Modify(
+                relation, Pattern(arity, eq={grp_pos: group}), {v_pos: constant}
+            )
+        return Transaction(f"w{worker}t{index}", [query])
+
+    ops: list[Op] = []
+    for index in range(profile.ops_per_worker):
+        kind = pick_kind()
+        if kind == "apply":
+            ops.append(Op("apply", item=one_update(index)))
+        elif kind == "state":
+            ops.append(Op("state"))
+        elif kind == "provenance":
+            ops.append(Op("provenance", relation=relation))
+        else:  # annotation_of: a deterministic pick from the initial rows
+            ops.append(
+                Op("annotation_of", relation=relation, row=rng.choice(initial_rows))
+            )
+    return ops
+
+
+def ops_fingerprint(profile: LoadgenProfile, worker: int) -> list:
+    """A JSON-comparable encoding of the worker's full stream.
+
+    Two runs are the same workload iff their fingerprints are equal —
+    exactly what the seeded-determinism property test asserts.
+    """
+    prelude = worker_prelude(profile, worker)
+    encoded: list = [["prelude", prelude.name, [query_to_dict(q) for q in prelude.queries]]]
+    for op in worker_ops(profile, worker):
+        if op.kind == "apply":
+            encoded.append(
+                ["apply", op.item.name, [query_to_dict(q) for q in op.item.queries]]
+            )
+        else:
+            encoded.append(
+                [op.kind, op.relation, list(op.row) if op.row is not None else None]
+            )
+    return encoded

@@ -131,7 +131,13 @@ class ServerClient:
         """Like :meth:`apply`, requesting the batched pipeline server-side."""
         return self.apply(item, batch=True)
 
-    def apply_pipelined(self, items: Iterable[Applyable], batch: bool = False) -> int:
+    def apply_pipelined(
+        self,
+        items: Iterable[Applyable],
+        batch: bool = False,
+        timings: list[tuple[float, float]] | None = None,
+        flush_bytes: int = 1 << 20,
+    ) -> int:
         """Ship one apply frame per element, then read every response.
 
         Pipelining keeps the server's admission queue deep, which is what
@@ -139,28 +145,54 @@ class ServerClient:
         — the measured win of ``server_comparison``.  Returns total
         queries applied; raises on the first failed response (later
         pipelined responses are drained so the connection stays usable).
+
+        With ``timings`` a list, one ``(send, recv)`` ``perf_counter``
+        pair is appended per request — failed ones included — in request
+        order: ``send`` is stamped at the flush that put the request's
+        frame on the socket (requests sharing a flush share its stamp),
+        ``recv`` once its response frame has been read.  ``recv - send``
+        is the request's honest per-op latency; before this hook existed,
+        callers could only time the whole call and divide by the request
+        count, which amortizes one slow operation across the batch.
+        ``flush_bytes`` bounds how many frame bytes buffer between
+        flushes (1 = one flush, and one send stamp, per frame).
         """
         from .protocol import encode_frame
 
         buffer = bytearray()
         shipped = 0
+        unstamped = 0  # requests buffered since the last flush
+        send_stamps: list[float] = []
+
+        def flush() -> None:
+            nonlocal unstamped
+            self._flush(buffer)
+            buffer.clear()
+            if timings is not None:
+                stamp = time.perf_counter()
+                send_stamps.extend([stamp] * unstamped)
+                unstamped = 0
+
         for element in items:
             buffer += encode_frame(
                 {"op": "apply", "events": items_to_events(_as_items(element)), "batch": batch}
             )
             shipped += 1
-            if len(buffer) >= 1 << 20:  # flush in ~1 MiB bursts
-                self._flush(buffer)
-                buffer.clear()
+            unstamped += 1
+            if len(buffer) >= flush_bytes:
+                flush()
         if buffer:
-            self._flush(buffer)
+            flush()
         applied = 0
         failure: ServerError | None = None
-        for _ in range(shipped):
+        for index in range(shipped):
             try:
                 applied += int(self._receive()["applied"])
             except ServerError as exc:
                 failure = failure or exc
+            finally:
+                if timings is not None:
+                    timings.append((send_stamps[index], time.perf_counter()))
         if failure is not None:
             raise failure
         return applied

@@ -1,0 +1,203 @@
+"""The loadgen latency histogram: merging, quantile bounds, overflow.
+
+The merge tests pin down the property the whole multiprocess design
+rests on: because every histogram shares one global bucket scheme,
+merging is element-wise addition — associative and commutative — so the
+driver can fold worker shards in any arrival order and get the same
+run-wide histogram.  Samples are dyadic rationals (multiples of 2^-10)
+so even the float ``total`` sums exactly and ``==`` is meaningful.
+
+The quantile tests compare against a sorted-sample oracle: a histogram
+quantile must be an upper bound on the true sample quantile, at most one
+bucket ratio (``10 ** (1 / PER_DECADE)``) above it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.loadgen import LatencyHistogram, merge_histograms
+from repro.loadgen.histogram import HIGHEST, PER_DECADE
+
+#: One bucket's upper/lower edge ratio, plus float-comparison headroom.
+BUCKET_RATIO = 10 ** (1 / PER_DECADE) * (1 + 1e-9)
+
+
+def _dyadic_samples(rng: random.Random, n: int) -> list[float]:
+    """Latency-like values that are exact binary fractions (exact sums)."""
+    return [rng.randrange(1, 1 << 20) / (1 << 20) for _ in range(n)]
+
+
+def _histogram(values: list[float]) -> LatencyHistogram:
+    hist = LatencyHistogram()
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+def _oracle_quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+# ---------------------------------------------------------------------------
+# merging
+# ---------------------------------------------------------------------------
+
+
+def test_merge_is_associative_and_commutative_across_shards():
+    rng = random.Random(42)
+    shards = [_histogram(_dyadic_samples(rng, rng.randrange(1, 200))) for _ in range(3)]
+    a, b, c = shards
+    left = a.merged_with(b).merged_with(c)
+    right = a.merged_with(b.merged_with(c))
+    assert left == right
+    assert left.to_dict() == right.to_dict()
+    assert a.merged_with(b) == b.merged_with(a)
+
+
+def test_merge_matches_recording_everything_into_one_histogram():
+    rng = random.Random(7)
+    worker_samples = [_dyadic_samples(rng, 150) for _ in range(4)]
+    merged = merge_histograms(_histogram(samples) for samples in worker_samples)
+    direct = _histogram([v for samples in worker_samples for v in samples])
+    assert merged == direct
+    assert merged.summary() == direct.summary()
+
+
+def test_merge_any_fold_order_gives_the_same_histogram():
+    rng = random.Random(13)
+    shards = [_histogram(_dyadic_samples(rng, 80)) for _ in range(5)]
+    baseline = merge_histograms(shards)
+    for _ in range(5):
+        shuffled = shards[:]
+        rng.shuffle(shuffled)
+        assert merge_histograms(shuffled) == baseline
+
+
+def test_merge_with_empty_is_identity():
+    hist = _histogram([0.001, 0.002, 0.5])
+    assert hist.merged_with(LatencyHistogram()) == hist
+    assert LatencyHistogram().merged_with(hist) == hist
+
+
+# ---------------------------------------------------------------------------
+# quantiles vs a sorted-sample oracle
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("q", [0.5, 0.9, 0.99, 1.0])
+def test_quantile_upper_bounds_the_sample_quantile(seed, q):
+    rng = random.Random(seed)
+    values = [rng.uniform(1e-5, 2.0) for _ in range(rng.randrange(10, 500))]
+    hist = _histogram(values)
+    oracle = _oracle_quantile(values, q)
+    observed = hist.quantile(q)
+    assert oracle <= observed <= oracle * BUCKET_RATIO
+
+
+def test_quantile_of_lognormal_latencies_stays_within_one_bucket():
+    rng = random.Random(99)
+    values = [rng.lognormvariate(math.log(0.003), 1.0) for _ in range(2000)]
+    hist = _histogram(values)
+    for q in (0.5, 0.9, 0.95, 0.99, 0.999):
+        oracle = _oracle_quantile(values, q)
+        assert oracle <= hist.quantile(q) <= oracle * BUCKET_RATIO
+
+
+def test_quantile_one_is_the_exact_maximum():
+    values = [0.0011, 0.0042, 0.77]
+    hist = _histogram(values)
+    assert hist.quantile(1.0) == 0.77
+    assert hist.summary()["max"] == 0.77
+
+
+def test_quantile_validates_range_and_empty():
+    hist = LatencyHistogram()
+    assert hist.quantile(0.99) == 0.0
+    hist.record(0.001)
+    with pytest.raises(ReproError):
+        hist.quantile(1.5)
+    with pytest.raises(ReproError):
+        hist.quantile(-0.1)
+
+
+def test_single_sample_every_quantile_is_that_sample_bucket():
+    hist = _histogram([0.0037])
+    for q in (0.01, 0.5, 0.99, 1.0):
+        assert 0.0037 <= hist.quantile(q) <= 0.0037 * BUCKET_RATIO
+    assert hist.quantile(1.0) == 0.0037  # clamped to the exact max
+
+
+# ---------------------------------------------------------------------------
+# overflow and clamping
+# ---------------------------------------------------------------------------
+
+
+def test_overflow_bucket_counts_and_reads_the_exact_maximum():
+    hist = _histogram([0.001, 0.002, 1000.0])
+    assert hist.overflow == 1
+    assert hist.count == 3
+    # The rank-3 sample lives in the overflow bucket; the read reports
+    # the exact tracked max, not a bucket edge.
+    assert hist.quantile(0.99) == 1000.0
+    assert hist.quantile(1.0) == 1000.0
+    assert hist.max_value == 1000.0
+
+
+def test_value_exactly_at_highest_edge_overflows():
+    hist = _histogram([HIGHEST])
+    assert hist.overflow == 1
+    assert hist.quantile(0.5) == HIGHEST
+
+
+def test_overflow_survives_serialization_and_merge():
+    hist = _histogram([2000.0, 0.5])
+    other = _histogram([3000.0])
+    merged = hist.merged_with(other)
+    assert merged.overflow == 2
+    assert LatencyHistogram.from_dict(merged.to_dict()) == merged
+    assert merged.quantile(0.99) == 3000.0
+
+
+def test_negative_values_clamp_to_zero():
+    hist = _histogram([-0.5, 0.001])
+    assert hist.count == 2
+    assert hist.min_value == 0.0
+    assert hist.overflow == 0
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+
+def test_to_dict_round_trips_and_is_sparse():
+    rng = random.Random(5)
+    hist = _histogram(_dyadic_samples(rng, 300))
+    data = hist.to_dict()
+    assert all(n > 0 for n in data["counts"].values())
+    restored = LatencyHistogram.from_dict(data)
+    assert restored == hist
+    assert restored.summary() == hist.summary()
+
+
+def test_from_dict_rejects_a_different_bucket_scheme():
+    data = _histogram([0.001]).to_dict()
+    data["scheme"] = {"lowest": 1e-9, "per_decade": 5, "decades": 12}
+    with pytest.raises(ReproError, match="scheme mismatch"):
+        LatencyHistogram.from_dict(data)
+    with pytest.raises(ReproError, match="scheme mismatch"):
+        LatencyHistogram.from_dict({"count": 0, "total": 0.0, "max": 0.0})
+
+
+def test_from_dict_rejects_out_of_range_bucket_indexes():
+    data = _histogram([0.001]).to_dict()
+    data["counts"] = {"9999": 1}
+    with pytest.raises(ReproError, match="out of range"):
+        LatencyHistogram.from_dict(data)

@@ -1,0 +1,131 @@
+"""Pacing: schedule parsing and the no-burst token bucket.
+
+The pacer tests run on a fake clock — ``delay()`` tells the caller how
+long to sleep, and the fake clock "sleeps" by advancing — so they pin
+down real timing behavior (steady-rate spacing, ramp transitions, the
+no-catch-up-burst rule after a stall) without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.loadgen import Pacer, RatePhase, parse_schedule, phases_for
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_schedule_ramp():
+    phases = parse_schedule("50x5,200x10,0")
+    assert phases == [RatePhase(50, 5), RatePhase(200, 10), RatePhase(0, None)]
+
+
+def test_parse_schedule_single_open_ended_rate():
+    assert parse_schedule("75") == [RatePhase(75, None)]
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["", "  ,  ", "fastx5", "50xlong", "50,200x5", "-1x5", "50x-2", "50x0"],
+)
+def test_parse_schedule_rejects_malformed_input(text):
+    with pytest.raises(ReproError):
+        parse_schedule(text)
+
+
+def test_phases_for_schedule_wins_over_max_rate():
+    assert phases_for(10.0, "20x1,0") == [RatePhase(20, 1), RatePhase(0, None)]
+    assert phases_for(10.0, None) == [RatePhase(10, None)]
+    assert phases_for(0.0, None) == [RatePhase(0, None)]  # unpaced
+
+
+# ---------------------------------------------------------------------------
+# the token bucket
+# ---------------------------------------------------------------------------
+
+
+def _drain(pacer: Pacer, clock: FakeClock, n: int) -> list[float]:
+    """n delay() calls, honoring each wait on the fake clock."""
+    waits = []
+    for _ in range(n):
+        wait = pacer.delay()
+        clock.sleep(wait)
+        waits.append(wait)
+    return waits
+
+
+def test_steady_rate_spaces_operations_at_the_interval():
+    clock = FakeClock()
+    pacer = Pacer([RatePhase(10)], clock=clock)  # 10 ops/s -> 0.1s apart
+    waits = _drain(pacer, clock, 5)
+    assert waits[0] == 0.0  # the first op goes immediately
+    assert waits[1:] == pytest.approx([0.1, 0.1, 0.1, 0.1])
+
+
+def test_scale_divides_the_global_rate_per_worker():
+    clock = FakeClock()
+    pacer = Pacer([RatePhase(10)], scale=0.5, clock=clock)  # 2 workers
+    waits = _drain(pacer, clock, 3)
+    assert waits[1:] == pytest.approx([0.2, 0.2])
+
+
+def test_unpaced_phase_never_waits():
+    clock = FakeClock()
+    pacer = Pacer([RatePhase(0)], clock=clock)
+    assert _drain(pacer, clock, 10) == [0.0] * 10
+
+
+def test_ramp_switches_rate_after_the_phase_duration():
+    clock = FakeClock()
+    # 2 ops/s for 2 seconds, then 10 ops/s forever.
+    pacer = Pacer([RatePhase(2, 2), RatePhase(10)], clock=clock)
+    waits = _drain(pacer, clock, 8)
+    assert waits[0] == 0.0
+    # Phase one, plus the boundary op whose permitted instant was already
+    # scheduled under phase one's interval.
+    assert waits[1:6] == pytest.approx([0.5] * 5)
+    assert waits[6:] == pytest.approx([0.1, 0.1])  # phase two
+
+
+def test_ramp_into_unpaced_tail():
+    clock = FakeClock()
+    pacer = Pacer([RatePhase(10, 0.35), RatePhase(0)], clock=clock)
+    waits = _drain(pacer, clock, 10)
+    assert waits[1:5] == pytest.approx([0.1] * 4)
+    assert waits[5:] == [0.0] * 5  # past the bounded phase: unpaced
+
+
+def test_stall_earns_no_burst_credit():
+    clock = FakeClock()
+    pacer = Pacer([RatePhase(10)], clock=clock)
+    _drain(pacer, clock, 3)
+    clock.sleep(5.0)  # a long stall "banks" 50 intervals in a naive bucket
+    waits = _drain(pacer, clock, 10)
+    # No compensating burst: at most the op that was already due (plus
+    # the one whose permitted instant the stall rolled forward) goes
+    # immediately, then pacing resumes at the scheduled interval.
+    assert waits.count(0.0) <= 2
+    assert waits[-1] == pytest.approx(0.1)
+    assert sum(waits) == pytest.approx(0.1 * 8, abs=0.011)
+
+
+def test_pacer_validates_construction():
+    with pytest.raises(ReproError):
+        Pacer([])
+    with pytest.raises(ReproError):
+        Pacer([RatePhase(10)], scale=0.0)

@@ -1,0 +1,90 @@
+"""Per-request timing of :meth:`ServerClient.apply_pipelined`.
+
+The regression this pins down: pipelined applies used to be timeable
+only as a whole call, so one slow request's latency was amortized across
+the burst and the tail the loadgen harness exists to measure vanished.
+The ``timings`` hook must yield one honest ``(send, recv)`` pair per
+request — in request order, failed requests included — with the send
+stamped at the flush that actually put the frame on the socket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Relation, Schema
+from repro.errors import ServerError
+from repro.queries.updates import Insert
+from repro.server.client import ServerClient
+from repro.server.server import serve_in_thread
+from repro.server.service import ServerConfig
+
+N = 12
+
+
+@pytest.fixture()
+def handle():
+    database = Database(Schema([Relation("r", ["id", "value"])]))
+    handle = serve_in_thread(database, ServerConfig(port=0))
+    yield handle
+    handle.stop()
+
+
+def _inserts(n: int = N) -> list[Insert]:
+    return [Insert("r", (i, f"v{i}"), annotation=f"q{i}") for i in range(n)]
+
+
+def test_one_timing_pair_per_request_in_request_order(handle):
+    timings: list[tuple[float, float]] = []
+    with ServerClient(handle.host, handle.port) as client:
+        applied = client.apply_pipelined(_inserts(), timings=timings, flush_bytes=1)
+    assert applied == N
+    assert len(timings) == N
+    for send, recv in timings:
+        assert send <= recv
+    # Responses arrive in request order over one connection, so both
+    # stamp sequences are monotone nondecreasing.
+    sends = [send for send, _ in timings]
+    recvs = [recv for _, recv in timings]
+    assert sends == sorted(sends)
+    assert recvs == sorted(recvs)
+
+
+def test_per_frame_flush_gives_distinct_send_stamps(handle):
+    timings: list[tuple[float, float]] = []
+    with ServerClient(handle.host, handle.port) as client:
+        client.apply_pipelined(_inserts(), timings=timings, flush_bytes=1)
+    sends = [send for send, _ in timings]
+    # flush_bytes=1 forces one flush (and one stamp) per frame.
+    assert len(set(sends)) == N
+
+
+def test_shared_flush_shares_its_send_stamp(handle):
+    timings: list[tuple[float, float]] = []
+    with ServerClient(handle.host, handle.port) as client:
+        client.apply_pipelined(_inserts(), timings=timings)  # default: one big flush
+    sends = {send for send, _ in timings}
+    assert len(sends) == 1
+    # The shared stamp still precedes every response read.
+    assert all(recv >= next(iter(sends)) for _, recv in timings)
+
+
+def test_failed_request_still_gets_a_timing_pair_and_raises(handle):
+    items: list[object] = _inserts(3)
+    items.insert(1, Insert("nonexistent_relation", (0, "x")))
+    timings: list[tuple[float, float]] = []
+    with ServerClient(handle.host, handle.port) as client:
+        with pytest.raises(ServerError):
+            client.apply_pipelined(items, timings=timings, flush_bytes=1)
+        assert len(timings) == len(items)
+        assert all(send <= recv for send, recv in timings)
+        # The connection survives: later requests drained, client usable.
+        assert client.apply(Insert("r", (99, "ok"), annotation="q99")) == 1
+
+
+def test_timings_default_off_changes_nothing(handle):
+    with ServerClient(handle.host, handle.port) as client:
+        assert client.apply_pipelined(_inserts()) == N
+        state = client.state()
+    assert len(state["r"]) == N

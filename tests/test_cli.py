@@ -208,3 +208,75 @@ def test_serve_and_client_round_trip(tmp_path, capsys):
 def test_client_without_server_reports_error(capsys):
     assert main(["client", "ping", "--port", str(free_port()), "--retry", "0.1"]) == 2
     assert "cannot connect" in capsys.readouterr().err
+
+
+def test_loadgen_print_serve_args(capsys):
+    assert main(["loadgen", "--profile", "tiny", "--print-serve-args"]) == 0
+    out = capsys.readouterr().out
+    assert "--schema load_0:id,grp,v0 --schema load_1:id,grp,v0" in out
+
+
+def test_loadgen_rejects_unknown_profile_and_bad_specs(capsys):
+    assert main(["loadgen", "--profile", "galactic"]) == 2
+    assert "unknown profile" in capsys.readouterr().err
+    assert main(["loadgen", "--slo", "apply-p99-fast"]) == 2
+    assert "bad SLO" in capsys.readouterr().err
+    assert main(["loadgen", "--mix", "apply=lots"]) == 2
+    assert "bad mix weight" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def loadgen_server():
+    """An in-process server holding the tiny profile's relations."""
+    from repro.db.database import Database
+    from repro.loadgen import loadgen_schema, profile_from_name
+    from repro.server.server import serve_in_thread
+    from repro.server.service import ServerConfig
+
+    database = Database(loadgen_schema(profile_from_name("tiny")))
+    handle = serve_in_thread(database, ServerConfig(port=0, policy="normal_form_batch"))
+    yield handle
+    handle.stop()
+
+
+def test_loadgen_run_writes_trajectory_and_csv(tmp_path, capsys, loadgen_server):
+    import json
+
+    code = main([
+        "loadgen", "--port", str(loadgen_server.port), "--threads",
+        "--profile", "tiny", "--ops", "30",
+        "--slo", "apply:p99<5", "--slo", "state:max<10",
+        "--save", str(tmp_path), "--csv", str(tmp_path / "quantiles.csv"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "profile tiny: 60 ops over 2 workers" in out
+    assert "p99" in out
+    envelope = json.loads((tmp_path / "BENCH_loadgen_tiny.json").read_text())
+    assert envelope["kind"] == "loadgen"
+    assert envelope["payload"]["config"]["ops_per_worker"] == 30
+    csv_text = (tmp_path / "quantiles.csv").read_text()
+    assert csv_text.startswith("op,count,errors,p50,p90,p99,max,mean")
+
+
+def test_loadgen_slo_violation_exits_nonzero(tmp_path, capsys, loadgen_server):
+    code = main([
+        "loadgen", "--port", str(loadgen_server.port), "--threads",
+        "--profile", "tiny", "--ops", "20", "--report-every", "0",
+        "--slo", "apply:p99<0.000001", "--save", str(tmp_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "SLO violated: apply:p99<1e-06" in captured.err
+
+
+def test_loadgen_refuses_a_server_missing_its_relations(tmp_path, capsys, loadgen_server):
+    # Ask for more workers than the served schema has relations for.
+    code = main([
+        "loadgen", "--port", str(loadgen_server.port), "--threads",
+        "--profile", "tiny", "--workers", "3", "--no-save",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "missing loadgen relations" in captured.err
+    assert "--schema load_2:id,grp,v0" in captured.err
