@@ -41,6 +41,7 @@ __all__ = [
     "CacheComparison",
     "Checkpoint",
     "IndexComparison",
+    "MemoryComparison",
     "RecoveryComparison",
     "SeriesRun",
     "ServerComparison",
@@ -48,6 +49,7 @@ __all__ = [
     "UsageMeasurement",
     "batch_comparison",
     "index_comparison",
+    "memory_comparison",
     "recovery_comparison",
     "repeated_normalization_workload",
     "rewrite_cache_comparison",
@@ -107,12 +109,22 @@ def write_bench_json(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{kind}_{safe}.json"
+    from ..memory import current_rss_bytes, peak_rss_bytes
+
     document = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": kind,
         "name": name,
         "git_rev": git_revision(),
         "written_at": time.time(),
+        # Memory footprint of the producing process at write time — an
+        # additive envelope field (schema version unchanged) so every
+        # trajectory carries the memory axis alongside its latency axis.
+        "memory": {
+            "rss_bytes": current_rss_bytes(),
+            "peak_rss_bytes": peak_rss_bytes(),
+            "intern_table_size": intern_table_size(),
+        },
         "payload": dict(payload),
     }
     path.write_text(json.dumps(document, indent=2, default=str) + "\n")
@@ -988,6 +1000,137 @@ def recovery_comparison(
         plain_time=plain_time,
         recovery_time=recovery_time,
         consistent=consistent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memory comparison (reclaimable interning + arena encoding)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemoryComparison:
+    """Peak-RSS / node-count comparison across interning+encoding modes.
+
+    One subprocess per mode (peak RSS is monotone per process), all modes
+    running the identical epoch-churn workload of
+    :mod:`repro.bench.memchild`.  ``consistent`` is the bit-identity
+    check: every mode must fingerprint the same final annotated states —
+    the sweep and the arena are representation changes, never semantic
+    ones.
+    """
+
+    config: dict
+    results: dict[str, dict]
+
+    def _peak(self, mode: str) -> int:
+        return int(self.results.get(mode, {}).get("peak_rss_bytes", 0))
+
+    def _nodes(self, mode: str) -> int:
+        return int(self.results.get(mode, {}).get("intern_table_size", 0))
+
+    @property
+    def rss_ratio(self) -> float:
+        """Peak RSS, grow-only objects over GC'd arena (higher is better)."""
+        denominator = self._peak("arena_gc")
+        return self._peak("objects_grow") / denominator if denominator else 0.0
+
+    @property
+    def node_ratio(self) -> float:
+        """Final intern-table size, grow-only over GC'd (higher is better)."""
+        denominator = self._nodes("arena_gc")
+        return self._nodes("objects_grow") / denominator if denominator else 0.0
+
+    @property
+    def consistent(self) -> bool:
+        prints = {r.get("fingerprint") for r in self.results.values()}
+        return len(prints) == 1 and None not in prints
+
+    @property
+    def swept_total(self) -> int:
+        return int(self.results.get("arena_gc", {}).get("sweep", {}).get("swept_total", 0))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "config": dict(self.config),
+            "results": {mode: dict(r) for mode, r in self.results.items()},
+            "rss_ratio": self.rss_ratio,
+            "node_ratio": self.node_ratio,
+            "swept_total": self.swept_total,
+            "consistent": self.consistent,
+        }
+
+
+def _memchild_run(config: dict, timeout: float) -> dict:
+    """Launch one ``repro.bench.memchild`` subprocess and parse its report."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench.memchild"],
+        input=json.dumps(config),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"memchild {config.get('mode')} failed "
+            f"(rc={completed.returncode}): {completed.stderr.strip()[-2000:]}"
+        )
+    return json.loads(completed.stdout)
+
+
+def memory_comparison(
+    epochs: int = 16,
+    transactions: int = 24,
+    queries_per_transaction: int = 6,
+    rows: int = 300,
+    groups: int = 15,
+    seed: int = 23,
+    modes: Sequence[str] | None = None,
+    timeout: float = 600.0,
+) -> MemoryComparison:
+    """Measure sustained-churn memory across the four interning/arena modes.
+
+    At the default scale the grow-only/object configuration peaks well
+    over 2x the RSS of the GC'd/arena one while both fingerprint the same
+    states — the memory axis of the reclaimable-interning refactor.  Pass
+    a ``modes`` subset (e.g. the two extremes) for a faster smoke run.
+    """
+    from .memchild import MODES, child_config
+
+    chosen = tuple(modes) if modes is not None else tuple(MODES)
+    results: dict[str, dict] = {}
+    for mode in chosen:
+        config = child_config(
+            mode,
+            epochs=epochs,
+            transactions=transactions,
+            queries_per_transaction=queries_per_transaction,
+            rows=rows,
+            groups=groups,
+            seed=seed,
+        )
+        results[mode] = _memchild_run(config, timeout)
+    return MemoryComparison(
+        config={
+            "epochs": epochs,
+            "transactions": transactions,
+            "queries_per_transaction": queries_per_transaction,
+            "rows": rows,
+            "groups": groups,
+            "seed": seed,
+            "modes": list(chosen),
+        },
+        results=results,
     )
 
 

@@ -1,0 +1,211 @@
+"""Subprocess child of :func:`repro.bench.memory_comparison`.
+
+Peak RSS (``resource.getrusage``) is monotone over a process lifetime, so
+comparing the memory behaviour of two interning/encoding configurations is
+only honest when each configuration runs in a *fresh* process.  The parent
+(:func:`repro.bench.measure.memory_comparison`) launches this module as
+``python -m repro.bench.memchild`` once per mode with a JSON config on
+stdin; the child runs a deterministic churn workload and reports a JSON
+measurement on stdout.
+
+The workload models the long-lived server process the interning sweep was
+built for: one *resident* engine whose annotated state stays live (the
+root set), plus a sequence of workload *epochs* — fresh engines built,
+churned through multi-query ``normal_form_batch`` transactions, observed,
+and discarded, the way successive benchmark runs, decoded captures and
+retired snapshots come and go inside one process.  Every epoch's
+expressions are garbage the moment its engine is dropped; a grow-only
+intern table keeps them immortal (the failure mode ``series_run`` used to
+paper over with ``clear_intern_table``), while the epoch sweep reclaims
+them and RSS plateaus.  Epoch streams are pure functions of the seed, so
+the final fingerprints must be bit-identical across all four modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+
+__all__ = ["run_child", "child_config", "MODES"]
+
+#: The four measured quadrants: (reclaimable interning?, arena at rest?).
+MODES: dict[str, tuple[bool, bool]] = {
+    "objects_grow": (False, False),
+    "objects_gc": (True, False),
+    "arena_grow": (False, True),
+    "arena_gc": (True, True),
+}
+
+
+def child_config(
+    mode: str,
+    epochs: int = 16,
+    transactions: int = 24,
+    queries_per_transaction: int = 6,
+    rows: int = 300,
+    groups: int = 15,
+    seed: int = 23,
+) -> dict:
+    """The JSON config the parent ships to one child invocation.
+
+    ``queries_per_transaction`` matters: the ``normal_form_batch`` policy
+    flushes at transaction ends, so multi-query transactions also exercise
+    the second garbage source — naive within-transaction chains that the
+    flush rewrites away.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown memchild mode {mode!r} (known: {', '.join(MODES)})")
+    return {
+        "mode": mode,
+        "epochs": int(epochs),
+        "transactions": int(transactions),
+        "queries_per_transaction": int(queries_per_transaction),
+        "rows": int(rows),
+        "groups": int(groups),
+        "seed": int(seed),
+    }
+
+
+def _churn_transactions(config: dict, epoch: int) -> "list":
+    """The deterministic update stream of one epoch.
+
+    Mirrors the loadgen generator's shape — inserts of fresh ids, deletes
+    and modifies selecting on the group column — but is self-contained so
+    the bench axis cannot drift when loadgen profiles do.  Streams of
+    different epochs use disjoint transaction names and different
+    constants, so their expressions share only the initial-row bases.
+    """
+    import random
+
+    from ..queries.pattern import Pattern
+    from ..queries.updates import Delete, Insert, Modify, Transaction
+
+    rng = random.Random(f"memchild:{config['seed']}:{epoch}")
+    groups = config["groups"]
+    per_txn = config["queries_per_transaction"]
+    items = []
+    next_id = config["rows"]
+    for index in range(config["transactions"]):
+        queries = []
+        for _ in range(per_txn):
+            group = rng.randrange(groups)
+            roll = rng.random()
+            if roll < 0.2:
+                queries.append(Insert("churn", (next_id, group, rng.randrange(100))))
+                next_id += 1
+            elif roll < 0.4:
+                queries.append(Delete("churn", Pattern(3, eq={1: group})))
+            else:
+                queries.append(
+                    Modify("churn", Pattern(3, eq={1: group}), {2: rng.randrange(100)})
+                )
+        items.append(Transaction(f"e{epoch}t{index}", queries))
+    return items
+
+
+def _fresh_engine(config: dict, arena_on: bool):
+    from ..db.database import Database
+    from ..db.schema import Relation, Schema
+    from ..engine.engine import Engine
+
+    schema = Schema([Relation("churn", ["id", "grp", "v0"])])
+    database = Database(schema)
+    database.extend(
+        "churn",
+        [(rid, rid % config["groups"], rid % 7) for rid in range(config["rows"])],
+    )
+    return Engine(database, policy="normal_form_batch", arena=arena_on)
+
+
+def _capture_blob(engine) -> bytes:
+    """The canonically serialized full annotated state."""
+    from ..shard.codec import capture_engine, encode_capture
+
+    encoded = encode_capture(capture_engine(engine))
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def run_child(config: dict) -> dict:
+    """Run one mode's workload in this process and return its measurement."""
+    from ..core.expr import (
+        intern_sweep_stats,
+        intern_table_size,
+        set_intern_gc,
+        sweep_intern_table,
+    )
+    from ..memory import current_rss_bytes, peak_rss_bytes
+
+    gc_on, arena_on = MODES[config["mode"]]
+    if gc_on:
+        # Before any workload expression exists, so the nursery covers them.
+        set_intern_gc(True)
+
+    # The resident engine: its annotated state is the live root set that
+    # every sweep must preserve.  Epoch -1 seeds it with real history.
+    resident = _fresh_engine(config, arena_on)
+    resident.apply(_churn_transactions(config, epoch=-1))
+    for _ in resident.provenance("churn"):
+        pass
+
+    started = time.perf_counter()
+    intern_peak = intern_table_size()
+    samples = []
+    digest = hashlib.sha256(_capture_blob(resident))
+    for epoch in range(config["epochs"]):
+        engine = _fresh_engine(config, arena_on)
+        engine.apply(_churn_transactions(config, epoch))
+        # Observation flushes the batch; the naive chains built during
+        # each transaction are already garbage, the rest of the epoch's
+        # expressions become garbage when `engine` is dropped below.
+        for _ in engine.provenance("churn"):
+            pass
+        if epoch == config["epochs"] - 1:
+            digest.update(_capture_blob(engine))
+        intern_peak = max(intern_peak, intern_table_size())
+        del engine
+        if gc_on:
+            sweep_intern_table()
+            resident.executor.store.compact_arena()
+        samples.append(
+            {
+                "epoch": epoch,
+                "intern_table_size": intern_table_size(),
+                "rss_bytes": current_rss_bytes(),
+            }
+        )
+    elapsed = time.perf_counter() - started
+
+    # The resident state must be untouched by the sweeps.
+    digest.update(_capture_blob(resident))
+    arena = resident.executor.store.arena
+    return {
+        "mode": config["mode"],
+        "gc": gc_on,
+        "arena": arena_on,
+        "epochs": config["epochs"],
+        "transactions_per_epoch": config["transactions"],
+        "fingerprint": digest.hexdigest(),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "end_rss_bytes": current_rss_bytes(),
+        "intern_table_size": intern_table_size(),
+        "intern_table_peak": intern_peak,
+        "arena_nodes": arena.node_count if arena is not None else 0,
+        "arena_bytes": arena.nbytes() if arena is not None else 0,
+        "sweep": intern_sweep_stats(),
+        "samples": samples,
+        "elapsed_s": elapsed,
+    }
+
+
+def main() -> int:
+    config = json.loads(sys.stdin.read())
+    result = run_child(config)
+    json.dump(result, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

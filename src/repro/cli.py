@@ -188,6 +188,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="most apply requests fused into one writer cycle (1 = per-call "
         "dispatch; default: 256)",
     )
+    serve.add_argument(
+        "--sweep-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sweep the expression intern table every N writer cycles "
+        "(bounds RSS under sustained churn; 0 = grow-only, the default)",
+    )
+    serve.add_argument(
+        "--arena",
+        action="store_true",
+        help="hold annotations arena-encoded at rest (flat integer tables "
+        "instead of object DAGs; backend plain only)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser("client", help="talk to a running repro server")
@@ -265,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="max contiguous applies shipped as one pipelined burst",
+    )
+    loadgen.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        metavar="N",
+        help="soak: each worker replays its op stream N times (default: 1)",
     )
     loadgen.add_argument(
         "--threads",
@@ -612,6 +633,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sync=args.journal_sync,
         checkpoint_every=args.checkpoint_every,
         admission_max=args.admission_max,
+        sweep_every=args.sweep_every,
+        arena=args.arena,
     )
 
     async def _run() -> int:
@@ -628,10 +651,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         recovery = getattr(service.engine, "recovery", None)
         if recovery is not None:
             print(f"recovered {args.directory}: {recovery.as_dict()}")
+        memory_knobs = ""
+        if config.sweep_every or config.arena:
+            memory_knobs = f", sweep_every={config.sweep_every}, arena={config.arena}"
         print(
             f"serving on {server.host}:{server.port} "
             f"(backend={backend}, policy={config.policy}, "
-            f"admission_max={config.admission_max})",
+            f"admission_max={config.admission_max}{memory_knobs})",
             flush=True,
         )
         loop = asyncio.get_running_loop()
@@ -669,7 +695,7 @@ def cmd_client(args: argparse.Namespace) -> int:
                     print(f"  {key}: {value}")
             elif args.action == "stats":
                 stats = client.stats()
-                for section in ("engine", "server"):
+                for section in ("engine", "server", "memory"):
                     print(f"-- {section}")
                     for key, value in stats[section].items():
                         print(f"  {key}: {value}")
@@ -739,6 +765,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             overrides["schedule"] = args.schedule
         if args.pipeline is not None:
             overrides["pipeline"] = args.pipeline
+        if args.repeat is not None:
+            overrides["repeat"] = args.repeat
         profile = profile_from_name(args.profile, **overrides)
         slos = parse_slos(args.slo)
     except ReproError as exc:

@@ -39,6 +39,9 @@ deep, far beyond Python's recursion limit.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping
 
 __all__ = [
@@ -69,6 +72,12 @@ __all__ = [
     "intern_table_size",
     "intern_generation",
     "clear_intern_table",
+    "SweepReport",
+    "register_expr_roots",
+    "set_intern_gc",
+    "intern_gc_enabled",
+    "sweep_intern_table",
+    "intern_sweep_stats",
 ]
 
 # Node kinds.  Plain strings keep reprs and debugging friendly.
@@ -97,7 +106,9 @@ class Expr:
             any number for ``SUM``, empty for leaves).
     """
 
-    __slots__ = ("kind", "name", "children", "_hash", "_size", "_depth")
+    # __weakref__ lets non-pinning caches (the arena's encode/decode maps)
+    # key or value expressions without keeping them alive past a sweep.
+    __slots__ = ("kind", "name", "children", "_hash", "_size", "_depth", "__weakref__")
 
     def __init__(self, kind: str, name: str | None, children: tuple["Expr", ...]):
         self.kind = kind
@@ -189,8 +200,190 @@ def _intern(kind: str, name: str | None, children: tuple[Expr, ...]) -> Expr:
     key = (kind, name, tuple(id(c) for c in children), children)
     node = _INTERN.get(key)
     if node is None:
-        node = _INTERN.setdefault(key, Expr(kind, name, children))
+        candidate = Expr(kind, name, children)
+        if _GC_ACTIVE:
+            # Nursery entry BEFORE the table insert: any node a sweep can
+            # see in its table snapshot is therefore already protected by
+            # the nursery (or reachable from a root), closing the window
+            # where a freshly interned but not-yet-rooted node could be
+            # swept out from under the thread that just built it.
+            _NURSERY.append(candidate)
+        node = _INTERN.setdefault(key, candidate)
     return node
+
+
+# ---------------------------------------------------------------------------
+# Reclaimable interning (epoch sweep at quiescent points)
+# ---------------------------------------------------------------------------
+
+# Nursery: every node created since the last sweep, regardless of whether it
+# won its setdefault race.  The sweep retires the nursery and treats its
+# contents as roots for that one sweep; losers (duplicates that lost the
+# setdefault race) are simply dropped with it.  Only populated while the GC
+# is active so the default grow-only behaviour pays nothing.
+_NURSERY: list[Expr] = []
+_GC_ACTIVE = False
+
+# Live-annotation providers (stores, published snapshots).  Weakly held so a
+# discarded engine or snapshot stops pinning its expressions automatically.
+_ROOT_PROVIDERS: "weakref.WeakSet" = weakref.WeakSet()
+
+_SWEEP_LOCK = threading.Lock()
+_SWEEPS = 0
+_SWEPT_TOTAL = 0
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Outcome of one :func:`sweep_intern_table` call."""
+
+    before: int
+    after: int
+    swept: int
+    memo_entries_dropped: int
+    nursery_retired: int
+
+    def as_dict(self) -> dict:
+        return {
+            "before": self.before,
+            "after": self.after,
+            "swept": self.swept,
+            "memo_entries_dropped": self.memo_entries_dropped,
+            "nursery_retired": self.nursery_retired,
+        }
+
+
+def register_expr_roots(provider) -> None:
+    """Register a live-expression root provider for the intern-table sweep.
+
+    ``provider`` must expose ``expr_roots()`` yielding the objects that hold
+    its expressions: :class:`Expr` nodes, or containers/annotation objects
+    exposing ``expr_refs()`` (e.g. normal forms).  Held weakly — dropping
+    the provider unregisters it.
+    """
+    _ROOT_PROVIDERS.add(provider)
+
+
+def set_intern_gc(enabled: bool) -> bool:
+    """Enable/disable reclaimable interning; returns the previous setting.
+
+    Must be switched on *before* threads that intern concurrently with
+    sweeps start (the nursery protection only covers nodes created while
+    active).  Disabling empties the nursery.
+    """
+    global _GC_ACTIVE
+    previous = _GC_ACTIVE
+    _GC_ACTIVE = bool(enabled)
+    if not _GC_ACTIVE:
+        del _NURSERY[:]
+    return previous
+
+
+def intern_gc_enabled() -> bool:
+    """True while the nursery (and therefore sweeping) is active."""
+    return _GC_ACTIVE
+
+
+def _mark_from(objects, marked: set[int]) -> None:
+    """Mark every :class:`Expr` reachable from ``objects`` into ``marked``.
+
+    Follows ``children`` on expressions, ``expr_refs()`` on annotation
+    objects that embed expressions (normal forms, contributions), and
+    descends into plain tuples/lists/sets so memo values of any shipped
+    shape are traversed.  Iterative — provenance chains exceed the
+    recursion limit.
+    """
+    stack = list(objects)
+    while stack:
+        obj = stack.pop()
+        if obj is None:
+            continue
+        if isinstance(obj, Expr):
+            if id(obj) in marked:
+                continue
+            marked.add(id(obj))
+            stack.extend(obj.children)
+        elif isinstance(obj, (tuple, list, set, frozenset)):
+            stack.extend(obj)
+        else:
+            refs = getattr(obj, "expr_refs", None)
+            if refs is not None:
+                stack.extend(refs())
+
+
+def sweep_intern_table() -> SweepReport:
+    """Drop interned nodes unreachable from the registered roots.
+
+    Mark-and-sweep over the intern table, intended for the quiescent
+    points a single writer already owns (between admitted batches, between
+    benchmark rounds).  The root set is: every registered provider's
+    ``expr_roots()``, the nursery (all nodes created since the previous
+    sweep), and ``ZERO``.  Memo tables are pruned alongside: entries whose
+    key survives are kept and their cached values marked live (so a memo
+    hit can never resurface a swept node); entries whose key is doomed are
+    dropped — discarding cache entries is always sound.
+
+    Survivors keep their identity — the interning generation does *not*
+    move, so structural-equality-iff-identity holds across a sweep for
+    every reachable expression.  Concurrent interning of new shapes is
+    safe (nursery + in-place ``pop``: the table dict is never replaced);
+    what the quiescent-point contract excludes is concurrently *reviving*
+    an old shape reachable from no root mid-sweep.
+    """
+    global _NURSERY, _SWEEPS, _SWEPT_TOTAL
+    with _SWEEP_LOCK:
+        retired = _NURSERY
+        _NURSERY = []
+        table_snapshot = list(_INTERN.items())
+        before = len(table_snapshot)
+        marked: set[int] = {id(ZERO)}
+        _mark_from(retired, marked)
+        _mark_from(list(_NURSERY), marked)
+        for provider in list(_ROOT_PROVIDERS):
+            _mark_from(provider.expr_roots(), marked)
+        from .memo import _REGISTRY as _memo_registry  # circular at module load
+
+        memo_dropped = 0
+        for memo in _memo_registry:
+            table = memo._table
+            if not table:
+                continue
+            kept: dict[int, tuple[Expr, object]] = {}
+            kept_values: list[object] = []
+            for key, entry in table.items():
+                if id(entry[0]) in marked:
+                    kept[key] = entry
+                    kept_values.append(entry[1])
+                else:
+                    memo_dropped += 1
+            if len(kept) != len(table):
+                memo._table = kept
+            _mark_from(kept_values, marked)
+        swept = 0
+        for key, node in table_snapshot:
+            if id(node) not in marked:
+                if _INTERN.pop(key, None) is not None:
+                    swept += 1
+        _SWEEPS += 1
+        _SWEPT_TOTAL += swept
+        return SweepReport(
+            before=before,
+            after=len(_INTERN),
+            swept=swept,
+            memo_entries_dropped=memo_dropped,
+            nursery_retired=len(retired),
+        )
+
+
+def intern_sweep_stats() -> dict:
+    """Cumulative sweep counters (diagnostics / server ``stats`` op)."""
+    return {
+        "gc_active": _GC_ACTIVE,
+        "sweeps": _SWEEPS,
+        "swept_total": _SWEPT_TOTAL,
+        "nursery_size": len(_NURSERY),
+        "root_providers": len(_ROOT_PROVIDERS),
+    }
 
 
 def intern_table_size() -> int:
@@ -216,6 +409,7 @@ def clear_intern_table() -> None:
     global _GENERATION
     _GENERATION += 1
     _INTERN.clear()
+    del _NURSERY[:]
     _INTERN[(ZERO_KIND, None, (), ())] = ZERO
 
 

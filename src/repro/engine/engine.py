@@ -39,7 +39,7 @@ __all__ = ["Engine", "POLICIES", "make_executor"]
 
 
 def _mv_factory(kind: str):
-    def factory(database: Database, annotate=None) -> Executor:
+    def factory(database: Database, annotate=None, arena: bool = False) -> Executor:
         from ..mv.policy import MVExecutor  # lazy: keep engine importable alone
 
         return MVExecutor(database, representation=kind, annotate=annotate)
@@ -59,10 +59,18 @@ POLICIES: dict[str, Callable[..., Executor]] = {
 }
 
 
+#: Policies whose annotation slots hold plain expressions — the ones the
+#: integer-id arena can keep at rest.  ``normal_form`` stores NormalForm
+#: objects and the MV policies store version annotations; both keep the
+#: object representation.
+ARENA_POLICIES = ("naive", "no_axioms", "normal_form_batch", "none", "no_provenance")
+
+
 def make_executor(
     database: Database,
     policy: str,
     annotate: Callable[[str, tuple, int], str] | None = None,
+    arena: bool = False,
 ) -> Executor:
     """Instantiate the executor registered under ``policy``."""
     try:
@@ -71,9 +79,14 @@ def make_executor(
         raise EngineError(
             f"unknown policy {policy!r} (known: {', '.join(sorted(POLICIES))})"
         ) from None
+    if arena and policy not in ARENA_POLICIES:
+        raise EngineError(
+            f"policy {policy!r} does not support arena-encoded annotations "
+            f"(supported: {', '.join(ARENA_POLICIES)})"
+        )
     if factory is VanillaExecutor:
-        return VanillaExecutor(database)
-    return factory(database, annotate=annotate)
+        return VanillaExecutor(database, arena=arena)
+    return factory(database, annotate=annotate, arena=arena)
 
 
 class Engine:
@@ -86,9 +99,10 @@ class Engine:
         annotate: Callable[[str, tuple, int], str] | None = None,
         clock: Callable[[], float] = time.perf_counter,
         journal=None,
+        arena: bool = False,
     ):
         self.policy = policy
-        self.executor = make_executor(database, policy, annotate)
+        self.executor = make_executor(database, policy, annotate, arena=arena)
         self.stats = EngineStats()
         self._clock = clock
         self._applied: list[UpdateQuery] = []

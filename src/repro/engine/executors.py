@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
+from ..core.arena import ExprArena
 from ..core.expr import Expr, ZERO, minus, plus_i, plus_m, ssum, times_m, var
 from ..core.normal_form import Contribution, NormalForm
 from ..core.normalize import normalize_expr
@@ -168,9 +169,13 @@ class Executor:
 class StoreBackedExecutor(Executor):
     """Common plumbing of every executor sitting on an :class:`AnnotationStore`."""
 
-    def __init__(self, database: Database, use_indexes: bool = True):
+    def __init__(self, database: Database, use_indexes: bool = True, arena: bool = False):
         self.schema = database.schema
-        self.store = AnnotationStore(database.schema, use_indexes=use_indexes)
+        self.store = AnnotationStore(
+            database.schema,
+            use_indexes=use_indexes,
+            arena=ExprArena() if arena else None,
+        )
 
     def _relation_store(self, name: str) -> RelationStore:
         return self.store.relation(name)
@@ -226,8 +231,8 @@ class VanillaExecutor(StoreBackedExecutor):
     policy = "none"
     tracks_provenance = False
 
-    def __init__(self, database: Database, use_indexes: bool = True):
-        super().__init__(database, use_indexes)
+    def __init__(self, database: Database, use_indexes: bool = True, arena: bool = False):
+        super().__init__(database, use_indexes, arena=arena)
         for name in database.relations():
             store = self.store.relation(name)
             for row in database.rows(name):
@@ -282,8 +287,9 @@ class AnnotatedExecutor(StoreBackedExecutor):
         database: Database,
         annotate: Callable[[str, tuple, int], str] | None = None,
         use_indexes: bool = True,
+        arena: bool = False,
     ):
-        super().__init__(database, use_indexes)
+        super().__init__(database, use_indexes, arena=arena)
         self._tuple_vars: dict[str, dict[tuple, str]] = {}
         namer = annotate or (lambda rel, row, i: f"x{i}")
         counter = 0

@@ -64,7 +64,9 @@ def _worker_main(
     connection, a bug) fails the worker.
     """
     try:
-        ops = worker_ops(profile, worker)
+        # repeat > 1 replays the identical stream back to back — the soak
+        # shape: sustained churn with no new distinct operations.
+        ops = worker_ops(profile, worker) * profile.repeat
         hists: dict[str, LatencyHistogram] = {}
         errors: dict[str, int] = {}
 
@@ -212,6 +214,8 @@ def run_loadgen(
     latest: dict[int, dict] = {}  # newest tick/done payload per worker
     reports: dict[int, dict] = {}
     failures: dict[int, str] = {}
+    memory_samples: list[dict] = []
+    monitor = _MemoryMonitor(host, port)
     run_started = time.perf_counter()
     last_line = run_started
     try:
@@ -230,9 +234,13 @@ def run_loadgen(
             if kind == "done":
                 reports[worker] = payload
             now = time.perf_counter()
-            if progress is not None and now - last_line >= report_every:
+            if now - last_line >= report_every:
                 last_line = now
-                progress(_merged_line(latest, now - run_started))
+                sample = monitor.sample(now - run_started)
+                if sample is not None:
+                    memory_samples.append(sample)
+                if progress is not None:
+                    progress(_merged_line(latest, now - run_started, sample))
     finally:
         for member in workers:
             member.join(timeout=10.0)
@@ -240,6 +248,12 @@ def run_loadgen(
     if failures:
         worker, message = sorted(failures.items())[0]
         raise ServerError(f"loadgen worker {worker} failed: {message}")
+
+    # One final sample after the swarm drained (the settled server view).
+    final_sample = monitor.sample(time.perf_counter() - run_started)
+    if final_sample is not None:
+        memory_samples.append(final_sample)
+    monitor.close()
 
     ordered = [reports[w] for w in sorted(reports)]
     hists: dict[str, LatencyHistogram] = {}
@@ -263,13 +277,58 @@ def run_loadgen(
             {"worker": r["worker"], "ops": r["ops"], "elapsed": r["elapsed"], "errors": r["errors"]}
             for r in ordered
         ],
+        memory_samples=memory_samples,
     )
     if progress is not None:
-        progress(_merged_line(latest, time.perf_counter() - run_started))
+        progress(
+            _merged_line(latest, time.perf_counter() - run_started, final_sample)
+        )
     return result
 
 
-def _merged_line(latest: dict[int, dict], elapsed: float) -> str:
+class _MemoryMonitor:
+    """The driver's own ``stats`` connection, sampling the server's memory.
+
+    Lazy and fault-tolerant: the connection is opened on the first sample
+    (the swarm's workers already wait out server startup), and any failure
+    disables further sampling instead of failing the run — the latency
+    measurement must not depend on the memory axis being observable.
+    """
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._client: ServerClient | None = None
+        self._dead = False
+
+    def sample(self, elapsed: float) -> dict | None:
+        if self._dead:
+            return None
+        try:
+            if self._client is None:
+                self._client = ServerClient(self._host, self._port, connect_retry=5.0)
+            memory = self._client.stats().get("memory")
+        except Exception:  # noqa: BLE001 - sampling is best-effort
+            self._dead = True
+            self.close()
+            return None
+        if not isinstance(memory, dict):
+            self._dead = True
+            return None
+        return {"t": elapsed, **memory}
+
+    def close(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:  # noqa: BLE001 - already torn down
+                pass
+            self._client = None
+
+
+def _merged_line(
+    latest: dict[int, dict], elapsed: float, memory: dict | None = None
+) -> str:
     """One stats line over the newest payload from every reporting worker."""
     ops = sum(payload["ops"] for payload in latest.values())
     errors = sum(
@@ -282,4 +341,10 @@ def _merged_line(latest: dict[int, dict], elapsed: float) -> str:
                 LatencyHistogram.from_dict(data)
             )
     rate = ops / elapsed if elapsed > 0 else 0.0
-    return format_stats_line(elapsed, ops, rate, merged, errors)
+    line = format_stats_line(elapsed, ops, rate, merged, errors)
+    if memory is not None:
+        line += (
+            f" rss={memory.get('rss_bytes', 0) / 1048576:.0f}MB"
+            f" intern={memory.get('intern_table_size', 0)}"
+        )
+    return line

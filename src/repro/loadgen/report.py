@@ -74,6 +74,9 @@ class LoadgenResult:
     hists: dict[str, LatencyHistogram]
     errors: dict[str, int]
     worker_reports: list[dict] = field(default_factory=list)
+    #: Periodic server-side memory observations (the driver's ``stats``
+    #: polls): ``{"t", "rss_bytes", "intern_table_size", ...}`` per sample.
+    memory_samples: list[dict] = field(default_factory=list)
 
     @property
     def errors_total(self) -> int:
@@ -135,6 +138,10 @@ class LoadgenResult:
                 for kind, hist in sorted(self.hists.items())
             },
             "per_worker": list(self.worker_reports),
+            "memory": {
+                "samples": list(self.memory_samples),
+                "final": self.memory_samples[-1] if self.memory_samples else None,
+            },
         }
 
 

@@ -119,6 +119,10 @@ class LoadgenProfile:
     schedule: str | None = None
     #: Max contiguous apply operations shipped as one pipelined burst.
     pipeline: int = 8
+    #: Soak knob: each worker replays its op stream this many times.  The
+    #: stream itself is unchanged, so a ``repeat`` run is the same workload
+    #: sustained — what the bounded-RSS soak checks drive.
+    repeat: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1 or self.ops_per_worker < 1:
@@ -129,6 +133,8 @@ class LoadgenProfile:
             raise ReproError("pipeline depth must be >= 1")
         if self.max_rate < 0:
             raise ReproError("max_rate must be non-negative")
+        if self.repeat < 1:
+            raise ReproError("repeat must be >= 1")
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -143,6 +149,7 @@ class LoadgenProfile:
             "max_rate": self.max_rate,
             "schedule": self.schedule,
             "pipeline": self.pipeline,
+            "repeat": self.repeat,
         }
 
 

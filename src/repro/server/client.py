@@ -252,9 +252,17 @@ class ServerClient:
         return decode_tuple_vars(self._call("tuple_vars")["tuple_vars"])
 
     def stats(self) -> dict:
-        """``{"engine": engine counters, "server": admission counters}``."""
+        """``{"engine": ..., "server": ..., "memory": ...}`` counter blocks.
+
+        ``memory`` (RSS, intern table size, sweep/arena counters) is empty
+        when talking to a server predating the memory axis.
+        """
         response = self._call("stats")
-        return {"engine": response["engine"], "server": response["server"]}
+        return {
+            "engine": response["engine"],
+            "server": response["server"],
+            "memory": response.get("memory", {}),
+        }
 
     def checkpoint(self) -> int:
         """Force a durability checkpoint; returns checkpoints written."""

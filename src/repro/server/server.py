@@ -250,7 +250,9 @@ class ProvenanceServer:
         return {
             "ok": True,
             "version": snapshot.version,
-            "relations": encode_capture(snapshot.state),
+            # Arena wire form: one shared node table per capture (shared
+            # structure ships once); clients decode either form.
+            "relations": encode_capture(snapshot.state, arena=True),
         }
 
     async def _op_annotation_of(self, request: dict) -> dict:

@@ -37,7 +37,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from ..core.expr import Expr
+from ..core.expr import (
+    Expr,
+    intern_sweep_stats,
+    intern_table_size,
+    register_expr_roots,
+    set_intern_gc,
+    sweep_intern_table,
+)
 from ..db.database import Database
 from ..engine.engine import Engine
 from ..errors import EngineError, ServerError
@@ -70,6 +77,12 @@ class ServerConfig:
     #: Most apply admissions fused into one writer cycle; 1 = per-call
     #: dispatch (each request pays its own executor handoff).
     admission_max: int = 256
+    #: Writer cycles between intern-table sweeps; 0 = grow-only interning
+    #: (the historical behaviour).  Sweeps run on the writer thread at the
+    #: end of a cycle — a quiescent point by construction.
+    sweep_every: int = 0
+    #: Keep annotations arena-encoded at rest (plain backend only).
+    arena: bool = False
 
 
 @dataclass(frozen=True)
@@ -119,10 +132,12 @@ def build_engine(database: Database | None, config: ServerConfig):
     ``shards.json`` manifest — so restarting ``repro serve DIR`` after a
     crash is itself the recovery procedure.
     """
+    if config.arena and config.backend != "plain":
+        raise ServerError("arena at-rest encoding is only supported by backend 'plain'")
     if config.backend == "plain":
         if database is None:
             raise ServerError("backend 'plain' needs an initial database")
-        return Engine(database, policy=config.policy)
+        return Engine(database, policy=config.policy, arena=config.arena)
     if config.backend == "journaled":
         if config.directory is None:
             raise ServerError("backend 'journaled' needs a durable directory")
@@ -198,6 +213,16 @@ class ProvenanceService:
         self._queue: asyncio.Queue[_Admission] = asyncio.Queue()
         self._version = 0
         self._snapshot: Snapshot | None = None
+        self._last_sweep: dict | None = None
+        if self.config.sweep_every < 0:
+            raise ServerError("sweep_every must be >= 0")
+        if self.config.sweep_every:
+            # Before the writer thread (or any client decode) can intern:
+            # the nursery must cover every node created from here on.
+            set_intern_gc(True)
+            # The engine's own store registers itself; the published
+            # snapshot is the other root set readers may still be holding.
+            register_expr_roots(self)
         self._pending_capture: asyncio.Future | None = None
         self._closing = False
         self._closed = False
@@ -302,6 +327,38 @@ class ProvenanceService:
         # shield: one cancelled reader must not cancel the shared capture.
         return await asyncio.shield(pending)
 
+    def expr_roots(self):
+        """Live-expression roots of the published snapshot (sweep root set).
+
+        Readers may still hold the last published snapshot, so its
+        expressions must survive a sweep even after the engine's own
+        store has moved past them.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            return
+        for rows in snapshot.state.values():
+            for ann, _live in rows.values():
+                if ann is not None:
+                    yield ann
+
+    def memory_stats(self) -> dict:
+        """The ``memory`` block of the ``stats`` op."""
+        from ..memory import current_rss_bytes, peak_rss_bytes
+
+        store = getattr(getattr(self.engine, "executor", None), "store", None)
+        arena = getattr(store, "arena", None) if store is not None else None
+        return {
+            "rss_bytes": current_rss_bytes(),
+            "peak_rss_bytes": peak_rss_bytes(),
+            "intern_table_size": intern_table_size(),
+            "sweep_every": self.config.sweep_every,
+            "sweep": intern_sweep_stats(),
+            "last_sweep": self._last_sweep,
+            "arena_nodes": arena.node_count if arena is not None else 0,
+            "arena_bytes": arena.nbytes() if arena is not None else 0,
+        }
+
     async def stats(self) -> dict:
         """Engine counters observed at a quiescent point, plus admission counters."""
         self._check_open()
@@ -317,6 +374,7 @@ class ProvenanceService:
                 "policy": getattr(self.engine, "policy", None),
                 "admission_max": self.config.admission_max,
             },
+            "memory": self.memory_stats(),
         }
 
     async def checkpoint(self) -> int:
@@ -410,6 +468,14 @@ class ProvenanceService:
                 outcomes.append(
                     (entry.future, ServerError(f"unknown admission {entry.kind!r}"))
                 )
+        every = self.config.sweep_every
+        if every and self.counters.writer_cycles % every == 0:
+            # End of cycle on the writer thread: no admission is in flight,
+            # so this is the quiescent point the sweep contract requires.
+            self._last_sweep = sweep_intern_table().as_dict()
+            store = getattr(getattr(self.engine, "executor", None), "store", None)
+            if store is not None and getattr(store, "arena", None) is not None:
+                store.compact_arena()
         return outcomes, False
 
     @staticmethod

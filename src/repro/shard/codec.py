@@ -31,10 +31,11 @@ from typing import Iterable
 from ..core.expr import Expr
 from ..engine.engine import Engine
 from ..queries.updates import Transaction, UpdateQuery
-from ..storage.exprjson import expr_from_dict, expr_to_dict
+from ..storage.exprjson import expr_from_dict, expr_to_dict, exprs_from_arena, exprs_to_arena
 from ..workloads.logs import query_from_dict, query_to_dict
 
 __all__ = [
+    "ARENA_KEY",
     "Capture",
     "capture_engine",
     "decode_capture",
@@ -94,19 +95,62 @@ def capture_engine(engine: Engine) -> Capture:
     return capture
 
 
-def encode_capture(capture: Capture) -> dict[str, list]:
-    """Pickle-safe capture: rows stay tuples, expressions become DAG dicts."""
-    return {
-        name: [
-            [row, None if expr is None else expr_to_dict(expr), live]
-            for row, (expr, live) in rows.items()
-        ]
-        for name, rows in capture.items()
-    }
+#: Marker key of the arena-form capture payload.  Relation names come from
+#: schemas and can never collide with it (dunder names are not valid
+#: relation identifiers in any shipped workload).
+ARENA_KEY = "__arena__"
 
 
-def decode_capture(payload: dict[str, list]) -> Capture:
-    """Inverse of :func:`encode_capture`; re-interns every expression."""
+def encode_capture(capture: Capture, arena: bool = False) -> dict:
+    """Pickle-safe capture: rows stay tuples, expressions become node ids.
+
+    Two wire forms, distinguished on decode by the :data:`ARENA_KEY`
+    marker:
+
+    * the legacy per-row form — ``{relation: [[row, dag-dict|None, live],
+      ...]}`` with one :func:`expr_to_dict` node table per row;
+    * the arena form (``arena=True``) — one shared flat node table for
+      the whole capture plus integer root ids per row, so bases and
+      transaction variables shared across rows ship once.
+    """
+    if not arena:
+        return {
+            name: [
+                [row, None if expr is None else expr_to_dict(expr), live]
+                for row, (expr, live) in rows.items()
+            ]
+            for name, rows in capture.items()
+        }
+    exprs: list[Expr | None] = []
+    for rows in capture.values():
+        exprs.extend(expr for expr, _live in rows.values())
+    arena_payload, roots = exprs_to_arena(exprs)
+    relations: dict[str, list] = {}
+    position = 0
+    for name, rows in capture.items():
+        encoded = []
+        for row, (_expr, live) in rows.items():
+            encoded.append([row, roots[position], live])
+            position += 1
+        relations[name] = encoded
+    return {ARENA_KEY: arena_payload, "relations": relations}
+
+
+def decode_capture(payload: dict) -> Capture:
+    """Inverse of :func:`encode_capture` (either form); re-interns every node."""
+    if ARENA_KEY in payload:
+        relations = payload["relations"]
+        roots = [nid for rows in relations.values() for _row, nid, _live in rows]
+        exprs = exprs_from_arena(payload[ARENA_KEY], roots)
+        capture: Capture = {}
+        position = 0
+        for name, rows in relations.items():
+            decoded: dict[tuple, tuple[Expr | None, bool]] = {}
+            for row, _nid, live in rows:
+                decoded[tuple(row)] = (exprs[position], bool(live))
+                position += 1
+            capture[name] = decoded
+        return capture
     return {
         name: {
             tuple(row): (None if expr is None else expr_from_dict(expr), bool(live))

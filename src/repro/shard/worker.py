@@ -117,7 +117,9 @@ def shard_worker_main(conn, payload: dict) -> None:
                     (
                         "ok",
                         {
-                            "state": encode_capture(capture_engine(engine)),
+                            # Arena wire form: shared structure crosses the
+                            # process boundary once per capture, not per row.
+                            "state": encode_capture(capture_engine(engine), arena=True),
                             "stats": engine.stats.snapshot(),
                         },
                     )

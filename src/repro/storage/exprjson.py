@@ -46,6 +46,8 @@ __all__ = [
     "expr_from_json",
     "expr_to_nested",
     "expr_from_nested",
+    "exprs_to_arena",
+    "exprs_from_arena",
 ]
 
 _BUILDERS = {
@@ -106,6 +108,32 @@ def expr_from_dict(data: Mapping[str, object]) -> Expr:
     if not 0 <= root < len(built):
         raise StorageError(f"root index {root} out of range")
     return built[root]
+
+
+def exprs_to_arena(exprs: Sequence[Expr | None]) -> tuple[dict, list[int | None]]:
+    """Encode many expressions into one shared arena.
+
+    Returns ``(arena payload, root ids)``: the third wire encoding — one
+    flat node table for a whole batch of expressions, so structure shared
+    *across* expressions (bases, transaction variables) is shipped once
+    instead of once per row.  ``None`` entries pass through as ``None``.
+    """
+    from ..core.arena import ExprArena  # local: storage stays importable alone
+
+    arena = ExprArena()
+    roots = [None if expr is None else arena.add_expr(expr) for expr in exprs]
+    return arena.to_payload(), roots
+
+
+def exprs_from_arena(payload: Mapping, roots: Sequence[int | None]) -> list[Expr | None]:
+    """Inverse of :func:`exprs_to_arena`; re-interns every node."""
+    from ..core.arena import ArenaError, ExprArena
+
+    try:
+        arena = ExprArena.from_payload(dict(payload))
+        return [None if r is None else arena.get_expr(int(r)) for r in roots]
+    except (ArenaError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed arena payload: {exc}") from exc
 
 
 def expr_to_json(expr: Expr, indent: int | None = None) -> str:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..core.arena import ExprArena
+from ..core.expr import register_expr_roots
 from ..db.schema import Relation, Schema
 from ..errors import EngineError
 from ..queries.pattern import Pattern
@@ -55,9 +57,15 @@ class RelationStore:
 
     __slots__ = ("relation", "rows", "indexes", "use_indexes", "_stats")
 
-    def __init__(self, relation: Relation, stats: PlannerStats, use_indexes: bool = True):
+    def __init__(
+        self,
+        relation: Relation,
+        stats: PlannerStats,
+        use_indexes: bool = True,
+        arena: ExprArena | None = None,
+    ):
         self.relation = relation
-        self.rows = RowStore()
+        self.rows = RowStore(arena=arena)
         self.indexes = tuple(ColumnIndex() for _ in range(relation.arity))
         self.use_indexes = use_indexes
         self._stats = stats
@@ -139,15 +147,49 @@ class RelationStore:
 class AnnotationStore:
     """Per-relation :class:`RelationStore` map with shared planner stats."""
 
-    __slots__ = ("schema", "stats", "_relations")
+    __slots__ = ("schema", "stats", "arena", "_relations", "__weakref__")
 
-    def __init__(self, schema: Schema, use_indexes: bool = True):
+    def __init__(self, schema: Schema, use_indexes: bool = True, arena: ExprArena | None = None):
         self.schema = schema
         self.stats = PlannerStats()
+        self.arena = arena
         self._relations: dict[str, RelationStore] = {
-            relation.name: RelationStore(relation, self.stats, use_indexes)
+            relation.name: RelationStore(relation, self.stats, use_indexes, arena=arena)
             for relation in schema
         }
+        # Live annotations are intern-sweep roots; weakly registered, so a
+        # discarded store stops pinning its expressions automatically.
+        register_expr_roots(self)
+
+    def expr_roots(self):
+        """Raw annotation slots of every support row (sweep root set).
+
+        Yields whatever the slots hold: expressions and normal forms in
+        object mode (the sweep traverses them), arena node ids in arena
+        mode (ignored by the sweep — the arena is the at-rest form).
+        """
+        for store in self._relations.values():
+            rows = store.rows
+            for rid, _row in rows.items():
+                ann = rows.raw_annotation(rid)
+                if ann is not None:
+                    yield ann
+
+    def compact_arena(self) -> tuple[int, int] | None:
+        """Repack the shared arena, dropping dead nodes; ``None`` if object mode.
+
+        Returns ``(nodes before, nodes after)``.  Only invoked at quiescent
+        points (the same contract as the intern-table sweep): row slots are
+        rewritten in place to ids in a fresh arena.
+        """
+        old = self.arena
+        if old is None:
+            return None
+        fresh = ExprArena()
+        for store in self._relations.values():
+            store.rows.repack_arena(fresh)
+        self.arena = fresh
+        return (old.node_count, fresh.node_count)
 
     @property
     def use_indexes(self) -> bool:

@@ -25,20 +25,54 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..core.arena import ExprArena
+from ..core.expr import Expr
+
 __all__ = ["RowStore"]
 
 
 class RowStore:
-    """Append-only slots: row value, annotation, liveness, per row id."""
+    """Append-only slots: row value, annotation, liveness, per row id.
 
-    __slots__ = ("_rows", "_ann", "_live", "_id_of")
+    With an :class:`~repro.core.arena.ExprArena` attached, expression
+    annotations are kept *at rest* as integer arena node ids — the slot
+    list holds small ints instead of object DAGs — and are materialized
+    back into interned :class:`~repro.core.expr.Expr` objects lazily on
+    :meth:`annotation`.  Non-expression annotations (``None``, normal
+    forms) pass through unchanged.
+    """
 
-    def __init__(self):
+    __slots__ = ("_rows", "_ann", "_live", "_id_of", "_arena")
+
+    def __init__(self, arena: ExprArena | None = None):
         self._rows: list[tuple | None] = []
         self._ann: list[object] = []
         self._live: list[bool] = []
         #: row value -> row id, for rows currently in the support.
         self._id_of: dict[tuple, int] = {}
+        self._arena = arena
+
+    @property
+    def arena(self) -> ExprArena | None:
+        return self._arena
+
+    def repack_arena(self, fresh: ExprArena) -> None:
+        """Re-encode every encoded slot into ``fresh`` and switch to it.
+
+        Arena compaction: the old arena is append-only, so churn leaves
+        dead nodes behind; repacking copies only the still-referenced DAGs.
+        """
+        old = self._arena
+        if old is not None:
+            for rid, ann in enumerate(self._ann):
+                if isinstance(ann, int):
+                    self._ann[rid] = fresh.add_expr(old.get_expr(ann))
+        self._arena = fresh
+
+    def _encode(self, ann: object) -> object:
+        if self._arena is not None and isinstance(ann, Expr):
+            return self._arena.add_expr(ann)
+        return ann
 
     # -- mutation -------------------------------------------------------------
 
@@ -52,7 +86,7 @@ class RowStore:
             raise ValueError(f"row {row!r} already stored (id {self._id_of[row]})")
         rid = len(self._rows)
         self._rows.append(row)
-        self._ann.append(ann)
+        self._ann.append(self._encode(ann))
         self._live.append(live)
         self._id_of[row] = rid
         return rid
@@ -87,7 +121,7 @@ class RowStore:
         self._id_of = {row: rid for rid, row in enumerate(self._rows)}
 
     def set_annotation(self, rid: int, ann: object) -> None:
-        self._ann[rid] = ann
+        self._ann[rid] = self._encode(ann)
 
     def set_live(self, rid: int, live: bool) -> None:
         self._live[rid] = live
@@ -105,6 +139,18 @@ class RowStore:
         return value
 
     def annotation(self, rid: int) -> object:
+        ann = self._ann[rid]
+        if self._arena is not None and isinstance(ann, int):
+            return self._arena.get_expr(ann)
+        return ann
+
+    def raw_annotation(self, rid: int) -> object:
+        """The slot value as stored (arena node id in arena mode).
+
+        The intern-table sweep reads roots through this: in object mode it
+        sees the expressions to mark, in arena mode it sees ints — the
+        arena itself is the at-rest form, so there is nothing to pin.
+        """
         return self._ann[rid]
 
     def is_live(self, rid: int) -> bool:

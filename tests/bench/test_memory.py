@@ -1,0 +1,94 @@
+"""Tier-1 floors on the memory axis (ISSUE 7 acceptance, test scale).
+
+Two gates:
+
+* :func:`repro.bench.measure.memory_comparison` at a tiny epoch scale
+  must show the GC'd + arena-encoded configuration holding at least 2x
+  fewer interned nodes than the grow-only object baseline, with
+  bit-identical final state and a non-zero sweep count.  Node counts are
+  deterministic (the child workload is seeded and sweeps run at epoch
+  boundaries), so the floor needs no retry; peak RSS is only asserted to
+  be measured, not ratioed — at tiny scale the interpreter baseline
+  dominates both sides (the >= 2x RSS ratio is the default-scale
+  acceptance run, not a tier-1 assertion).
+* a soaked loadgen run against a sweeping server must complete
+  error-free while the driver's ``stats`` polls observe memory samples,
+  and the ``BENCH_loadgen_*`` trajectory must carry them.  Runs in a
+  subprocess: ``sweep_every`` enables the process-global intern GC, and
+  sweeps on the server's writer thread would reclaim *other* tests'
+  unrooted expressions in a shared pytest process.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from repro.bench.measure import memory_comparison
+
+#: Tiny but garbage-producing: disposable per-epoch engines beside a
+#: rooted resident one (see ``repro.bench.memchild``).
+TINY = dict(epochs=5, transactions=8, queries_per_transaction=4, rows=120, groups=10)
+
+
+def test_memory_comparison_tiny_reclaims_with_identical_state():
+    comparison = memory_comparison(modes=["objects_grow", "arena_gc"], **TINY)
+    assert comparison.consistent, {
+        mode: result["fingerprint"] for mode, result in comparison.results.items()
+    }
+    # Acceptance floor: reclaimable interning + arena at-rest holds the
+    # final node population >= 2x below the grow-only object baseline.
+    assert comparison.node_ratio >= 2.0, comparison.as_dict()
+    assert comparison.swept_total > 0
+    for mode, result in comparison.results.items():
+        assert result["peak_rss_bytes"] > 0, mode
+        assert result["intern_table_size"] > 0, mode
+    # The summary must be JSON-serializable (it feeds write_bench_json).
+    json.dumps(comparison.as_dict())
+
+
+def test_soaked_loadgen_samples_memory_and_sweeps(tmp_path):
+    script = (
+        "import json, sys\n"
+        "from repro.db.database import Database\n"
+        "from repro.loadgen import loadgen_schema, profile_from_name, run_loadgen, write_result\n"
+        "from repro.server.server import serve_in_thread\n"
+        "from repro.server.service import ServerConfig\n"
+        "profile = profile_from_name('tiny', repeat=3)\n"
+        "database = Database(loadgen_schema(profile))\n"
+        "handle = serve_in_thread(\n"
+        "    database, ServerConfig(port=0, policy='normal_form_batch', sweep_every=2))\n"
+        "try:\n"
+        "    result = run_loadgen(profile, host=handle.host, port=handle.port,\n"
+        "                         mode='thread', report_every=0.2)\n"
+        "finally:\n"
+        "    handle.stop()\n"
+        "assert result.errors_total == 0, result.errors\n"
+        "assert result.ops_total == 2 * 60 * 3  # tiny stream replayed 3x\n"
+        "assert result.memory_samples, 'stats polls produced no samples'\n"
+        "for sample in result.memory_samples:\n"
+        "    assert sample['intern_table_size'] > 0\n"
+        "    assert sample['rss_bytes'] > 0\n"
+        "    assert sample['sweep_every'] == 2\n"
+        "final = result.memory_samples[-1]\n"
+        "assert final['sweep']['gc_active']\n"
+        "assert final['sweep']['sweeps'] >= 1\n"
+        "path = write_result(result, sys.argv[1])\n"
+        "payload = json.loads(path.read_text())['payload']\n"
+        "assert payload['config']['repeat'] == 3\n"
+        "assert payload['memory']['samples'] == result.memory_samples\n"
+        "assert payload['memory']['final'] == final\n"
+        "print('ok')\n"
+    )
+    from ..conftest import subprocess_env
+
+    completed = subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path)],
+        env=subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip() == "ok"

@@ -91,3 +91,113 @@ def test_concurrent_interning_yields_one_object_per_shape():
         assert len(results[k]) == n_shapes
         for left, right in zip(results[0], results[k]):
             assert left is right
+
+
+def _run_isolated(script: str) -> None:
+    """Run a GC-enabled interning scenario in its own interpreter.
+
+    Sweeping reclaims any unrooted expression, so a sweep in the shared
+    test process would eat other tests' interned nodes; every GC test
+    gets a fresh process instead.
+    """
+    import subprocess
+    import sys
+
+    from ..conftest import subprocess_env
+
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        env=subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip() == "ok"
+
+
+def test_gc_sweep_reclaims_garbage_and_preserves_rooted_identity():
+    """A sweep drops unrooted shapes but never a rooted node's identity.
+
+    Nodes survive the sweep that sees them in the nursery (one full
+    generation), so reclamation needs two sweeps; rooted nodes must come
+    back ``is``-identical from a fresh intern of the same shape after any
+    number of sweeps.
+    """
+    _run_isolated(
+        "from repro.core.expr import (intern_sweep_stats, intern_table_size,\n"
+        "    minus, plus_m, register_expr_roots, set_intern_gc,\n"
+        "    sweep_intern_table, var)\n"
+        "set_intern_gc(True)\n"
+        "rooted = plus_m(var('keep_a'), minus(var('keep_b'), var('keep_p')))\n"
+        "class Roots:\n"
+        "    def expr_roots(self):\n"
+        "        yield rooted\n"
+        "provider = Roots()\n"
+        "register_expr_roots(provider)\n"
+        "for i in range(400):\n"
+        "    plus_m(var(f'garbage_{i}'), var('keep_p'))\n"
+        "peak = intern_table_size()\n"
+        "sweep_intern_table()\n"
+        "sweep_intern_table()\n"
+        "after = intern_table_size()\n"
+        "assert after < peak - 300, (peak, after)\n"
+        "assert plus_m(var('keep_a'), minus(var('keep_b'), var('keep_p'))) is rooted\n"
+        "again = plus_m(var('garbage_7'), var('keep_p'))\n"
+        "assert plus_m(var('garbage_7'), var('keep_p')) is again\n"
+        "stats = intern_sweep_stats()\n"
+        "assert stats['gc_active'] and stats['sweeps'] >= 2\n"
+        "assert stats['swept_total'] >= 300\n"
+        "print('ok')\n"
+    )
+
+
+def test_gc_concurrent_interning_with_sweeps_keeps_identity():
+    """Sweeps racing concurrent intern misses never split a live shape.
+
+    Worker threads intern the same fresh shapes while a sweeper thread
+    runs full sweeps beside them; everything the workers hold is exposed
+    through a root provider.  The nursery (appended before the table's
+    ``setdefault``) keeps in-flight nodes alive through the sweep that
+    observes them, and rooted nodes stay pinned — so every thread must
+    end up holding the single canonical object per shape.
+    """
+    _run_isolated(
+        "import threading, time\n"
+        "from repro.core.expr import (minus, plus_m, register_expr_roots,\n"
+        "    set_intern_gc, sweep_intern_table, times_m, var)\n"
+        "set_intern_gc(True)\n"
+        "n_threads, n_shapes = 6, 200\n"
+        "results = [[] for _ in range(n_threads)]\n"
+        "class Roots:\n"
+        "    def expr_roots(self):\n"
+        "        for held in results:\n"
+        "            yield from list(held)\n"
+        "provider = Roots()\n"
+        "register_expr_roots(provider)\n"
+        "barrier = threading.Barrier(n_threads + 1)\n"
+        "stop = threading.Event()\n"
+        "def worker(k):\n"
+        "    barrier.wait()\n"
+        "    for i in range(n_shapes):\n"
+        "        results[k].append(plus_m(\n"
+        "            minus(var(f'gcrace_a{i}'), var(f'gcrace_p{i}')),\n"
+        "            times_m(var(f'gcrace_a{i}'), var(f'gcrace_p{i}'))))\n"
+        "def sweeper():\n"
+        "    barrier.wait()\n"
+        "    while not stop.is_set():\n"
+        "        sweep_intern_table()\n"
+        "        time.sleep(0.001)\n"
+        "threads = [threading.Thread(target=worker, args=(k,)) for k in range(n_threads)]\n"
+        "sweep_thread = threading.Thread(target=sweeper)\n"
+        "for t in threads: t.start()\n"
+        "sweep_thread.start()\n"
+        "for t in threads: t.join(timeout=90)\n"
+        "stop.set()\n"
+        "sweep_thread.join(timeout=30)\n"
+        "for k in range(1, n_threads):\n"
+        "    assert len(results[k]) == n_shapes\n"
+        "    for left, right in zip(results[0], results[k]):\n"
+        "        assert left is right\n"
+        "print('ok')\n"
+    )

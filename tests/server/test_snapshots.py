@@ -28,7 +28,7 @@ from repro.db.database import Database
 from repro.engine.engine import Engine
 from repro.queries.updates import Delete, Insert, Modify, Transaction
 from repro.server import ServerClient, ServerConfig, serve_in_thread
-from repro.shard.codec import capture_engine
+from repro.shard.codec import capture_engine, decode_capture
 from repro.storage.exprjson import expr_from_dict
 
 N_READERS = 3
@@ -163,7 +163,9 @@ def test_concurrent_readers_observe_only_prefix_states(policy):
             seen_versions.add(version)
             expected = prefix_states[version]["items"]
             if kind == "state":
-                assert decode_rows(payload["items"]) == {
+                # The state op ships the arena wire form; decode_capture
+                # handles it (and re-interns, so equality is identity).
+                assert decode_capture(payload)["items"] == {
                     row: entry for row, entry in expected.items()
                 }
             elif kind == "rows":
@@ -181,7 +183,7 @@ def test_concurrent_readers_observe_only_prefix_states(policy):
     # Identity at full strength for the final states: the decoded
     # expression objects are the very nodes the direct engine holds.
     final_payload = observations[0][-1][2]
-    for row, (expr, live) in decode_rows(final_payload["items"]).items():
+    for row, (expr, live) in decode_capture(final_payload)["items"].items():
         direct_expr, direct_live = prefix_states[-1]["items"][row]
         assert expr is direct_expr and live == direct_live
 
