@@ -47,6 +47,7 @@ __all__ = [
     "ServerComparison",
     "ShardComparison",
     "UsageMeasurement",
+    "ViewComparison",
     "batch_comparison",
     "index_comparison",
     "memory_comparison",
@@ -57,6 +58,7 @@ __all__ = [
     "server_comparison",
     "shard_comparison",
     "usage_measurement",
+    "view_comparison",
     "checkpoints_for",
     "git_revision",
     "write_bench_json",
@@ -833,6 +835,181 @@ def server_comparison(
         batched_max_admitted=int(batched_counters["max_admitted"]),
         batched_cycles=int(batched_counters["writer_cycles"]),
         percall_cycles=int(percall_counters["writer_cycles"]),
+        consistent=consistent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Live views: delta push vs. re-read-per-update (ISSUE 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ViewComparison:
+    """One affected-tuples update stream consumed two ways.
+
+    A fig9-style workload: a relation of ``rows`` rows partitioned into
+    groups, a standing pattern watching one group (``watched`` rows), and
+    ``updates`` rounds each modifying one bucket of the watched slice
+    (``affected`` rows per round) — runtime as a function of affected
+    tuples, not of relation size.
+
+    *Re-read* is the pre-subscription consumer: after every round it
+    fetches the **full** ``state`` capture over the wire, decodes it
+    (re-interning every annotation in the relation) and filters down to
+    its slice — paying O(relation) per update for an O(affected) change.
+    *Push* subscribes once and consumes the server's delta batches,
+    paying O(affected) wire, decode and apply per round.
+
+    Both sides run the identical server, policy, protocol and update
+    stream on fresh servers; the push run goes first, so the expression
+    caches it warms benefit the re-read baseline — the measured speedup
+    is conservative.  ``consistent`` asserts the delta-maintained view is
+    bit-identical to a fresh same-version capture of its slice: equal
+    rows and liveness, the *identical* interned annotation object per row.
+    """
+
+    policy: str
+    rows: int
+    watched: int
+    affected: int
+    updates: int
+    reread_time: float
+    push_time: float
+    push_batches: int
+    consistent: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.reread_time / self.push_time if self.push_time else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "rows": self.rows,
+            "watched": self.watched,
+            "affected": self.affected,
+            "updates": self.updates,
+            "reread_time": self.reread_time,
+            "push_time": self.push_time,
+            "speedup": self.speedup,
+            "push_batches": self.push_batches,
+            "consistent": self.consistent,
+        }
+
+
+def view_comparison(
+    rows: int = 600,
+    groups: int = 3,
+    buckets: int = 10,
+    updates: int = 40,
+    policy: str = "naive",
+) -> ViewComparison:
+    """Measure delta-push subscriptions against re-read-per-update.
+
+    The schema is ``R(grp, bucket, idx, val)``; the watched slice is
+    ``grp = 0`` and round ``r`` modifies bucket ``r % buckets`` of it
+    inside a transaction (every round therefore changes annotations in
+    the watched slice, so each one produces exactly one pushed batch).
+    """
+    from ..db.schema import Relation, Schema
+    from ..queries.pattern import Pattern
+    from ..queries.updates import Insert, Modify
+    from ..queries.updates import Transaction as Txn
+    from ..server import ServerClient, ServerConfig, serve_in_thread
+
+    schema = Schema([Relation("R", ["grp", "bucket", "idx", "val"])])
+    relation = schema.relation("R")
+    watched = len(range(0, rows, groups))
+    affected = len(range(0, rows, groups * buckets))
+
+    def seed() -> list[Insert]:
+        return [
+            Insert("R", (i % groups, (i // groups) % buckets, i, 0), annotation=f"s{i}")
+            for i in range(rows)
+        ]
+
+    def round_txn(r: int) -> Txn:
+        return Txn(
+            f"u{r}",
+            [
+                Modify(
+                    "R",
+                    Pattern.build(relation, where={"grp": 0, "bucket": r % buckets}),
+                    {3: r},
+                )
+            ],
+        )
+
+    watched_pattern = Pattern.build(relation, where={"grp": 0})
+
+    def fresh_server():
+        config = ServerConfig(port=0, policy=policy)
+        handle = serve_in_thread(Database(schema), config)
+        connection = ServerClient(handle.host, handle.port)
+        connection.apply_batch(seed())
+        return handle, connection
+
+    # Push side first (see the dataclass docstring for why).
+    handle, connection = fresh_server()
+    push_batches = 0
+    try:
+        subscription = connection.subscribe("R", watched_pattern)
+        start = time.perf_counter()
+        for r in range(updates):
+            connection.apply(round_txn(r))
+            target = subscription.version + 1
+            while subscription.version < target:
+                event = subscription.next(timeout=30.0)
+                if event is None:
+                    raise RuntimeError(
+                        f"no delta batch for update round {r} within 30s"
+                    )
+                push_batches += 1
+        push_time = time.perf_counter() - start
+        # Bit-identity: the maintained slice vs. a fresh same-version
+        # capture (the writer is quiescent — every apply was answered and
+        # its deltas consumed, so versions agree and decoding is safe).
+        fresh = {
+            row: payload
+            for row, payload in connection.state()["R"].items()
+            if watched_pattern.matches(row)
+        }
+        consistent = set(fresh) == set(subscription.rows) and all(
+            expr is subscription.rows[row][0] and live == subscription.rows[row][1]
+            for row, (expr, live) in fresh.items()
+        )
+        subscription.unsubscribe()
+        connection.close()
+    finally:
+        handle.stop()
+
+    # Re-read side: same stream, full state decode + filter per round.
+    handle, connection = fresh_server()
+    try:
+        start = time.perf_counter()
+        for r in range(updates):
+            connection.apply(round_txn(r))
+            filtered = {
+                row: payload
+                for row, payload in connection.state()["R"].items()
+                if watched_pattern.matches(row)
+            }
+        reread_time = time.perf_counter() - start
+        assert filtered is not None  # the baseline really did the reads
+        connection.close()
+    finally:
+        handle.stop()
+
+    return ViewComparison(
+        policy=policy,
+        rows=rows,
+        watched=watched,
+        affected=affected,
+        updates=updates,
+        reread_time=reread_time,
+        push_time=push_time,
+        push_batches=push_batches,
         consistent=consistent,
     )
 

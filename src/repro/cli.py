@@ -214,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
             "provenance",
             "apply",
             "checkpoint",
+            "subscribe",
             "shutdown",
         ],
     )
@@ -221,7 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
         "argument",
         nargs="?",
         default=None,
-        help="relation name (provenance) or update-log JSON file (apply)",
+        help="relation name (provenance), update-log JSON file (apply), or "
+        "REL[:attr=val,...] standing pattern (subscribe)",
     )
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=None, help="default: 7464")
@@ -258,7 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--mix",
         default=None,
         metavar="KIND=W,...",
-        help="op mix weights, e.g. apply=0.6,provenance=0.25,state=0.1,annotation_of=0.05",
+        help=(
+            "op mix weights, e.g. apply=0.6,provenance=0.25,state=0.1,"
+            "annotation_of=0.05 (a subscribe weight adds live-view drains "
+            "with a delta_lag histogram)"
+        ),
     )
     loadgen.add_argument(
         "--max-rate",
@@ -681,6 +687,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(_run())
 
 
+def _client_subscribe(client, spec: str) -> int:
+    """``repro client subscribe REL[:attr=val,...]``: stream deltas until ^C.
+
+    Constants parse as int, then float, then stay strings — the same
+    scalars the wire protocol ships.  The seeded answer set prints first
+    (so the terminal mirrors the view from version 0 of the stream), then
+    one line per delta as batches arrive.
+    """
+    from .errors import ReproError
+    from .db.schema import Relation
+    from .queries.pattern import Pattern
+
+    relation_name, _, constraint = spec.partition(":")
+    schema = client.ping()["schema"]
+    if relation_name not in schema:
+        raise ReproError(
+            f"unknown relation {relation_name!r} (schema: {', '.join(schema)})"
+        )
+    relation = Relation(relation_name, list(schema[relation_name]))
+    where: dict[str, object] = {}
+    if constraint:
+        for part in constraint.split(","):
+            attr, eq, raw = part.partition("=")
+            if not eq:
+                raise ReproError(f"bad pattern term {part!r} (want attr=val)")
+            value: object = raw
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    continue
+            where[attr.strip()] = value
+    pattern = Pattern.build(relation, where=where) if where else None
+    subscription = client.subscribe(relation_name, pattern)
+    described = (pattern or Pattern.any(relation.arity)).describe(relation)
+    print(
+        f"subscribed #{subscription.view_id} to {relation_name}[{described}] "
+        f"at version {subscription.version}"
+    )
+    for row, (expr, live) in sorted(subscription.rows.items(), key=repr):
+        flag = "live" if live else "gone"
+        print(f"  [seed] [{flag}] {row!r}  ::  {expr}")
+    try:
+        for event in subscription:
+            if event.lagged:
+                print("!! lagged: server dropped this subscription; re-subscribe")
+                return 3
+            for delta in event.batch:
+                flag = "live" if delta.live else "gone"
+                print(
+                    f"  [v{event.batch.version}] {delta.kind:<10} [{flag}] "
+                    f"{delta.row!r}  ::  {delta.expr}"
+                )
+    except KeyboardInterrupt:
+        subscription.unsubscribe()
+        print("unsubscribed")
+    return 0
+
+
 def cmd_client(args: argparse.Namespace) -> int:
     from .errors import ReproError
     from .server.client import ServerClient
@@ -721,6 +787,12 @@ def cmd_client(args: argparse.Namespace) -> int:
                 print(f"applied {applied} queries")
             elif args.action == "checkpoint":
                 print(f"checkpoints written: {client.checkpoint()}")
+            elif args.action == "subscribe":
+                if not args.argument:
+                    raise ReproError(
+                        "subscribe needs a REL[:attr=val,...] argument"
+                    )
+                return _client_subscribe(client, args.argument)
             elif args.action == "shutdown":
                 client.shutdown()
                 print("server shutting down")

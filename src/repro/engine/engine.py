@@ -100,6 +100,7 @@ class Engine:
         clock: Callable[[], float] = time.perf_counter,
         journal=None,
         arena: bool = False,
+        deltas=None,
     ):
         self.policy = policy
         self.executor = make_executor(database, policy, annotate, arena=arena)
@@ -112,6 +113,14 @@ class Engine:
         #: crash mid-apply re-applies the record on recovery (redo-log
         #: discipline) instead of losing it.
         self.journal = journal
+        #: Row-delta hook alongside the journal hook (see ``repro.views``):
+        #: a :class:`~repro.views.deltas.DeltaBuffer` the executor mirrors
+        #: every support mutation into.  Usually attached after
+        #: construction via :func:`repro.views.deltas.attach_delta_sink`,
+        #: which also validates the policy can emit deltas.
+        self.deltas = deltas
+        if deltas is not None:
+            self.executor.delta_sink = deltas
 
     # -- applying updates -------------------------------------------------------
 

@@ -167,7 +167,21 @@ class Executor:
 
 
 class StoreBackedExecutor(Executor):
-    """Common plumbing of every executor sitting on an :class:`AnnotationStore`."""
+    """Common plumbing of every executor sitting on an :class:`AnnotationStore`.
+
+    Alongside the store, every subclass participates in the *delta hook*:
+    when :attr:`delta_sink` is set (see
+    :func:`repro.views.deltas.attach_delta_sink`), each support mutation
+    is mirrored into the sink through :meth:`_emit` — the row-level
+    vocabulary live views are maintained from.  Executors whose slots
+    have no ``UP[X]`` expression form set :attr:`emits_deltas` to False
+    and are rejected at attach time.
+    """
+
+    #: the attached :class:`~repro.views.deltas.DeltaBuffer`, or ``None``.
+    delta_sink = None
+    #: whether :meth:`_emit` produces a faithful row-delta stream.
+    emits_deltas = True
 
     def __init__(self, database: Database, use_indexes: bool = True, arena: bool = False):
         self.schema = database.schema
@@ -217,6 +231,22 @@ class StoreBackedExecutor(Executor):
         """
         return ZERO
 
+    def _emit(
+        self, kind: str, relation: str, row: tuple, ann: object | None, live: bool
+    ) -> None:
+        """Mirror one support mutation into the attached delta sink.
+
+        ``ann`` is the *stored* slot value; it is mapped through
+        :meth:`_expr_of` here so the sink always holds interned ``Expr``
+        objects (or ``None`` for annotation-free policies), whatever the
+        executor's at-rest representation.
+        """
+        sink = self.delta_sink
+        if sink is not None:
+            sink.record(
+                kind, relation, row, None if ann is None else self._expr_of(ann), live
+            )
+
 
 class VanillaExecutor(StoreBackedExecutor):
     """Set semantics, physical deletes, no annotations ("No provenance").
@@ -244,25 +274,29 @@ class VanillaExecutor(StoreBackedExecutor):
         if store.rows.rid_of(row) is not None:
             return (0, 0)
         store.add(row, None, True)
+        self._emit("insert", query.relation, row, None, True)
         return (0, 1)
 
     def apply_delete(self, query: Delete) -> tuple[int, int]:
         store = self._relation_store(query.relation)
         matched = store.matching(query.pattern)
-        for rid, _row in matched:
+        for rid, row in matched:
             store.free(rid)
+            self._emit("free", query.relation, row, None, False)
         return (len(matched), 0)
 
     def apply_modify(self, query: Modify) -> tuple[int, int]:
         store = self._relation_store(query.relation)
         matched = store.matching(query.pattern)
         images = dict.fromkeys(query.apply_to_row(row) for _rid, row in matched)
-        for rid, _row in matched:
+        for rid, row in matched:
             store.free(rid)
+            self._emit("free", query.relation, row, None, False)
         created = 0
         for image in images:
             if store.rows.rid_of(image) is None:
                 store.add(image, None, True)
+                self._emit("insert", query.relation, image, None, True)
                 created += 1
         return (len(matched), created)
 
@@ -335,10 +369,14 @@ class AnnotatedExecutor(StoreBackedExecutor):
         rows = store.rows
         rid = rows.rid_of(row)
         if rid is None:
-            store.add(row, self._insert_ann(None, p), True)
+            ann = self._insert_ann(None, p)
+            store.add(row, ann, True)
+            self._emit("insert", query.relation, row, ann, True)
             return (0, 1)
-        rows.set_annotation(rid, self._insert_ann(rows.annotation(rid), p))
+        ann = self._insert_ann(rows.annotation(rid), p)
+        rows.set_annotation(rid, ann)
         rows.set_live(rid, True)
+        self._emit("annotation", query.relation, row, ann, True)
         return (0, 0)
 
     def apply_delete(self, query: Delete) -> tuple[int, int]:
@@ -346,9 +384,11 @@ class AnnotatedExecutor(StoreBackedExecutor):
         p = var(query._check_annotation())
         matched = store.matching(query.pattern)
         rows = store.rows
-        for rid, _row in matched:
-            rows.set_annotation(rid, self._delete_ann(rows.annotation(rid), p))
+        for rid, row in matched:
+            ann = self._delete_ann(rows.annotation(rid), p)
+            rows.set_annotation(rid, ann)
             rows.set_live(rid, False)
+            self._emit("delete", query.relation, row, ann, False)
         return (len(matched), 0)
 
     def apply_modify(self, query: Modify) -> tuple[int, int]:
@@ -377,9 +417,11 @@ class AnnotatedExecutor(StoreBackedExecutor):
             )
             live_target[target] = live_target.get(target, False) or rows.is_live(rid)
         # Phase 2: sources are modified away (deleted).
-        for rid, _row in matched:
-            rows.set_annotation(rid, self._delete_ann(rows.annotation(rid), p))
+        for rid, row in matched:
+            ann = self._delete_ann(rows.annotation(rid), p)
+            rows.set_annotation(rid, ann)
             rows.set_live(rid, False)
+            self._emit("delete", query.relation, row, ann, False)
         # Phase 3: targets absorb the merged contributions.
         created = 0
         for target, contributions in by_target.items():
@@ -393,10 +435,14 @@ class AnnotatedExecutor(StoreBackedExecutor):
                     # support (Rule 3 firing on an absent target).
                     continue
                 store.add(target, ann, live_target[target])
+                self._emit("insert", query.relation, target, ann, live_target[target])
                 created += 1
             else:
-                rows.set_annotation(rid, self._absorb(rows.annotation(rid), merged, p))
-                rows.set_live(rid, rows.is_live(rid) or live_target[target])
+                ann = self._absorb(rows.annotation(rid), merged, p)
+                live = rows.is_live(rid) or live_target[target]
+                rows.set_annotation(rid, ann)
+                rows.set_live(rid, live)
+                self._emit("annotation", query.relation, target, ann, live)
         return (len(matched), created)
 
     # -- inspection ---------------------------------------------------------------
@@ -527,16 +573,24 @@ class BatchNormalFormExecutor(NaiveExecutor):
         live row can never normalize to ``0`` (Proposition 4.2: liveness is
         the all-true Boolean valuation of the annotation).
         """
-        for _name, store in self.store.relations():
+        for name, store in self.store.relations():
             rows = store.rows
-            dead_zero: list[int] = []
-            for rid, _row in rows.items():
-                ann = normalize_expr(rows.annotation(rid))
-                rows.set_annotation(rid, ann)
+            dead_zero: list[tuple[int, tuple]] = []
+            for rid, row in rows.items():
+                old = rows.annotation(rid)
+                ann = normalize_expr(old)
+                if ann is not old:
+                    rows.set_annotation(rid, ann)
+                    # Normalization over the hash-consed DAG is pure: an
+                    # already-normal annotation comes back as the identical
+                    # interned object, so only genuine rewrites reach the
+                    # delta sink (a flush must not spam O(support) deltas).
+                    self._emit("annotation", name, row, ann, rows.is_live(rid))
                 if ann.is_zero and not rows.is_live(rid):
-                    dead_zero.append(rid)
-            for rid in dead_zero:
+                    dead_zero.append((rid, row))
+            for rid, row in dead_zero:
                 store.free(rid)
+                self._emit("free", name, row, None, False)
 
     def on_transaction_end(self, name: str) -> None:
         self.flush()

@@ -16,6 +16,14 @@ per-request timing hooks, so pipelined operations get honest individual
 latencies — the admission queue sees realistic depth without the
 measurements degenerating into batch-amortized averages.
 
+A mix with ``subscribe`` weight exercises the live-view push path: a
+worker's first subscribe op registers a standing view on its own
+relation, later ones drain the pushed delta batches — each event's
+publish-to-receive latency lands in a ``delta_lag`` histogram that flows
+through the same ticks, stats lines, and ``BENCH_loadgen_*.json`` as the
+op-latency kinds.  After a server-side slow-consumer drop the next
+subscribe op re-subscribes for a fresh seed.
+
 Workers stream periodic ticks (operation counts plus serialized
 histograms) to the driver, which prints merged stats lines during the
 run and folds everything into one :class:`~repro.loadgen.report.LoadgenResult`.
@@ -69,6 +77,7 @@ def _worker_main(
         ops = worker_ops(profile, worker) * profile.repeat
         hists: dict[str, LatencyHistogram] = {}
         errors: dict[str, int] = {}
+        subscription = None  # the worker's standing view, once subscribed
 
         def record(kind: str, seconds: float) -> None:
             hists.setdefault(kind, LatencyHistogram()).record(seconds)
@@ -122,6 +131,19 @@ def _worker_main(
                             client.raw_state()
                         elif op.kind == "provenance":
                             client.provenance(op.relation)
+                        elif op.kind == "subscribe":
+                            if subscription is None or not subscription.active:
+                                subscription = client.subscribe(op.relation)
+                            else:
+                                # Latency of the drain itself lands under
+                                # "subscribe"; each event's push-to-receive
+                                # distance under "delta_lag".
+                                for event in subscription.drain():
+                                    if event.lag is not None:
+                                        record("delta_lag", event.lag)
+                                if subscription.lagged:
+                                    subscription.unsubscribe()
+                                    subscription = None
                         else:
                             client.annotation_of(op.relation, op.row)
                     except ServerError:
@@ -145,6 +167,8 @@ def _worker_main(
                         )
                     )
             elapsed = time.perf_counter() - started
+            if subscription is not None:
+                subscription.unsubscribe()
         results.put(
             (
                 "done",

@@ -53,17 +53,22 @@ def worker_relation(worker: int) -> str:
 
 @dataclass(frozen=True)
 class MixSpec:
-    """Relative weights of the four operation kinds.
+    """Relative weights of the five operation kinds.
 
     ``apply`` ships an update transaction; ``state`` reads the full
     snapshot; ``provenance`` reads one relation's annotated rows;
-    ``annotation_of`` reads a single row's expression.
+    ``annotation_of`` reads a single row's expression; ``subscribe``
+    exercises the live-view push path — the first such op registers a
+    standing view on the worker's relation, later ones drain the pushed
+    delta batches (their publish-to-receive latency lands in the
+    ``delta_lag`` histogram, alongside the op-latency kinds).
     """
 
     apply: float = 0.55
     state: float = 0.1
     provenance: float = 0.25
     annotation_of: float = 0.1
+    subscribe: float = 0.0
 
     def __post_init__(self) -> None:
         weights = self.as_dict()
@@ -76,6 +81,7 @@ class MixSpec:
             "state": self.state,
             "provenance": self.provenance,
             "annotation_of": self.annotation_of,
+            "subscribe": self.subscribe,
         }
 
     @classmethod
@@ -189,7 +195,7 @@ def schema_specs(profile: LoadgenProfile) -> list[str]:
 class Op:
     """One generated operation: an apply transaction or a snapshot read."""
 
-    kind: str  #: apply | state | provenance | annotation_of
+    kind: str  #: apply | state | provenance | annotation_of | subscribe
     item: Transaction | None = None  #: the update (apply only)
     relation: str | None = None  #: target relation (provenance / annotation_of)
     row: tuple | None = None  #: target row (annotation_of only)
@@ -276,6 +282,8 @@ def worker_ops(profile: LoadgenProfile, worker: int) -> list[Op]:
             ops.append(Op("state"))
         elif kind == "provenance":
             ops.append(Op("provenance", relation=relation))
+        elif kind == "subscribe":
+            ops.append(Op("subscribe", relation=relation))
         else:  # annotation_of: a deterministic pick from the initial rows
             ops.append(
                 Op("annotation_of", relation=relation, row=rng.choice(initial_rows))

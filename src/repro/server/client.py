@@ -13,22 +13,35 @@ Requests on a connection are answered in order, so
 :meth:`apply_pipelined` may ship many apply frames before reading any
 response — the client-side half of admission batching: a deep queue lets
 the server's writer fuse an entire backlog into one ``apply_batch`` call.
+
+:meth:`ServerClient.subscribe` registers a live view: the reply seeds a
+:class:`Subscription`, after which the server pushes ``"frame": "delta"``
+batches as the view's slice changes.  Pushed frames interleave *between*
+responses, so :meth:`_receive` demultiplexes: any tagged frame read while
+waiting for a response is routed to its subscription's queue and the read
+continues.  The client stays single-threaded — when idle, a subscription
+waits for pushes with a plain ``select`` on the socket.
 """
 
 from __future__ import annotations
 
+import select
 import socket
 import time
-from typing import Iterable, Mapping
+from collections import deque
+from typing import Iterable, Iterator, Mapping
 
 from ..core.expr import Expr, ZERO
 from ..errors import ServerError
+from ..queries.pattern import Pattern
 from ..queries.updates import Transaction, UpdateQuery
 from ..shard.codec import decode_capture, decode_tuple_vars, items_to_events
 from ..storage.exprjson import expr_from_dict
-from .protocol import DEFAULT_PORT, recv_frame, send_frame
+from ..views import DeltaBatch, apply_delta_batch, decode_delta_batch
+from ..workloads.logs import pattern_to_dict
+from .protocol import DEFAULT_PORT, FRAME_DELTA, recv_frame, send_frame
 
-__all__ = ["ServerClient"]
+__all__ = ["DeltaEvent", "ServerClient", "Subscription"]
 
 #: Anything `apply` accepts: a query, a transaction, or nested iterables.
 Applyable = UpdateQuery | Transaction | Iterable
@@ -72,6 +85,8 @@ class ServerClient:
                     ) from exc
                 time.sleep(0.05)
         self.host, self.port = host, port
+        #: subscription id -> queued pushed frames, filled by the demux.
+        self._pushed: dict[int, deque] = {}
 
     # -- plumbing --------------------------------------------------------------
 
@@ -88,17 +103,58 @@ class ServerClient:
             raise ServerError(f"send to {self.host}:{self.port} failed: {exc}") from exc
 
     def _receive(self) -> dict:
-        try:
-            response = recv_frame(self._sock)
-        except OSError as exc:
-            raise ServerError(f"read from {self.host}:{self.port} failed: {exc}") from exc
-        if not response.get("ok"):
-            error = response.get("error") or {}
-            raise ServerError(
-                f"server error [{error.get('type', 'unknown')}]: "
-                f"{error.get('message', 'no message')}"
-            )
-        return response
+        while True:
+            try:
+                response = recv_frame(self._sock)
+            except OSError as exc:
+                raise ServerError(
+                    f"read from {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            # Server-pushed frames interleave between responses; route
+            # them to their subscription and keep reading for the reply.
+            if response.get("frame") == FRAME_DELTA:
+                self._route_push(response)
+                continue
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                raise ServerError(
+                    f"server error [{error.get('type', 'unknown')}]: "
+                    f"{error.get('message', 'no message')}"
+                )
+            return response
+
+    def _route_push(self, frame: dict) -> None:
+        stamped = dict(frame)
+        stamped["received_at"] = time.time()
+        if frame.get("lagged"):
+            # The slow-consumer notice names every dropped subscription.
+            for view_id in frame.get("subscriptions", ()):
+                queue = self._pushed.get(int(view_id))
+                if queue is not None:
+                    queue.append(stamped)
+            return
+        queue = self._pushed.get(int(frame.get("subscription", -1)))
+        if queue is not None:
+            queue.append(stamped)
+
+    def _wait_push(self, timeout: float | None) -> bool:
+        """Block until at least one frame arrives; False on timeout.
+
+        Uses ``select`` *before* the blocking read so a timeout can never
+        strand the stream mid-frame (the server writes whole frames, so
+        once the header is readable the rest follows immediately).
+        """
+        ready, _, _ = select.select([self._sock], [], [], timeout)
+        if not ready:
+            return False
+        frame = recv_frame(self._sock)
+        if frame.get("frame") == FRAME_DELTA:
+            self._route_push(frame)
+            return True
+        raise ServerError(
+            "unsolicited response frame while waiting for pushes "
+            "(another request is mid-flight on this connection?)"
+        )
 
     def _call(self, op: str, **payload: object) -> dict:
         self._send(op, **payload)
@@ -268,9 +324,163 @@ class ServerClient:
         """Force a durability checkpoint; returns checkpoints written."""
         return int(self._call("checkpoint")["written"])
 
+    def subscribe(
+        self, relation: str, pattern: Pattern | None = None
+    ) -> "Subscription":
+        """Register a live view; returns its seeded :class:`Subscription`.
+
+        ``pattern`` scopes the view to matching rows (``None`` = the whole
+        relation).  The returned subscription holds the seeded answer set
+        and keeps it current as pushed delta batches are consumed; seeded
+        and pushed expressions are re-interned locally, so inside the
+        server's process they are identical to the engine's own nodes.
+        """
+        payload: dict[str, object] = {"relation": relation}
+        if pattern is not None:
+            payload["pattern"] = pattern_to_dict(pattern)
+        response = self._call("subscribe", **payload)
+        view_id = int(response["subscription"])
+        self._pushed[view_id] = deque()
+        rows = decode_capture(response["rows"]).get(relation, {})
+        return Subscription(
+            self, view_id, relation, pattern, int(response["version"]), dict(rows)
+        )
+
     def shutdown(self, checkpoint: bool = True) -> None:
         """Ask the server to stop gracefully, then close this connection."""
         try:
             self._call("shutdown", checkpoint=checkpoint)
         finally:
             self.close()
+
+
+class DeltaEvent:
+    """One consumed push: a decoded delta batch (or the ``lagged`` notice).
+
+    ``lag`` is the publish-to-receive latency — the wall-clock distance
+    between the server's fanout stamp and this client reading the frame
+    off the socket (what the loadgen's delta-lag histogram aggregates).
+    """
+
+    __slots__ = ("batch", "lagged", "pushed_at", "received_at")
+
+    def __init__(
+        self,
+        batch: DeltaBatch | None,
+        lagged: bool,
+        pushed_at: float | None,
+        received_at: float,
+    ):
+        self.batch = batch
+        self.lagged = lagged
+        self.pushed_at = pushed_at
+        self.received_at = received_at
+
+    @property
+    def lag(self) -> float | None:
+        if self.pushed_at is None:
+            return None
+        return self.received_at - self.pushed_at
+
+
+class Subscription:
+    """One live view: a seeded answer set kept current by pushed deltas.
+
+    ``rows`` is the maintained ``{row: (expr, live)}`` slice, ``version``
+    the snapshot version it reflects — both advance as events are
+    consumed through :meth:`next` / :meth:`drain` / iteration.  After a
+    server-side slow-consumer drop, the final event has ``lagged`` set,
+    ``active`` turns false, and the answer set is stale: re-subscribe for
+    a fresh seed.  One client may hold several subscriptions; frames are
+    demultiplexed by subscription id.
+    """
+
+    def __init__(
+        self,
+        client: ServerClient,
+        view_id: int,
+        relation: str,
+        pattern: Pattern | None,
+        version: int,
+        rows: dict,
+    ):
+        self.client = client
+        self.view_id = view_id
+        self.relation = relation
+        self.pattern = pattern
+        self.version = version
+        self.rows = rows
+        self.active = True
+        self.lagged = False
+
+    def state(self) -> dict:
+        """A detached copy of the maintained ``{row: (expr, live)}`` slice."""
+        return dict(self.rows)
+
+    def next(self, timeout: float | None = None) -> DeltaEvent | None:
+        """The next pushed event, waiting up to ``timeout`` (``None`` = forever).
+
+        Returns ``None`` on timeout.  Must not race an in-flight request
+        on the same connection (the client is single-threaded by design).
+        """
+        queue = self.client._pushed.get(self.view_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while queue is not None and not queue:
+            if not self.active:
+                return None
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not self.client._wait_push(remaining):
+                return None
+        if queue is None or not queue:
+            return None
+        return self._consume(queue.popleft())
+
+    def __iter__(self) -> Iterator[DeltaEvent]:
+        """Yield events until the subscription ends (lag drop / unsubscribe)."""
+        while self.active:
+            event = self.next()
+            if event is None:
+                return
+            yield event
+            if event.lagged:
+                return
+
+    def drain(self, timeout: float = 0.0) -> list[DeltaEvent]:
+        """Consume every event available within ``timeout``.
+
+        With the default zero timeout this still pops everything already
+        queued locally plus whatever a non-blocking poll finds readable.
+        """
+        events: list[DeltaEvent] = []
+        deadline = time.monotonic() + timeout
+        while True:
+            event = self.next(timeout=max(0.0, deadline - time.monotonic()))
+            if event is None:
+                return events
+            events.append(event)
+            if event.lagged:
+                return events
+
+    def _consume(self, frame: dict) -> DeltaEvent:
+        received_at = frame["received_at"]
+        if frame.get("lagged"):
+            self.active = False
+            self.lagged = True
+            return DeltaEvent(None, True, None, received_at)
+        batch = decode_delta_batch(frame)
+        apply_delta_batch({self.relation: self.rows}, batch)
+        self.version = batch.version
+        return DeltaEvent(batch, False, frame.get("pushed_at"), received_at)
+
+    def unsubscribe(self) -> None:
+        """Drop the view server-side and stop consuming; idempotent."""
+        was_active = self.active
+        self.active = False
+        if was_active and not self.lagged:
+            try:
+                self.client._call("unsubscribe", subscription=self.view_id)
+            except ServerError:
+                pass  # already dropped server-side (lag raced the request)
+        self.client._pushed.pop(self.view_id, None)

@@ -6,6 +6,17 @@ object.  Requests carry ``{"op": ..., **arguments}``; responses carry
 Requests on one connection are answered strictly in order, so a blocking
 client may pipeline frames and read the responses back positionally.
 
+Since protocol revision 2 a server may additionally *push* frames to a
+connection that subscribed to a live view.  Pushed frames carry the
+``"frame": "delta"`` tag (:data:`FRAME_DELTA`); its **absence** marks an
+ordinary response, which is what every pre-revision-2 frame is — old
+clients that never subscribe never receive a tagged frame and keep
+working unchanged, and old servers simply answer ``subscribe`` with an
+unknown-op error.  Pushed frames are interleaved *between* responses,
+never inside one, so positional response reading still holds: a client
+reading its Nth response skips any tagged frames it encounters (and may
+queue them; see :class:`repro.server.client.Subscription`).
+
 The payload vocabulary deliberately reuses the codecs the rest of the
 system already trusts for durability and cross-process shipping:
 
@@ -33,6 +44,9 @@ Operations (see :mod:`repro.server.server` for the handlers):
 ``tuple_vars``        initial-tuple annotation names (what-if valuations)
 ``stats``             engine counters + server admission counters
 ``checkpoint``        force a durability checkpoint (journaled backends)
+``subscribe``         register a live view; reply seeds it, then the server
+                      pushes ``"frame": "delta"`` batches as rows change
+``unsubscribe``       drop one of this connection's subscriptions
 ``shutdown``          graceful stop: flush, checkpoint, close
 ====================  =======================================================
 """
@@ -48,7 +62,9 @@ from ..errors import ServerError
 
 __all__ = [
     "DEFAULT_PORT",
+    "FRAME_DELTA",
     "MAX_FRAME",
+    "PROTOCOL_REVISION",
     "encode_frame",
     "read_frame",
     "recv_frame",
@@ -58,6 +74,15 @@ __all__ = [
 
 #: Default TCP port of ``repro serve`` (override with ``--port``).
 DEFAULT_PORT = 7464
+
+#: Wire-protocol revision: 1 = request/response only, 2 = adds the
+#: ``subscribe``/``unsubscribe`` ops and server-pushed delta frames.
+#: Reported by ``ping`` so clients can feature-detect without probing.
+PROTOCOL_REVISION = 2
+
+#: The frame-type tag on server-pushed frames.  Absent on responses —
+#: which is also what every pre-revision-2 frame looks like.
+FRAME_DELTA = "delta"
 
 #: Upper bound on one frame's JSON payload.  Full-state captures of large
 #: engines are the biggest legitimate frames; 256 MiB is far above any

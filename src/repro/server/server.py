@@ -11,6 +11,17 @@ request decoding stops at queries/patterns (plain data), and responses
 encode expressions *from* immutable snapshots (``expr_to_dict`` creates
 no nodes).  Every engine mutation stays on the service's writer thread.
 
+Live-view pushes ride the same per-connection ordered queue the
+responses do: the writer's delta flush hands matched deltas to
+:meth:`ProvenanceServer._bridge_deltas` (the service's ``on_deltas``
+hook), which hops onto the event loop and enqueues pre-encoded
+``"frame": "delta"`` payloads into each subscribed connection's pending
+queue.  The single responder therefore interleaves pushed frames
+*between* pipelined responses without reordering either stream.  A
+subscriber whose queue exceeds ``ServerConfig.push_backlog`` is dropped
+(slow-consumer policy): its subscriptions are torn down and one final
+``lagged`` notice tells it to re-subscribe for a fresh seed.
+
 :func:`serve_in_thread` runs a whole server on a background thread —
 what the benchmarks, the stress tests and the example use to host a
 server and its clients in one process.
@@ -20,18 +31,27 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Iterable
 
 from .._version import __version__
 from ..core.expr import evaluate
 from ..db.database import Database
 from ..errors import ReproError, ServerError
+from ..queries.pattern import Pattern
 from ..queries.updates import Insert, Transaction, UpdateQuery
 from ..semantics.boolean import BooleanStructure
 from ..shard.codec import decode_events, encode_capture, encode_tuple_vars
 from ..storage.exprjson import expr_to_dict
-from ..workloads.logs import log_from_events
-from .protocol import encode_frame, error_payload, read_frame
+from ..views import DeltaBatch, encode_delta_batch
+from ..workloads.logs import log_from_events, pattern_from_dict, pattern_to_dict
+from .protocol import (
+    FRAME_DELTA,
+    PROTOCOL_REVISION,
+    encode_frame,
+    error_payload,
+    read_frame,
+)
 from .service import ProvenanceService, ServerConfig, build_engine
 
 __all__ = ["ProvenanceServer", "ServerHandle", "serve_in_thread"]
@@ -40,6 +60,23 @@ __all__ = ["ProvenanceServer", "ServerHandle", "serve_in_thread"]
 async def _const(payload: dict, closing: bool) -> tuple[dict, bool]:
     """A pre-computed dispatch result (framing errors)."""
     return payload, closing
+
+
+class _Connection:
+    """Per-connection transport state.
+
+    Shared by the frame reader, the dispatch tasks and the push fanout —
+    all of which run on the event loop, so no locking.  ``pending`` holds
+    dispatch tasks (responses, drained in arrival order) and plain dicts
+    (server-pushed frames, already encodable); ``subscriptions`` is this
+    connection's live view ids.
+    """
+
+    __slots__ = ("pending", "subscriptions")
+
+    def __init__(self, pending: "asyncio.Queue") -> None:
+        self.pending = pending
+        self.subscriptions: set[int] = set()
 
 
 class ProvenanceServer:
@@ -55,11 +92,25 @@ class ProvenanceServer:
         self._stopping = False
         self._stop_task: asyncio.Task | None = None
         self._shutdown_checkpoint = True
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: view id -> subscribed connection (event-loop state only).
+        self._subscriptions: dict[int, _Connection] = {}
+        #: Pushes that arrived for a view whose subscribe dispatch has not
+        #: registered its connection yet (the writer resolves the subscribe
+        #: admission and flushes deltas in the same cycle, and the flush
+        #: callback can reach the loop before the awaiting task resumes).
+        #: Drained into the connection right after its seed response.
+        self._early_pushes: dict[int, list[dict]] = {}
+        #: Strong refs to background unsubscribe tasks (the loop keeps
+        #: only weak ones, and a GC'd task would leak registry views).
+        self._cleanup_tasks: set[asyncio.Task] = set()
 
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
         """Bind, start the writer, begin accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self.service.on_deltas = self._bridge_deltas
         self.service.start()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         sockname = self._server.sockets[0].getsockname()
@@ -74,6 +125,9 @@ class ProvenanceServer:
             await self._stopped.wait()
             return
         self._stopping = True
+        # Quiet the push path first: the final writer drain may still
+        # flush deltas, but there is no one left to deliver them to.
+        self.service.on_deltas = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -102,7 +156,8 @@ class ProvenanceServer:
         """
         self._connections.add(writer)
         loop = asyncio.get_running_loop()
-        pending: asyncio.Queue[asyncio.Task | None] = asyncio.Queue()
+        pending: asyncio.Queue[asyncio.Task | dict | None] = asyncio.Queue()
+        conn = _Connection(pending)
         in_flight = asyncio.Semaphore(self.MAX_PIPELINE)
         responder = loop.create_task(self._respond(writer, pending))
         try:
@@ -117,10 +172,11 @@ class ProvenanceServer:
                     await pending.put(loop.create_task(_const(error_payload(exc), False)))
                     break
                 await in_flight.acquire()
-                task = loop.create_task(self._dispatch(request))
+                task = loop.create_task(self._dispatch(request, conn))
                 task.add_done_callback(lambda _t: in_flight.release())
                 await pending.put(task)
         finally:
+            self._drop_subscriptions(conn, lagged=False)
             await pending.put(None)  # EOF marker for the responder
             try:
                 await responder
@@ -133,14 +189,22 @@ class ProvenanceServer:
                     pass
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, pending: "asyncio.Queue[asyncio.Task | None]"
+        self,
+        writer: asyncio.StreamWriter,
+        pending: "asyncio.Queue[asyncio.Task | dict | None]",
     ) -> None:
         """Write responses in arrival order; returns on EOF/hang-up/shutdown."""
         while True:
             task = await pending.get()
             if task is None:
                 return
-            response, closing = await task
+            if isinstance(task, dict):
+                # A server-pushed frame, already a complete payload: it
+                # slots between responses, never inside one, because both
+                # streams share this single ordered queue.
+                response, closing = task, False
+            else:
+                response, closing = await task
             try:
                 frame = encode_frame(response)
             except ServerError as exc:
@@ -173,7 +237,7 @@ class ProvenanceServer:
             if write_failed:
                 return
 
-    async def _dispatch(self, request: dict) -> tuple[dict, bool]:
+    async def _dispatch(self, request: dict, conn: _Connection) -> tuple[dict, bool]:
         """Route one request; returns ``(response, close-after-reply)``."""
         op = request.get("op")
         handler = _OPS.get(op)
@@ -181,7 +245,7 @@ class ProvenanceServer:
             known = ", ".join(sorted(_OPS))
             return error_payload(ServerError(f"unknown op {op!r} (known: {known})")), False
         try:
-            response = await handler(self, request)
+            response = await handler(self, request, conn)
         except asyncio.CancelledError:
             raise
         except ReproError as exc:
@@ -192,11 +256,12 @@ class ProvenanceServer:
 
     # -- op handlers -----------------------------------------------------------
 
-    async def _op_ping(self, _request: dict) -> dict:
+    async def _op_ping(self, _request: dict, _conn: _Connection) -> dict:
         return {
             "ok": True,
             "server": {
                 "version": __version__,
+                "protocol": PROTOCOL_REVISION,
                 "policy": getattr(self.service.engine, "policy", None),
                 "backend": self.service.config.backend,
                 "snapshot_version": self.service.version,
@@ -207,7 +272,7 @@ class ProvenanceServer:
             },
         }
 
-    async def _op_apply(self, request: dict) -> dict:
+    async def _op_apply(self, request: dict, _conn: _Connection) -> dict:
         items = self._decode_items(request.get("events"))
         result = await self.service.apply(items, batch=bool(request.get("batch")))
         return {"ok": True, **result}
@@ -236,7 +301,7 @@ class ProvenanceServer:
                     )
         return items
 
-    async def _op_provenance(self, request: dict) -> dict:
+    async def _op_provenance(self, request: dict, _conn: _Connection) -> dict:
         relation = self._known_relation(request)
         snapshot = await self.service.snapshot()
         rows = [
@@ -245,7 +310,7 @@ class ProvenanceServer:
         ]
         return {"ok": True, "version": snapshot.version, "rows": rows}
 
-    async def _op_state(self, _request: dict) -> dict:
+    async def _op_state(self, _request: dict, _conn: _Connection) -> dict:
         snapshot = await self.service.snapshot()
         return {
             "ok": True,
@@ -255,7 +320,7 @@ class ProvenanceServer:
             "relations": encode_capture(snapshot.state, arena=True),
         }
 
-    async def _op_annotation_of(self, request: dict) -> dict:
+    async def _op_annotation_of(self, request: dict, _conn: _Connection) -> dict:
         relation = self._known_relation(request)
         row = request.get("row")
         if not isinstance(row, list):
@@ -271,7 +336,7 @@ class ProvenanceServer:
             "live": bool(entry[1]) if entry is not None else False,
         }
 
-    async def _op_specialize(self, request: dict) -> dict:
+    async def _op_specialize(self, request: dict, _conn: _Connection) -> dict:
         structure = request.get("structure", "boolean")
         if structure != "boolean":
             raise ServerError(
@@ -300,19 +365,74 @@ class ProvenanceServer:
         }
         return {"ok": True, "version": snapshot.version, "values": values}
 
-    async def _op_tuple_vars(self, _request: dict) -> dict:
+    async def _op_tuple_vars(self, _request: dict, _conn: _Connection) -> dict:
         return {
             "ok": True,
             "tuple_vars": encode_tuple_vars(self.service.tuple_vars()),
         }
 
-    async def _op_stats(self, _request: dict) -> dict:
+    async def _op_stats(self, _request: dict, _conn: _Connection) -> dict:
         return {"ok": True, **await self.service.stats()}
 
-    async def _op_checkpoint(self, _request: dict) -> dict:
+    async def _op_checkpoint(self, _request: dict, _conn: _Connection) -> dict:
         return {"ok": True, "written": await self.service.checkpoint()}
 
-    async def _op_shutdown(self, request: dict) -> dict:
+    async def _op_subscribe(self, request: dict, conn: _Connection) -> dict:
+        """Register a live view for this connection; the reply seeds it.
+
+        The response carries the subscription id, the seed version, and
+        the seeded rows in capture form; every later change to the view's
+        slice arrives as a pushed ``"frame": "delta"`` batch.  Ordering:
+        the seed response always precedes the first push, and pushes for
+        one subscription arrive in version order.
+        """
+        relation = self._known_relation(request)
+        encoded = request.get("pattern")
+        arity = self.service.schema.relation(relation).arity
+        if encoded is None:
+            pattern = Pattern.any(arity)
+        else:
+            try:
+                pattern = pattern_from_dict(encoded)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServerError(f"malformed subscribe pattern: {exc}") from exc
+            if pattern.arity != arity:
+                raise ServerError(
+                    f"pattern arity {pattern.arity} does not match "
+                    f"{relation!r} (arity {arity})"
+                )
+        view, seed, version = await self.service.subscribe(relation, pattern)
+        conn.subscriptions.add(view.view_id)
+        self._subscriptions[view.view_id] = conn
+        # Deltas flushed in the same writer cycle can beat this task's
+        # resumption to the loop; they were parked and ship right after
+        # the seed response (same ordered queue, so still in order).
+        for frame in self._early_pushes.pop(view.view_id, ()):
+            conn.pending.put_nowait(frame)
+        return {
+            "ok": True,
+            "subscription": view.view_id,
+            "version": version,
+            "relation": relation,
+            "pattern": pattern_to_dict(pattern),
+            "rows": encode_capture({relation: seed}, arena=True),
+        }
+
+    async def _op_unsubscribe(self, request: dict, conn: _Connection) -> dict:
+        view_id = request.get("subscription")
+        if not isinstance(view_id, int) or isinstance(view_id, bool):
+            raise ServerError("unsubscribe needs an integer 'subscription'")
+        if view_id not in conn.subscriptions:
+            raise ServerError(
+                f"subscription {view_id} does not belong to this connection"
+            )
+        conn.subscriptions.discard(view_id)
+        self._subscriptions.pop(view_id, None)
+        existed = await self.service.unsubscribe(view_id)
+        self._early_pushes.pop(view_id, None)
+        return {"ok": True, "unsubscribed": bool(existed)}
+
+    async def _op_shutdown(self, request: dict, _conn: _Connection) -> dict:
         # The reply ships before stop() runs (see _respond): the requesting
         # client learns its shutdown was accepted, then the server drains
         # admissions, flushes, checkpoints and exits.
@@ -328,6 +448,88 @@ class ProvenanceServer:
             )
         return relation
 
+    # -- push fanout (live views) ----------------------------------------------
+
+    def _bridge_deltas(self, batch: DeltaBatch, per_view: dict) -> None:
+        """The service's ``on_deltas`` hook: writer thread -> event loop."""
+        if not per_view:
+            return
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._fanout, batch.version, per_view)
+        except RuntimeError:
+            pass  # loop already closed: shutdown raced the final flush
+
+    def _fanout(self, version: int, per_view: dict) -> None:
+        """Enqueue one pre-encoded push frame per touched subscription.
+
+        Runs as a loop callback; encoding walks only immutable interned
+        expressions (no interning, matching the transport's contract).
+        ``pushed_at`` is a wall-clock stamp for consumer-side lag
+        measurement (the loadgen's delta-lag histogram).
+        """
+        pushed_at = time.time()
+        backlog = self.service.config.push_backlog
+        for view_id, deltas in per_view.items():
+            frame = {
+                "ok": True,
+                "frame": FRAME_DELTA,
+                "subscription": view_id,
+                "pushed_at": pushed_at,
+                **encode_delta_batch(DeltaBatch(version, tuple(deltas))),
+            }
+            conn = self._subscriptions.get(view_id)
+            if conn is None:
+                # The subscribe dispatch has not registered yet (writer
+                # resolved it this same cycle); park until it does.  Ids
+                # of dropped subscriptions never reappear here: the
+                # writer unregisters the view before its next flush.
+                self._early_pushes.setdefault(view_id, []).append(frame)
+                continue
+            if conn.pending.qsize() >= backlog:
+                self._drop_subscriptions(conn, lagged=True)
+                continue
+            conn.pending.put_nowait(frame)
+
+    def _drop_subscriptions(self, conn: _Connection, lagged: bool) -> None:
+        """Tear down a connection's subscriptions (close or slow consumer).
+
+        Removal from the fanout map is immediate; the registry views are
+        unregistered through ordinary admissions on a background task so
+        this stays callable from non-async loop callbacks.  A ``lagged``
+        drop queues one final notice telling the client to re-subscribe.
+        """
+        if not conn.subscriptions:
+            return
+        view_ids = sorted(conn.subscriptions)
+        conn.subscriptions.clear()
+        for view_id in view_ids:
+            self._subscriptions.pop(view_id, None)
+        if lagged:
+            conn.pending.put_nowait(
+                {
+                    "ok": True,
+                    "frame": FRAME_DELTA,
+                    "lagged": True,
+                    "subscriptions": view_ids,
+                }
+            )
+        task = asyncio.get_running_loop().create_task(
+            self._unsubscribe_views(view_ids)
+        )
+        self._cleanup_tasks.add(task)
+        task.add_done_callback(self._cleanup_tasks.discard)
+
+    async def _unsubscribe_views(self, view_ids: list[int]) -> None:
+        for view_id in view_ids:
+            try:
+                await self.service.unsubscribe(view_id)
+            except ReproError:
+                pass  # service already shut down; the registry died with it
+            self._early_pushes.pop(view_id, None)
+
 
 _OPS = {
     "ping": ProvenanceServer._op_ping,
@@ -339,6 +541,8 @@ _OPS = {
     "tuple_vars": ProvenanceServer._op_tuple_vars,
     "stats": ProvenanceServer._op_stats,
     "checkpoint": ProvenanceServer._op_checkpoint,
+    "subscribe": ProvenanceServer._op_subscribe,
+    "unsubscribe": ProvenanceServer._op_unsubscribe,
     "shutdown": ProvenanceServer._op_shutdown,
 }
 

@@ -48,9 +48,19 @@ from ..core.expr import (
 from ..db.database import Database
 from ..engine.engine import Engine
 from ..errors import EngineError, ServerError
+from ..queries.pattern import Pattern
 from ..queries.updates import Transaction, UpdateQuery
 from ..shard.codec import capture_engine
 from ..shard.engine import ShardedEngine
+from ..views import (
+    DeltaBuffer,
+    StandingView,
+    ViewRegistry,
+    attach_delta_sink,
+    delta_capable,
+    flush_pending,
+    local_engines,
+)
 from ..wal.checkpoint import DEFAULT_EVERY_RECORDS, CheckpointManager
 from ..wal.engine import JournaledEngine
 
@@ -83,6 +93,11 @@ class ServerConfig:
     sweep_every: int = 0
     #: Keep annotations arena-encoded at rest (plain backend only).
     arena: bool = False
+    #: Most frames a subscribed connection may have queued for it before
+    #: the server drops its subscriptions (slow-consumer policy: the
+    #: client is told it lagged and must re-subscribe; see
+    #: ``docs/OPERATIONS.md``).
+    push_backlog: int = 1024
 
 
 @dataclass(frozen=True)
@@ -134,6 +149,12 @@ def build_engine(database: Database | None, config: ServerConfig):
     """
     if config.arena and config.backend != "plain":
         raise ServerError("arena at-rest encoding is only supported by backend 'plain'")
+    if config.sweep_every and config.policy.startswith("mv_"):
+        raise ServerError(
+            f"--sweep-every is unsupported for policy {config.policy!r}: MV "
+            "annotations live outside the expression intern table, so a "
+            "sweep would reclaim nothing (drop the flag)"
+        )
     if config.backend == "plain":
         if database is None:
             raise ServerError("backend 'plain' needs an initial database")
@@ -170,6 +191,7 @@ def build_engine(database: Database | None, config: ServerConfig):
                 parallel=config.parallel_shards,
                 sync=config.sync,
                 checkpoint_every=config.checkpoint_every,
+                sweep_every=config.sweep_every,
             )
         if database is None:
             raise ServerError("backend 'sharded' needs an initial database")
@@ -182,6 +204,7 @@ def build_engine(database: Database | None, config: ServerConfig):
             journal_dir=config.directory,
             sync=config.sync,
             checkpoint_every=config.checkpoint_every,
+            sweep_every=config.sweep_every,
         )
     raise ServerError(
         f"unknown backend {config.backend!r} (known: plain, journaled, sharded)"
@@ -219,10 +242,21 @@ class ProvenanceService:
         if self.config.sweep_every:
             # Before the writer thread (or any client decode) can intern:
             # the nursery must cover every node created from here on.
+            # (Shard *workers* enable GC in their own processes — see
+            # ``shard.worker``; this switch governs the server process.)
             set_intern_gc(True)
-            # The engine's own store registers itself; the published
-            # snapshot is the other root set readers may still be holding.
+            # The engine registers its own roots (the store for plain
+            # engines, the executor-tracking provider for JournaledEngine,
+            # the capture cache for ShardedEngine); the published snapshot
+            # is the other root set readers may still be holding.
             register_expr_roots(self)
+        #: Standing views, maintained by the writer from drained deltas.
+        self.views = ViewRegistry()
+        self._delta_buffer: DeltaBuffer | None = None
+        #: Server push hook: called on the *writer thread* after every
+        #: delta flush with ``(batch, {view_id: [matched deltas]})``.  The
+        #: transport bridges this to its event loop (see ``server.py``).
+        self.on_deltas = None
         self._pending_capture: asyncio.Future | None = None
         self._closing = False
         self._closed = False
@@ -332,13 +366,18 @@ class ProvenanceService:
 
         Readers may still hold the last published snapshot, so its
         expressions must survive a sweep even after the engine's own
-        store has moved past them.
+        store has moved past them.  Standing-view answer sets are rooted
+        for the same reason (they coincide with store expressions right
+        after a flush, but the invariant should not depend on that).
         """
         snapshot = self._snapshot
-        if snapshot is None:
-            return
-        for rows in snapshot.state.values():
-            for ann, _live in rows.values():
+        if snapshot is not None:
+            for rows in snapshot.state.values():
+                for ann, _live in rows.values():
+                    if ann is not None:
+                        yield ann
+        for view in self.views.views():
+            for ann, _live in view.rows.values():
                 if ann is not None:
                     yield ann
 
@@ -382,6 +421,32 @@ class ProvenanceService:
         self._check_open()
         future = asyncio.get_running_loop().create_future()
         await self._queue.put(_Admission("checkpoint", future))
+        return await future
+
+    async def subscribe(
+        self, relation: str, pattern: Pattern
+    ) -> tuple[StandingView, dict, int]:
+        """Register a standing view; resolves to ``(view, seed, version)``.
+
+        Served by the writer at a quiescent point: registration happens
+        between admitted groups, so the seed is a consistent slice at a
+        definite version and no delta is ever missed or double-counted.
+        ``seed`` is a *detached copy* of the seeded answer set — the live
+        ``view.rows`` belongs to the writer thread and keeps advancing, so
+        transports must encode the copy, never the view.
+        """
+        self._check_open()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(
+            _Admission("subscribe", future, items=[(str(relation), pattern)])
+        )
+        return await future
+
+    async def unsubscribe(self, view_id: int) -> bool:
+        """Drop a standing view; resolves to whether it existed."""
+        self._check_open()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Admission("unsubscribe", future, items=[int(view_id)]))
         return await future
 
     def tuple_vars(self) -> dict[str, dict[tuple, str]]:
@@ -450,6 +515,24 @@ class ProvenanceService:
             elif entry.kind == "checkpoint":
                 index += 1
                 outcomes.append((entry.future, self._outcome_of(self._checkpoint_now)))
+            elif entry.kind == "subscribe":
+                index += 1
+                relation, pattern = entry.items[0]
+                outcomes.append(
+                    (
+                        entry.future,
+                        self._outcome_of(lambda: self._register_view(relation, pattern)),
+                    )
+                )
+            elif entry.kind == "unsubscribe":
+                index += 1
+                view_id = entry.items[0]
+                outcomes.append(
+                    (
+                        entry.future,
+                        self._outcome_of(lambda: self.views.unregister(view_id)),
+                    )
+                )
             elif entry.kind == "close":
                 # Anything admitted after the close barrier is rejected.
                 for late in batch[index + 1 :]:
@@ -468,6 +551,10 @@ class ProvenanceService:
                 outcomes.append(
                     (entry.future, ServerError(f"unknown admission {entry.kind!r}"))
                 )
+        # End of cycle on the writer thread — the same quiescent point that
+        # publishes snapshots: drain accumulated row deltas, advance the
+        # standing views, and hand matched deltas to the push transport.
+        self._flush_deltas()
         every = self.config.sweep_every
         if every and self.counters.writer_cycles % every == 0:
             # End of cycle on the writer thread: no admission is in flight,
@@ -524,6 +611,68 @@ class ProvenanceService:
             outcomes.append(
                 (entry.future, {"applied": entry.n_queries, "version": self._version})
             )
+
+    # -- live views (writer thread only) ---------------------------------------
+
+    def _register_view(
+        self, relation: str, pattern: Pattern
+    ) -> tuple[StandingView, dict, int]:
+        """Attach the delta sink on first use, then register + seed a view."""
+        if relation not in self.schema.names:
+            raise ServerError(f"unknown relation {relation!r}")
+        if self._delta_buffer is None:
+            if not delta_capable(self.engine):
+                raise ServerError(
+                    "this backend cannot maintain live views: executors must "
+                    "emit row deltas in-process (unsupported: process-pool "
+                    "sharding and the MV policies)"
+                )
+            buffer = DeltaBuffer()
+            attach_delta_sink(self.engine, buffer)
+            self._delta_buffer = buffer
+        view = self.views.register(relation, pattern)
+        self._seed_view(view)
+        return view, view.state(), view.version
+
+    def _seed_view(self, view: StandingView) -> None:
+        """Seed through the store's pattern planner — O(matched), not O(relation).
+
+        Pending deferred work flushes first so the seed shows normalized
+        annotations (exactly what a capture at this version would show);
+        shard stores hold disjoint rows, so merging their matches is a
+        plain union.
+        """
+        flush_pending(self.engine)
+        rows: dict[tuple, tuple] = {}
+        for engine in local_engines(self.engine):
+            executor = engine.executor
+            relation_store = executor.store.relation(view.relation)
+            slots = relation_store.rows
+            for rid, row in relation_store.matching(view.pattern):
+                ann = slots.annotation(rid)
+                rows[row] = (
+                    None if ann is None else executor._expr_of(ann),
+                    slots.is_live(rid),
+                )
+        view.rows = rows
+        view.version = self._version
+
+    def _flush_deltas(self) -> None:
+        """Drain the delta buffer into a version-stamped batch and fan out."""
+        buffer = self._delta_buffer
+        if buffer is None:
+            return
+        # The deferred-normalization flush emits its annotation rewrites
+        # *into this batch*, so every batch reflects exactly the state a
+        # same-version capture observes.
+        flush_pending(self.engine)
+        if not buffer:
+            return
+        batch = buffer.drain(self._version)
+        per_view = self.views.apply(batch)
+        callback = self.on_deltas
+        if callback is not None:
+            callback(batch, per_view)
 
     def _capture(self) -> Snapshot:
         """Capture and publish a snapshot (writer thread, quiescent point)."""

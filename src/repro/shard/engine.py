@@ -51,7 +51,7 @@ import time
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping
 
-from ..core.expr import Expr, ZERO, evaluate
+from ..core.expr import Expr, ZERO, evaluate, register_expr_roots
 from ..db.database import Database
 from ..engine.engine import Engine
 from ..engine.stats import EngineStats
@@ -311,6 +311,7 @@ class ShardedEngine:
         journal_dir: str | Path | None = None,
         sync: str = "flush",
         checkpoint_every: int = DEFAULT_EVERY_RECORDS,
+        sweep_every: int = 0,
         clock: Callable[[], float] = time.perf_counter,
     ):
         if policy not in SHARDABLE_POLICIES:
@@ -324,6 +325,7 @@ class ShardedEngine:
         self.parallel = parallel
         self.journaled = journal_dir is not None
         self.recovery = None
+        self.sweep_every = sweep_every
         self._clock = clock
         self._stats = EngineStats()
         self._applied: list[UpdateQuery] = []
@@ -333,8 +335,12 @@ class ShardedEngine:
         if journal_dir is not None:
             Path(journal_dir).mkdir(parents=True, exist_ok=True)
         self._backend = self._build_backend(
-            parts, journal_dir, sync, checkpoint_every, parallel
+            parts, journal_dir, sync, checkpoint_every, parallel, sweep_every
         )
+        # Coordinator-side sweep roots: sequential shard stores register
+        # themselves; the merged-capture cache is the extra root only the
+        # coordinator holds (readers may still be using it).
+        register_expr_roots(self)
         if journal_dir is not None:
             # Written only after every shard directory initialized cleanly.
             write_manifest(
@@ -353,6 +359,7 @@ class ShardedEngine:
         policy: str,
         tuple_vars: dict[str, dict[tuple, str]],
         recovery,
+        sweep_every: int = 0,
         clock: Callable[[], float] = time.perf_counter,
     ) -> "ShardedEngine":
         """Assemble an engine around already-recovered shards."""
@@ -363,6 +370,7 @@ class ShardedEngine:
         engine.parallel = backend.parallel
         engine.journaled = True
         engine.recovery = recovery
+        engine.sweep_every = sweep_every
         engine._clock = clock
         # Logical coordinator counters restart on recovery; the additive
         # per-shard counters (matching work, planner decisions) continue
@@ -372,6 +380,7 @@ class ShardedEngine:
         engine._capture_cache = None
         engine._tuple_vars = tuple_vars
         engine._backend = backend
+        register_expr_roots(engine)
         return engine
 
     # -- construction helpers -------------------------------------------------
@@ -399,7 +408,9 @@ class ShardedEngine:
             names[name] = per_relation
         return names
 
-    def _build_backend(self, parts, journal_dir, sync, checkpoint_every, parallel):
+    def _build_backend(
+        self, parts, journal_dir, sync, checkpoint_every, parallel, sweep_every=0
+    ):
         names = self._tuple_vars
         if not parallel:
             shard_annotate = (
@@ -447,6 +458,10 @@ class ShardedEngine:
                     "sync": sync,
                     "checkpoint_every": checkpoint_every,
                 }
+            if sweep_every:
+                # Workers own their process-local intern tables; each
+                # sweeps on its own apply cadence (see shard.worker).
+                payload["sweep_every"] = sweep_every
             payloads.append(payload)
         return _ProcessShards(payloads)
 
@@ -558,6 +573,22 @@ class ShardedEngine:
                     merged[name].update(rows)
             self._capture_cache = merged
         return self._capture_cache
+
+    def expr_roots(self):
+        """Sweep roots only the coordinator holds: the merged-capture cache.
+
+        Sequential shard stores register themselves; the process-pool
+        workers sweep their own intern tables.  What neither covers is the
+        cached merged capture — decoded (re-interned) expressions readers
+        may still reference between an observation and the next apply.
+        """
+        cache = self._capture_cache
+        if cache is None:
+            return
+        for rows in cache.values():
+            for ann, _live in rows.values():
+                if ann is not None:
+                    yield ann
 
     def _relation_state(self, relation: str) -> dict[tuple, tuple[Expr | None, bool]]:
         merged = self._merged()

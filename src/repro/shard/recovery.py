@@ -117,6 +117,7 @@ def recover_sharded(
     parallel: bool = False,
     sync: str | None = None,
     checkpoint_every: int | None = None,
+    sweep_every: int = 0,
     clock: Callable[[], float] = time.perf_counter,
 ) -> ShardedEngine:
     """Resume the sharded deployment persisted in ``directory``.
@@ -150,7 +151,8 @@ def recover_sharded(
                         "directory": str(shard_directory(directory, shard)),
                         "sync": sync,
                         "checkpoint_every": checkpoint_every,
-                    }
+                    },
+                    **({"sweep_every": sweep_every} if sweep_every else {}),
                 }
                 for shard in range(shard_map.n_shards)
             ]
@@ -183,5 +185,11 @@ def recover_sharded(
         policy=policy, n_shards=shard_map.n_shards, shards=reports
     )
     return ShardedEngine._resumed(
-        shard_map, backend, policy, tuple_vars, report, clock=clock
+        shard_map,
+        backend,
+        policy,
+        tuple_vars,
+        report,
+        sweep_every=sweep_every,
+        clock=clock,
     )

@@ -1,0 +1,39 @@
+"""Incremental live views: delta-maintained standing queries.
+
+See :mod:`repro.views.deltas` for the delta vocabulary and the engine
+hook, :mod:`repro.views.registry` for standing views, and
+``docs/ARCHITECTURE.md`` ("Live views") for the end-to-end push path.
+"""
+
+from .deltas import (
+    DELTA_KINDS,
+    DeltaBatch,
+    DeltaBuffer,
+    RowDelta,
+    apply_delta,
+    apply_delta_batch,
+    attach_delta_sink,
+    decode_delta_batch,
+    delta_capable,
+    encode_delta_batch,
+    flush_pending,
+    local_engines,
+)
+from .registry import StandingView, ViewRegistry
+
+__all__ = [
+    "DELTA_KINDS",
+    "DeltaBatch",
+    "DeltaBuffer",
+    "RowDelta",
+    "StandingView",
+    "ViewRegistry",
+    "apply_delta",
+    "apply_delta_batch",
+    "attach_delta_sink",
+    "decode_delta_batch",
+    "delta_capable",
+    "encode_delta_batch",
+    "flush_pending",
+    "local_engines",
+]

@@ -1,0 +1,149 @@
+"""Standing views: pattern-scoped slices of the support, delta-maintained.
+
+A :class:`StandingView` is a registered ``(relation, pattern)`` pair with
+a materialized answer set — ``{row: (expr, live)}`` — kept current by
+applying version-stamped :class:`~repro.views.deltas.DeltaBatch` streams
+instead of re-reading the relation.  The pattern is compiled through the
+same :func:`~repro.store.planner.compile_plan` path the store's
+``matching`` uses, so seeding a view from a live store is index-assisted
+and O(matched rows), not O(relation).
+
+The :class:`ViewRegistry` owns the set of standing views for one service
+and fans each drained batch out to the views it touches, reporting per
+view exactly the deltas that matched — the payload the server pushes to
+that view's subscribers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import EngineError
+from ..queries.pattern import Pattern
+from ..store.planner import compile_plan
+from .deltas import DeltaBatch, RowDelta, apply_delta
+
+__all__ = ["StandingView", "ViewRegistry"]
+
+
+class StandingView:
+    """One registered standing pattern with its maintained answer set.
+
+    ``version`` is the snapshot version the answer set reflects: the seed
+    version at registration, then the stamp of the last applied batch.
+    Batches must be applied in version order (the registry guarantees
+    this — there is one drain stream per service).
+    """
+
+    __slots__ = ("view_id", "relation", "pattern", "plan", "rows", "version")
+
+    def __init__(self, view_id: int, relation: str, pattern: Pattern):
+        self.view_id = view_id
+        self.relation = relation
+        self.pattern = pattern
+        self.plan = compile_plan(pattern)
+        self.rows: dict[tuple, tuple] = {}
+        self.version = -1
+
+    # -- seeding ----------------------------------------------------------
+
+    def seed_from_store(self, relation_store, expr_of, version: int) -> None:
+        """Seed from a live relation store via the pattern planner.
+
+        ``expr_of`` maps a stored non-``None`` annotation to its ``Expr``
+        (the owning executor's ``_expr_of``), so seeded expressions are
+        the same interned objects later deltas carry; annotation-free
+        slots (the vanilla policy) seed as ``None``, matching the capture
+        and delta forms.
+        """
+        rows = relation_store.rows
+        self.rows = {
+            row: (
+                None if (ann := rows.annotation(rid)) is None else expr_of(ann),
+                rows.is_live(rid),
+            )
+            for rid, row in relation_store.matching(self.pattern)
+        }
+        self.version = version
+
+    def seed_from_state(self, relation_state, version: int) -> None:
+        """Seed from a captured ``{row: (expr, live)}`` mapping (filtered)."""
+        self.rows = {
+            row: payload
+            for row, payload in relation_state.items()
+            if self.pattern.matches(row)
+        }
+        self.version = version
+
+    # -- maintenance ------------------------------------------------------
+
+    def apply(self, batch: DeltaBatch) -> list[RowDelta]:
+        """Apply one batch; return the deltas that fell inside this view.
+
+        The version advances to ``batch.version`` even when nothing
+        matched — an empty result still means "current as of v".
+        """
+        matched = [
+            delta
+            for delta in batch
+            if delta.relation == self.relation and self.pattern.matches(delta.row)
+        ]
+        for delta in matched:
+            if delta.kind == "free":
+                self.rows.pop(delta.row, None)
+            else:
+                self.rows[delta.row] = (delta.expr, delta.live)
+        self.version = batch.version
+        return matched
+
+    def state(self) -> dict[tuple, tuple]:
+        """A detached copy of the answer set (row -> (expr, live))."""
+        return dict(self.rows)
+
+    def describe(self) -> str:
+        return f"{self.relation}[{self.pattern.describe()}]"
+
+
+class ViewRegistry:
+    """All standing views of one service, fanned out from one delta stream."""
+
+    __slots__ = ("_views", "_next_id")
+
+    def __init__(self):
+        self._views: dict[int, StandingView] = {}
+        self._next_id = 1
+
+    def register(self, relation: str, pattern: Pattern) -> StandingView:
+        view = StandingView(self._next_id, relation, pattern)
+        self._views[view.view_id] = view
+        self._next_id += 1
+        return view
+
+    def unregister(self, view_id: int) -> bool:
+        return self._views.pop(view_id, None) is not None
+
+    def get(self, view_id: int) -> StandingView:
+        try:
+            return self._views[view_id]
+        except KeyError:
+            raise EngineError(f"unknown view id {view_id}") from None
+
+    def views(self) -> Iterable[StandingView]:
+        return self._views.values()
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def apply(self, batch: DeltaBatch) -> dict[int, list[RowDelta]]:
+        """Advance every view past ``batch``; report who saw what.
+
+        Views that matched nothing still advance their version but are
+        omitted from the report — subscribers only hear about batches
+        that touched their slice.
+        """
+        touched: dict[int, list[RowDelta]] = {}
+        for view in self._views.values():
+            matched = view.apply(batch)
+            if matched:
+                touched[view.view_id] = matched
+        return touched

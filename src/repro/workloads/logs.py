@@ -24,6 +24,8 @@ __all__ = [
     "log_from_events",
     "query_to_dict",
     "query_from_dict",
+    "pattern_to_dict",
+    "pattern_from_dict",
 ]
 
 LogItem = UpdateQuery | Transaction
@@ -223,6 +225,12 @@ def _pattern_from_dict(data: Mapping[str, object]) -> Pattern:
         eq={int(i): v for i, v in data.get("eq", ())},
         neq={int(i): set(vs) for i, vs in data.get("neq", ())},
     )
+
+
+#: Public names for the pattern codec: subscriptions ship bare patterns
+#: (no enclosing query), in exactly the replay vocabulary's encoding.
+pattern_to_dict = _pattern_to_dict
+pattern_from_dict = _pattern_from_dict
 
 
 def query_to_dict(query: UpdateQuery) -> dict[str, object]:

@@ -88,8 +88,12 @@ def transactions(name: str = "p", max_queries: int = 5):
     )
 
 
-def logs(max_transactions: int = 3, max_queries: int = 4):
-    """A list of transactions with distinct annotations t0, t1, ..."""
+def logs(max_transactions: int = 3, max_queries: int = 4, queries=queries):
+    """A list of transactions with distinct annotations t0, t1, ...
+
+    ``queries`` swaps the per-transaction query strategy — e.g. a
+    shard-safe one whose modifications never assign the shard key.
+    """
 
     def build(query_lists):
         return [

@@ -1,0 +1,140 @@
+"""Unit tests of the delta vocabulary: coalescing, codec, engine plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expr import plus_i, var
+from repro.db.database import Database
+from repro.engine.engine import Engine
+from repro.errors import EngineError
+from repro.queries.updates import Insert
+from repro.views import (
+    DeltaBatch,
+    DeltaBuffer,
+    RowDelta,
+    apply_delta_batch,
+    attach_delta_sink,
+    decode_delta_batch,
+    delta_capable,
+    encode_delta_batch,
+    flush_pending,
+    local_engines,
+)
+
+
+def pending(buffer: DeltaBuffer) -> dict:
+    """``{(relation, row): (kind, expr, live)}`` of the un-drained buffer."""
+    return {key: tuple(entry) for key, entry in buffer._pending.items()}
+
+
+# -- coalescing ---------------------------------------------------------------
+
+
+def test_insert_then_free_nets_to_nothing():
+    buffer = DeltaBuffer()
+    buffer.record("insert", "R", (1, 2), var("x1"), True)
+    buffer.record("free", "R", (1, 2), None, False)
+    assert not buffer
+    assert buffer.drain(3) == DeltaBatch(3, ())
+
+
+def test_free_of_preexisting_row_ships_as_free():
+    buffer = DeltaBuffer()
+    buffer.record("annotation", "R", (1, 2), var("x1"), True)
+    buffer.record("free", "R", (1, 2), None, False)
+    assert pending(buffer) == {("R", (1, 2)): ("free", None, False)}
+
+
+def test_insert_stays_insert_through_later_changes():
+    buffer = DeltaBuffer()
+    expr = plus_i(var("x1"), var("p"))
+    buffer.record("insert", "R", (1, 2), var("x1"), True)
+    buffer.record("delete", "R", (1, 2), expr, False)
+    assert pending(buffer) == {("R", (1, 2)): ("insert", expr, False)}
+
+
+def test_free_then_insert_is_new_again():
+    buffer = DeltaBuffer()
+    buffer.record("free", "R", (1, 2), None, False)
+    buffer.record("annotation", "R", (1, 2), var("x1"), True)
+    assert pending(buffer) == {("R", (1, 2)): ("insert", var("x1"), True)}
+
+
+def test_latest_kind_and_payload_win_otherwise():
+    buffer = DeltaBuffer()
+    buffer.record("annotation", "R", (1, 2), var("x1"), True)
+    buffer.record("delete", "R", (1, 2), var("x2"), False)
+    assert pending(buffer) == {("R", (1, 2)): ("delete", var("x2"), False)}
+
+
+def test_drain_stamps_and_clears():
+    buffer = DeltaBuffer()
+    buffer.record("insert", "R", (0, 0), var("x1"), True)
+    batch = buffer.drain(7)
+    assert batch.version == 7
+    assert [d.kind for d in batch] == ["insert"]
+    assert not buffer and len(buffer.drain(8)) == 0
+
+
+# -- reconstruction and the wire codec ---------------------------------------
+
+
+def test_apply_delta_batch_upserts_and_frees():
+    state = {"R": {(0, 0): (var("x1"), True)}}
+    batch = DeltaBatch(
+        2,
+        (
+            RowDelta("delete", "R", (0, 0), var("x2"), False),
+            RowDelta("insert", "R", (1, 1), var("x3"), True),
+            RowDelta("free", "S", (9,), None, False),  # absent key: no-op
+        ),
+    )
+    apply_delta_batch(state, batch)
+    assert state == {
+        "R": {(0, 0): (var("x2"), False), (1, 1): (var("x3"), True)},
+        "S": {},
+    }
+
+
+def test_codec_round_trip_reinterns_identical_objects():
+    shared = plus_i(var("x1"), var("p"))
+    batch = DeltaBatch(
+        5,
+        (
+            RowDelta("insert", "R", (1, 2), shared, True),
+            RowDelta("annotation", "R", (3, 4), shared, False),
+            RowDelta("free", "R", (5, 6), None, False),
+        ),
+    )
+    decoded = decode_delta_batch(encode_delta_batch(batch))
+    assert decoded == batch
+    # The arena re-interns: both rows share the very same expression object.
+    assert decoded.deltas[0].expr is decoded.deltas[1].expr is shared
+
+
+# -- engine plumbing ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["naive", "normal_form", "normal_form_batch", "none"])
+def test_attached_engine_routes_deltas_through_the_sink(policy):
+    database = Database.from_rows("R", ["a", "b"], [(0, 0)])
+    engine = Engine(database, policy=policy)
+    assert delta_capable(engine)
+    assert local_engines(engine) == [engine]
+    buffer = DeltaBuffer()
+    attach_delta_sink(engine, buffer)
+    engine.apply(Insert("R", (1, 1)).annotated("p"))
+    flush_pending(engine)
+    batch = buffer.drain(1)
+    kinds = {delta.row: delta.kind for delta in batch}
+    assert kinds[(1, 1)] == "insert"
+
+
+@pytest.mark.parametrize("policy", ["mv_tree", "mv_string"])
+def test_mv_policies_are_rejected_loudly(policy):
+    database = Database.from_rows("R", ["a", "b"], [(0, 0)])
+    engine = Engine(database, policy=policy)
+    assert not delta_capable(engine)
+    with pytest.raises(EngineError, match="does not emit row deltas"):
+        attach_delta_sink(engine, DeltaBuffer())
