@@ -43,6 +43,7 @@ __all__ = [
     "IndexComparison",
     "MemoryComparison",
     "RecoveryComparison",
+    "ReplicationComparison",
     "SeriesRun",
     "ServerComparison",
     "ShardComparison",
@@ -53,6 +54,7 @@ __all__ = [
     "memory_comparison",
     "recovery_comparison",
     "repeated_normalization_workload",
+    "replication_comparison",
     "rewrite_cache_comparison",
     "series_run",
     "server_comparison",
@@ -1176,6 +1178,267 @@ def recovery_comparison(
         journaled_time=journaled_time,
         plain_time=plain_time,
         recovery_time=recovery_time,
+        consistent=consistent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Replication: follower read scaling vs. primary-only (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicationComparison:
+    """One write stream served with reads on followers vs. primary-only.
+
+    Both phases run the identical write load — ``writes`` single-insert
+    applies, back to back through one primary connection, so every
+    acknowledged write bumps the primary's version — while ``readers``
+    concurrent clients issue point reads as fast as they can.  In the
+    *primary* phase reads go to the writing server: the version churn
+    invalidates its published snapshot on every write, so each read pays
+    a full capture admission on the shared writer.  In the *replicated*
+    phase reads route through
+    :class:`~repro.replication.client.ReplicatedClient` to ``followers``
+    journal-shipped replicas, whose pumps **coalesce** shipped frames
+    (see :mod:`repro.replication.follower`): a follower publishes one
+    snapshot version per applied batch, so between batches every read is
+    a cached-snapshot hit.  The speedup is a per-read-cost win — captures
+    amortized over whole shipped batches instead of paid per write — not
+    a core-count win: it holds on a single-core runner.
+
+    The topology is identical in both phases — the primary ships to all
+    ``followers`` throughout, so both sides bear the same replication
+    apply cost and the measurement isolates the read *routing* alone.
+
+    ``consistent`` is the correctness keel: after both phases quiesce,
+    every follower must sit at the primary's exact journal sequence and
+    its full state capture must be bit-identical — equal rows and
+    liveness, the identical re-interned annotation object per row — to
+    the primary's at that same sequence.
+
+    The primary-only phase runs first, against the *smaller* state (the
+    replicated phase's writes land on top), so state-size growth biases
+    the measurement *against* the asserted speedup.
+    """
+
+    policy: str
+    followers: int
+    readers: int
+    rows: int
+    writes: int
+    seq: int
+    primary_reads: int
+    primary_elapsed: float
+    replicated_reads: int
+    replicated_elapsed: float
+    follower_reads: int
+    consistent: bool
+
+    @property
+    def primary_read_rate(self) -> float:
+        return self.primary_reads / self.primary_elapsed if self.primary_elapsed else 0.0
+
+    @property
+    def replicated_read_rate(self) -> float:
+        return (
+            self.replicated_reads / self.replicated_elapsed
+            if self.replicated_elapsed
+            else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate read throughput: replicated / primary-only (floor 1.8x)."""
+        if not self.primary_read_rate:
+            return float("inf")
+        return self.replicated_read_rate / self.primary_read_rate
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "followers": self.followers,
+            "readers": self.readers,
+            "rows": self.rows,
+            "writes": self.writes,
+            "seq": self.seq,
+            "primary_reads": self.primary_reads,
+            "primary_elapsed": self.primary_elapsed,
+            "primary_read_rate": self.primary_read_rate,
+            "replicated_reads": self.replicated_reads,
+            "replicated_elapsed": self.replicated_elapsed,
+            "replicated_read_rate": self.replicated_read_rate,
+            "follower_reads": self.follower_reads,
+            "speedup": self.speedup,
+            "consistent": self.consistent,
+        }
+
+
+def _await_followers(clients, seq: int, timeout: float = 60.0) -> None:
+    """Block until every follower's applied sequence reaches ``seq``."""
+    from ..errors import ReplicationError
+
+    deadline = time.monotonic() + timeout
+    for client in clients:
+        while True:
+            info = client.stats()["server"]
+            if int(info.get("version", -1)) >= seq:
+                break
+            if time.monotonic() > deadline:
+                raise ReplicationError(
+                    f"follower stuck at seq {info.get('version')} < {seq}"
+                )
+            time.sleep(0.05)
+
+
+def replication_comparison(
+    directory,
+    followers: int = 3,
+    readers: int = 4,
+    rows: int = 8000,
+    writes: int = 300,
+    policy: str = "normal_form_batch",
+    verify: bool = True,
+) -> ReplicationComparison:
+    """Measure follower read scaling against primary-only reads.
+
+    Spawns one ``repro replicate primary`` and ``followers`` follower
+    child processes under ``directory`` (real process isolation: separate
+    interpreters, intern tables, TCP between them).  The timed read op is
+    ``annotation_of`` over rotating preloaded rows — a point read whose
+    response is tiny, so throughput measures snapshot currency (capture
+    admissions vs. cached-snapshot hits), not response encoding.
+    """
+    import threading
+
+    from ..replication.client import ReplicatedClient
+    from ..replication.process import spawn_follower, spawn_primary
+    from ..server.client import ServerClient
+    from ..queries.updates import Insert
+
+    directory = Path(directory)
+    relation = "events"
+
+    def insert(i: int) -> Insert:
+        return Insert(relation, (i, f"v{i}"), annotation=f"e{i}")
+
+    def measured_phase(writer: ServerClient, make_reader, first_id: int):
+        """Run the saturated write stream while readers hammer point reads."""
+        stop = threading.Event()
+        counts = [0] * readers
+        routed = [0] * readers  # reads a follower (not the primary) served
+        failures: list[BaseException] = []
+        barrier = threading.Barrier(readers + 1)
+
+        def read_loop(index: int) -> None:
+            try:
+                with make_reader() as client:
+                    barrier.wait()
+                    row_id = index
+                    while not stop.is_set():
+                        row_id = (row_id + 7) % rows
+                        client.annotation_of(relation, (row_id, f"v{row_id}"))
+                        counts[index] += 1
+                    routed[index] = getattr(client, "follower_reads", 0)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failures.append(exc)
+                stop.set()
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=read_loop, args=(i,), daemon=True)
+            for i in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            barrier.wait()
+            start = time.perf_counter()
+            # Back-to-back single applies: continuous version churn, the
+            # write regime the read-scaling claim is about.
+            for j in range(writes):
+                writer.apply(insert(first_id + j))
+            elapsed = time.perf_counter() - start
+        finally:
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        if failures:
+            raise failures[0]
+        return sum(counts), elapsed, sum(routed)
+
+    with spawn_primary(
+        directory / "primary", schema=[f"{relation}:id,value"], policy=policy
+    ) as primary:
+        with ServerClient(*primary.address, connect_retry=10.0) as writer:
+            # Preload outside both timed sections: the shared baseline state
+            # every point read resolves against.
+            writer.apply_pipelined([insert(i) for i in range(rows)])
+
+            nodes = [
+                spawn_follower(
+                    directory / f"follower-{i}", primary.replication_address
+                )
+                for i in range(followers)
+            ]
+            try:
+                follower_clients = [
+                    ServerClient(*node.address, connect_retry=10.0) for node in nodes
+                ]
+                # Followers start from the checkpoint fetch; let them reach
+                # the preload watermark before timing anything.
+                _await_followers(follower_clients, writer.last_seq or 0)
+
+                primary_reads, primary_elapsed, _ = measured_phase(
+                    writer,
+                    lambda: ServerClient(*primary.address, connect_retry=10.0),
+                    first_id=rows,
+                )
+
+                replicated_reads, replicated_elapsed, follower_served = measured_phase(
+                    writer,
+                    lambda: ReplicatedClient(
+                        primary.address,
+                        [node.address for node in nodes],
+                        # A reading-only client has observed no write seq, so
+                        # any generous bound keeps every read on a follower.
+                        max_lag=1_000_000,
+                        connect_retry=10.0,
+                    ),
+                    first_id=rows + writes,
+                )
+
+                # Quiesce and hold the keel: every follower at the primary's
+                # exact journal seq, bit-identical full state captures.
+                seq = writer.last_seq or 0
+                _await_followers(follower_clients, seq)
+                consistent = True
+                if verify:
+                    primary_state = writer.state()
+                    for client in follower_clients:
+                        follower_state = client.state()
+                        if client.last_version != seq or not _states_bit_identical(
+                            primary_state, follower_state
+                        ):
+                            consistent = False
+                for client in follower_clients:
+                    client.close()
+            finally:
+                for node in nodes:
+                    node.stop()
+
+    return ReplicationComparison(
+        policy=policy,
+        followers=followers,
+        readers=readers,
+        rows=rows,
+        writes=writes,
+        seq=seq,
+        primary_reads=primary_reads,
+        primary_elapsed=primary_elapsed,
+        replicated_reads=replicated_reads,
+        replicated_elapsed=replicated_elapsed,
+        follower_reads=follower_served,
         consistent=consistent,
     )
 

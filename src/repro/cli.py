@@ -244,6 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--host", default="127.0.0.1")
     loadgen.add_argument("--port", type=int, default=None, help="default: 7464")
     loadgen.add_argument(
+        "--follower",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="replication follower to route reads to (repeatable; writes "
+        "stay on --host/--port and a replica_lag histogram is recorded)",
+    )
+    loadgen.add_argument(
+        "--max-lag",
+        type=int,
+        default=64,
+        metavar="N",
+        help="staleness bound for follower reads, in journal records "
+        "(default: 64; reads outside the bound fall back to the primary)",
+    )
+    loadgen.add_argument(
         "--profile",
         default="tiny",
         help="named profile (tiny | smoke | medium) the flags below override",
@@ -330,6 +346,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the repro serve --schema flags this profile needs, then exit",
     )
     loadgen.set_defaults(func=cmd_loadgen)
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="read-scaling replication: journal-shipping primary, "
+        "snapshot-isolated followers, promote-on-failure",
+    )
+    rsub = replicate.add_subparsers(dest="role", required=True)
+
+    rprimary = rsub.add_parser(
+        "primary", help="serve a journaled writer with a shipping endpoint"
+    )
+    rprimary.add_argument("directory", help="durable directory (recovered if it exists)")
+    rprimary.add_argument("--host", default="127.0.0.1")
+    rprimary.add_argument("--port", type=int, default=None, help="default: 7464")
+    rprimary.add_argument(
+        "--replication-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="shipping endpoint followers connect to (default: ephemeral, printed)",
+    )
+    rprimary.add_argument("--policy", default="normal_form_batch")
+    rprimary.add_argument(
+        "--schema", action="append", default=[], metavar="REL:a,b,c",
+        help="relation declaration for a fresh primary (repeatable)",
+    )
+    rprimary.add_argument("--csv", action="append", default=[], metavar="REL=path")
+    rprimary.add_argument(
+        "--journal-sync", choices=["none", "flush", "fsync"], default="flush"
+    )
+    rprimary.add_argument("--checkpoint-every", type=int, default=1024, metavar="N")
+    rprimary.add_argument("--admission-max", type=int, default=256, metavar="N")
+    rprimary.add_argument(
+        "--buffer-records",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="shipped records retained in memory for streaming followers "
+        "(size above --checkpoint-every; default: 4096)",
+    )
+    rprimary.set_defaults(func=cmd_replicate)
+
+    rfollower = rsub.add_parser(
+        "follower", help="bootstrap from the primary and serve bounded-stale reads"
+    )
+    rfollower.add_argument("directory", help="durable directory for this follower")
+    rfollower.add_argument(
+        "--primary", required=True, metavar="HOST:PORT",
+        help="the primary's shipping endpoint (from its startup line)",
+    )
+    rfollower.add_argument("--host", default="127.0.0.1")
+    rfollower.add_argument(
+        "--port", type=int, default=0, help="read-serving port (default: ephemeral, printed)"
+    )
+    rfollower.add_argument(
+        "--journal-sync", choices=["none", "flush", "fsync"], default="flush"
+    )
+    rfollower.add_argument("--checkpoint-every", type=int, default=1024, metavar="N")
+    rfollower.set_defaults(func=cmd_replicate)
+
+    rpromote = rsub.add_parser(
+        "promote", help="turn a follower into a writer (after the primary died)"
+    )
+    rpromote.add_argument("--host", default="127.0.0.1")
+    rpromote.add_argument("--port", type=int, required=True)
+    rpromote.add_argument("--retry", type=float, default=5.0, metavar="SECONDS")
+    rpromote.set_defaults(func=cmd_replicate)
+
+    rstatus = rsub.add_parser("status", help="one node's role and stream health")
+    rstatus.add_argument("--host", default="127.0.0.1")
+    rstatus.add_argument("--port", type=int, required=True)
+    rstatus.add_argument("--retry", type=float, default=5.0, metavar="SECONDS")
+    rstatus.set_defaults(func=cmd_replicate)
 
     sql = sub.add_parser("sql", help="run a SQL-fragment script with provenance tracking")
     sql.add_argument("script", help="path to the script, or '-' for stdin")
@@ -871,6 +960,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             mode="thread" if args.threads else "process",
             progress=print if args.report_every > 0 else None,
             report_every=args.report_every,
+            followers=[_parse_address(spec) for spec in (args.follower or [])],
+            max_lag=args.max_lag,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -887,6 +978,120 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     for violation in violations:
         print(f"SLO violated: {violation}", file=sys.stderr)
     return 1 if violations else 0
+
+
+def _parse_address(spec: str) -> tuple[str, int]:
+    from .errors import ReproError
+
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"address {spec!r} must look like HOST:PORT")
+    return host, int(port)
+
+
+def _wait_until_stopped(is_closed) -> None:
+    """Block the main thread until SIGINT/SIGTERM or the node shuts down."""
+    import signal
+    import threading
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main thread
+            break
+    while not stop.is_set() and not is_closed():
+        stop.wait(0.2)
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .server.protocol import DEFAULT_PORT
+    from .server.service import ServerConfig
+
+    try:
+        if args.role == "primary":
+            from .replication import serve_primary
+
+            config = ServerConfig(
+                host=args.host,
+                port=args.port if args.port is not None else DEFAULT_PORT,
+                backend="journaled",
+                policy=args.policy,
+                directory=args.directory,
+                sync=args.journal_sync,
+                checkpoint_every=args.checkpoint_every,
+                admission_max=args.admission_max,
+            )
+            if args.csv and not args.schema:
+                raise ReproError("--csv needs --schema to declare its relation")
+            database = (
+                _database_from_specs(args.schema, args.csv) if args.schema else None
+            )
+            handle = serve_primary(
+                database,
+                config,
+                replication_host=args.host,
+                replication_port=args.replication_port,
+                buffer_records=args.buffer_records,
+            )
+            print(
+                f"primary serving on {handle.server.host}:{handle.server.port} "
+                f"shipping on {handle.listener.host}:{handle.listener.port} "
+                f"(policy={config.policy}, seq={handle.hub.last_seq})",
+                flush=True,
+            )
+            try:
+                _wait_until_stopped(lambda: handle.service.closed)
+            finally:
+                handle.stop()
+            print("primary stopped (flushed and checkpointed)")
+            return 0
+
+        if args.role == "follower":
+            from .replication import FollowerNode
+
+            config = ServerConfig(
+                host=args.host,
+                port=args.port,
+                backend="journaled",
+                directory=args.directory,
+                sync=args.journal_sync,
+                checkpoint_every=args.checkpoint_every,
+            )
+            node = FollowerNode(
+                args.directory, _parse_address(args.primary), config
+            )
+            node.start()
+            print(
+                f"follower serving on {node.address[0]}:{node.address[1]} "
+                f"tracking {args.primary} (seq={node.applied_seq})",
+                flush=True,
+            )
+            try:
+                _wait_until_stopped(lambda: node.service.closed)
+            finally:
+                node.stop()
+            print("follower stopped (journal tail kept for the next bootstrap)")
+            return 0
+
+        from .server.client import ServerClient
+
+        with ServerClient(args.host, args.port, connect_retry=args.retry) as client:
+            if args.role == "promote":
+                result = client.promote()
+                print(f"promoted: now {result['role']} at seq {result['seq']}")
+                return 0
+            # status
+            stats = client.stats()
+            for key, value in stats["server"].items():
+                print(f"  {key}: {value}")
+            for key, value in stats.get("replication", {}).items():
+                print(f"  replication.{key}: {value}")
+            return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_sql(args: argparse.Namespace) -> int:

@@ -9,6 +9,7 @@ __all__ = [
     "StructureError",
     "StorageError",
     "ServerError",
+    "ReplicationError",
 ]
 
 
@@ -51,3 +52,7 @@ class StorageError(ReproError):
 
 class ServerError(ReproError):
     """Wire-protocol violations and provenance-service failures."""
+
+
+class ReplicationError(ReproError):
+    """Journal-shipping failures: sequence gaps, divergence, lost primaries."""

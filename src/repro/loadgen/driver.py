@@ -24,6 +24,14 @@ through the same ticks, stats lines, and ``BENCH_loadgen_*.json`` as the
 op-latency kinds.  After a server-side slow-consumer drop the next
 subscribe op re-subscribes for a fresh seed.
 
+Given ``followers``, each worker holds a
+:class:`~repro.replication.client.ReplicatedClient` instead of a plain
+:class:`~repro.server.client.ServerClient`: writes still hit the
+primary, reads route to the least-lagged follower within ``max_lag``,
+and every satisfied read's staleness (journal records behind the
+primary) lands in a ``replica_lag`` histogram alongside the latency
+kinds.
+
 Workers stream periodic ticks (operation counts plus serialized
 histograms) to the driver, which prints merged stats lines during the
 run and folds everything into one :class:`~repro.loadgen.report.LoadgenResult`.
@@ -38,6 +46,7 @@ import time
 from typing import Callable
 
 from ..errors import ServerError
+from ..replication.client import ReplicatedClient
 from ..server.client import ServerClient
 from ..server.protocol import DEFAULT_PORT
 from .histogram import LatencyHistogram
@@ -60,6 +69,8 @@ def _worker_main(
     port: int,
     profile: LoadgenProfile,
     worker: int,
+    followers,
+    max_lag: int,
     results,
     barrier,
 ) -> None:
@@ -82,7 +93,23 @@ def _worker_main(
         def record(kind: str, seconds: float) -> None:
             hists.setdefault(kind, LatencyHistogram()).record(seconds)
 
-        with ServerClient(host, port, connect_retry=10.0) as client:
+        if followers:
+            # Read/write split: reads route to followers within max_lag,
+            # each satisfied read's staleness lands under replica_lag
+            # (integer journal records; sub-bucket values count in the
+            # lowest bin, so lag=0 reads still show up).
+            client_factory = lambda: ReplicatedClient(  # noqa: E731
+                (host, port),
+                followers,
+                max_lag=max_lag,
+                connect_retry=10.0,
+                on_lag=lambda lag: record("replica_lag", lag),
+            )
+        else:
+            client_factory = lambda: ServerClient(  # noqa: E731
+                host, port, connect_retry=10.0
+            )
+        with client_factory() as client:
             client.apply(worker_prelude(profile, worker))
             barrier.wait(timeout=BARRIER_TIMEOUT)
             pacer = Pacer(
@@ -193,6 +220,8 @@ def run_loadgen(
     mode: str = "process",
     progress: Callable[[str], None] | None = None,
     report_every: float = 1.0,
+    followers: list[tuple[str, int]] | None = None,
+    max_lag: int = 64,
 ) -> LoadgenResult:
     """Run one load profile against a server; returns the merged result.
 
@@ -203,14 +232,18 @@ def run_loadgen(
     most every ``report_every`` seconds, e.g.::
 
         loadgen t=  2.0s ops=1480 rate=740/s errors=0 apply p50=0.9ms p99=4.1ms ...
+
+    ``followers`` (a list of ``(host, port)`` read replicas) turns each
+    worker into a read/write splitter — see the module docstring.
     """
+    follower_list = list(followers or [])
     if mode == "thread":
         results: "queue_module.Queue | multiprocessing.Queue" = queue_module.Queue()
         barrier = threading.Barrier(profile.workers)
         workers = [
             threading.Thread(
                 target=_worker_main,
-                args=(host, port, profile, w, results, barrier),
+                args=(host, port, profile, w, follower_list, max_lag, results, barrier),
                 name=f"loadgen-{w}",
                 daemon=True,
             )
@@ -223,7 +256,7 @@ def run_loadgen(
         workers = [
             context.Process(
                 target=_worker_main,
-                args=(host, port, profile, w, results, barrier),
+                args=(host, port, profile, w, follower_list, max_lag, results, barrier),
                 name=f"loadgen-{w}",
                 daemon=True,
             )

@@ -1,0 +1,48 @@
+"""Read-scaling replication: journal shipping to snapshot-isolated followers.
+
+A single writer (the *primary*) streams its CRC-framed journal verbatim
+over TCP to N *follower* processes.  Each follower bootstraps via a
+checkpoint fetch plus :func:`repro.wal.recovery.recover`, then applies
+shipped frames through the same replay vocabulary recovery uses — so a
+follower at journal sequence *s* is bit-identical to the primary at *s*:
+same rows, same liveness, the same interned annotation objects.
+
+Layers, bottom up:
+
+:mod:`~repro.replication.apply`
+    :class:`ShipmentApplier` — durable-append-then-apply of shipped
+    frames onto a follower engine, with exactly-once sequencing.
+:mod:`~repro.replication.hub`
+    :class:`ReplicationHub` (journal append fan-out) and
+    :class:`ReplicationListener` (the primary's shipping endpoint).
+:mod:`~repro.replication.follower`
+    :class:`FollowerCore` — bootstrap, connect, resume-from-durable-seq,
+    reconnect with backoff.
+:mod:`~repro.replication.node`
+    Process-level wiring: :func:`serve_primary`, :class:`FollowerNode`
+    (a follower serving the read surface), promotion.
+:mod:`~repro.replication.client`
+    :class:`ReplicatedClient` — the read/write splitter (writes to the
+    primary, reads to the least-lagged follower within ``max_lag``).
+:mod:`~repro.replication.process`
+    Subprocess helpers that spawn ``repro replicate`` topologies for
+    tests and benchmarks.
+"""
+
+from .apply import ShipmentApplier
+from .client import ReplicatedClient
+from .follower import FollowerCore, fetch_checkpoint
+from .hub import ReplicationHub, ReplicationListener
+from .node import FollowerNode, choose_promotion_candidate, serve_primary
+
+__all__ = [
+    "FollowerCore",
+    "FollowerNode",
+    "ReplicatedClient",
+    "ReplicationHub",
+    "ReplicationListener",
+    "ShipmentApplier",
+    "choose_promotion_candidate",
+    "fetch_checkpoint",
+    "serve_primary",
+]

@@ -1,0 +1,169 @@
+"""The read/write splitter: writes to the primary, reads to followers.
+
+:class:`ReplicatedClient` holds one :class:`ServerClient` per node.
+Writes go to the primary; every apply response carries the journal
+``seq`` it reached, which becomes the client's staleness yardstick.
+Reads go to the least-lagged follower whose version satisfies the
+client's bound::
+
+    read_at >= last_write_seq - max_lag
+
+A follower's snapshot version *is* its applied journal sequence (see
+:mod:`repro.replication.node`), so the bound is checked directly on the
+response — no extra round-trip.  A read that comes back too stale falls
+through to the next-freshest follower and ultimately to the primary, so
+the bound is honored even mid-catch-up.  ``max_lag=0`` gives
+read-your-writes; larger bounds trade freshness for read scaling (see
+docs/OPERATIONS.md for choosing it).
+
+Each satisfied read records a ``replica_lag`` sample — how many journal
+records behind the primary the serving follower was — through the
+``on_lag`` hook (the loadgen aggregates these into a histogram).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import ServerError
+from ..server.client import ServerClient
+
+__all__ = ["ReplicatedClient"]
+
+
+class ReplicatedClient:
+    """Routes writes to the primary and bounded-staleness reads to followers."""
+
+    def __init__(
+        self,
+        primary: tuple[str, int],
+        followers: Iterable[tuple[str, int]] = (),
+        max_lag: int = 64,
+        timeout: float = 60.0,
+        connect_retry: float = 5.0,
+        on_lag: Callable[[int], None] | None = None,
+    ):
+        if max_lag < 0:
+            raise ServerError("max_lag must be >= 0")
+        self.max_lag = max_lag
+        self.on_lag = on_lag
+        self._timeout = timeout
+        self._connect_retry = connect_retry
+        self.primary = ServerClient(
+            primary[0], primary[1], timeout=timeout, connect_retry=connect_retry
+        )
+        self.followers = [
+            ServerClient(host, port, timeout=timeout, connect_retry=connect_retry)
+            for host, port in followers
+        ]
+        #: routing counters.
+        self.follower_reads = 0
+        self.primary_reads = 0
+        self.stale_rejects = 0
+
+    # -- writes (primary only) -------------------------------------------------
+
+    def apply(self, item, batch: bool = False) -> int:
+        return self.primary.apply(item, batch=batch)
+
+    def apply_batch(self, item) -> int:
+        return self.primary.apply_batch(item)
+
+    def apply_pipelined(self, items, **kwargs) -> int:
+        return self.primary.apply_pipelined(items, **kwargs)
+
+    def checkpoint(self) -> int:
+        return self.primary.checkpoint()
+
+    @property
+    def last_write_seq(self) -> int:
+        """The journal seq the newest acknowledged write reached (0 = none)."""
+        return self.primary.last_seq or 0
+
+    # -- reads (least-lagged follower within the bound) --------------------------
+
+    def _read(self, operation):
+        """Run one read on the freshest follower satisfying the bound."""
+        target = self.last_write_seq - self.max_lag
+        # Freshest-known first: versions observed on earlier reads order
+        # the candidates, so a lagging follower is tried last, not first.
+        candidates = sorted(
+            self.followers, key=lambda c: c.last_version or -1, reverse=True
+        )
+        for follower in candidates:
+            try:
+                result = operation(follower)
+            except ServerError:
+                continue  # unreachable or mid-restart; try the next one
+            version = follower.last_version or 0
+            if version >= target:
+                self.follower_reads += 1
+                if self.on_lag is not None:
+                    self.on_lag(max(0, self.last_write_seq - version))
+                return result
+            self.stale_rejects += 1
+        result = operation(self.primary)
+        self.primary_reads += 1
+        if self.on_lag is not None:
+            self.on_lag(0)
+        return result
+
+    def state(self):
+        return self._read(lambda client: client.state())
+
+    def raw_state(self):
+        return self._read(lambda client: client.raw_state())
+
+    def provenance(self, relation: str):
+        return self._read(lambda client: client.provenance(relation))
+
+    def annotation_of(self, relation: str, row):
+        return self._read(lambda client: client.annotation_of(relation, row))
+
+    def specialize(self, env, default: bool = True):
+        return self._read(lambda client: client.specialize(env, default=default))
+
+    def subscribe(self, relation: str, pattern=None):
+        """Subscribe on a follower within the bound (pushes ride its
+        connection; later deltas keep flowing as the follower applies)."""
+        return self._read(lambda client: client.subscribe(relation, pattern))
+
+    # -- topology --------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.primary.ping()
+
+    def stats(self) -> dict:
+        return self.primary.stats()
+
+    def follower_versions(self) -> list[int]:
+        """Last observed version (= applied seq) per follower."""
+        return [client.last_version or 0 for client in self.followers]
+
+    def repoint(self, primary: tuple[str, int]) -> None:
+        """Route writes to a new primary (after promote-on-failure).
+
+        A promoted follower still serving in ``self.followers`` keeps
+        serving reads — a primary answers every read op too.
+        """
+        old = self.primary
+        self.primary = ServerClient(
+            primary[0],
+            primary[1],
+            timeout=self._timeout,
+            connect_retry=self._connect_retry,
+        )
+        try:
+            old.close()
+        except Exception:  # noqa: BLE001 - the old primary is likely dead
+            pass
+
+    def close(self) -> None:
+        for client in [self.primary, *self.followers]:
+            client.close()
+
+    def __enter__(self) -> "ReplicatedClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,162 @@
+"""Subprocess topologies: real primary/follower processes for tests.
+
+The fault sweep, the CI smoke test and the replication benchmark all
+need *actual process isolation* — separate interpreters, separate intern
+tables, real TCP between them — so these helpers spawn ``repro
+replicate`` nodes as child processes and parse their startup lines for
+the bound addresses.  Graceful stop is SIGTERM (the CLI installs
+handlers that flush and checkpoint); :meth:`NodeProcess.kill` is the
+crash used by promote-on-failure tests.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from ..errors import ReplicationError
+
+__all__ = ["NodeProcess", "spawn_primary", "spawn_follower"]
+
+_SRC_ROOT = str(Path(__file__).resolve().parents[2])
+
+_PRIMARY_LINE = re.compile(
+    r"primary serving on ([\w.\-]+):(\d+) shipping on ([\w.\-]+):(\d+)"
+)
+_FOLLOWER_LINE = re.compile(r"follower serving on ([\w.\-]+):(\d+) tracking")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    path = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = _SRC_ROOT + (os.pathsep + path if path else "")
+    return env
+
+
+class NodeProcess:
+    """One spawned replication node (primary or follower)."""
+
+    def __init__(self, process: subprocess.Popen, address: tuple[str, int],
+                 replication_address: tuple[str, int] | None = None):
+        self.process = process
+        self.address = address
+        #: the shipping endpoint (primaries only).
+        self.replication_address = replication_address
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def stop(self, timeout: float = 30.0) -> int:
+        """Graceful shutdown: SIGTERM, wait (flushes and checkpoints)."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck node
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+        return self.process.returncode
+
+    def kill(self) -> None:
+        """The crash: SIGKILL, no flush, no checkpoint."""
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+    def __enter__(self) -> "NodeProcess":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def _spawn(argv: list[str], line_pattern: re.Pattern, timeout: float) -> tuple:
+    process = subprocess.Popen(
+        [sys.executable, "-c", "from repro.cli import main; raise SystemExit(main())",
+         *argv],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    seen: list[str] = []
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            break
+        ready, _, _ = select.select([process.stdout], [], [], 0.2)
+        if not ready:
+            continue
+        line = process.stdout.readline()
+        if not line:
+            break
+        seen.append(line)
+        match = line_pattern.search(line)
+        if match:
+            return process, match
+    process.kill()
+    raise ReplicationError(
+        f"node did not report its address within {timeout}s; output:\n"
+        + "".join(seen)
+    )
+
+
+def spawn_primary(
+    directory: str | Path,
+    schema: list[str] = (),
+    policy: str = "normal_form_batch",
+    host: str = "127.0.0.1",
+    checkpoint_every: int = 1024,
+    buffer_records: int = 4096,
+    sync: str = "flush",
+    admission_max: int = 256,
+    timeout: float = 30.0,
+) -> NodeProcess:
+    """Spawn ``repro replicate primary`` on ephemeral ports."""
+    argv = [
+        "replicate", "primary", str(directory),
+        "--host", host, "--port", "0",
+        "--policy", policy,
+        "--journal-sync", sync,
+        "--checkpoint-every", str(checkpoint_every),
+        "--buffer-records", str(buffer_records),
+        "--admission-max", str(admission_max),
+    ]
+    for spec in schema:
+        argv += ["--schema", spec]
+    process, match = _spawn(argv, _PRIMARY_LINE, timeout)
+    return NodeProcess(
+        process,
+        address=(match.group(1), int(match.group(2))),
+        replication_address=(match.group(3), int(match.group(4))),
+    )
+
+
+def spawn_follower(
+    directory: str | Path,
+    primary: tuple[str, int],
+    host: str = "127.0.0.1",
+    checkpoint_every: int = 1024,
+    sync: str = "flush",
+    timeout: float = 30.0,
+) -> NodeProcess:
+    """Spawn ``repro replicate follower`` bootstrapping from ``primary``."""
+    argv = [
+        "replicate", "follower", str(directory),
+        "--primary", f"{primary[0]}:{primary[1]}",
+        "--host", host, "--port", "0",
+        "--journal-sync", sync,
+        "--checkpoint-every", str(checkpoint_every),
+    ]
+    process, match = _spawn(argv, _FOLLOWER_LINE, timeout)
+    return NodeProcess(process, address=(match.group(1), int(match.group(2))))

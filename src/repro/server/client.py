@@ -87,6 +87,12 @@ class ServerClient:
         self.host, self.port = host, port
         #: subscription id -> queued pushed frames, filled by the demux.
         self._pushed: dict[int, deque] = {}
+        #: Replication bookkeeping, updated from every response: the
+        #: newest journal seq this connection's writes reached (primary
+        #: apply responses carry ``seq``) and the newest snapshot version
+        #: observed (a follower's version *is* its applied journal seq).
+        self.last_seq: int | None = None
+        self.last_version: int | None = None
 
     # -- plumbing --------------------------------------------------------------
 
@@ -121,6 +127,10 @@ class ServerClient:
                     f"server error [{error.get('type', 'unknown')}]: "
                     f"{error.get('message', 'no message')}"
                 )
+            if isinstance(response.get("seq"), int):
+                self.last_seq = response["seq"]
+            if isinstance(response.get("version"), int):
+                self.last_version = response["version"]
             return response
 
     def _route_push(self, frame: dict) -> None:
@@ -314,15 +324,23 @@ class ServerClient:
         when talking to a server predating the memory axis.
         """
         response = self._call("stats")
-        return {
+        blocks = {
             "engine": response["engine"],
             "server": response["server"],
             "memory": response.get("memory", {}),
         }
+        if "replication" in response:
+            blocks["replication"] = response["replication"]
+        return blocks
 
     def checkpoint(self) -> int:
         """Force a durability checkpoint; returns checkpoints written."""
         return int(self._call("checkpoint")["written"])
+
+    def promote(self) -> dict:
+        """Promote a replication follower into a writer; returns role + seq."""
+        response = self._call("promote")
+        return {"role": response["role"], "seq": int(response["seq"])}
 
     def subscribe(
         self, relation: str, pattern: Pattern | None = None

@@ -264,6 +264,7 @@ class ProvenanceServer:
                 "protocol": PROTOCOL_REVISION,
                 "policy": getattr(self.service.engine, "policy", None),
                 "backend": self.service.config.backend,
+                "role": self.service.role,
                 "snapshot_version": self.service.version,
                 "schema": {
                     relation.name: list(relation.attributes)
@@ -432,6 +433,19 @@ class ProvenanceServer:
         self._early_pushes.pop(view_id, None)
         return {"ok": True, "unsubscribed": bool(existed)}
 
+    async def _op_promote(self, _request: dict, _conn: _Connection) -> dict:
+        """Promote this follower to a writer (see ``repro.replication.node``).
+
+        The node's promoter stops the shipping stream (a blocking join,
+        hence the executor hop) and then runs the ``promote`` admission,
+        so the role flip is ordered against every other admission.
+        """
+        promoter = self.service.promoter
+        if promoter is None:
+            raise ServerError("this server is not a promotable follower")
+        result = await asyncio.get_running_loop().run_in_executor(None, promoter)
+        return {"ok": True, **result}
+
     async def _op_shutdown(self, request: dict, _conn: _Connection) -> dict:
         # The reply ships before stop() runs (see _respond): the requesting
         # client learns its shutdown was accepted, then the server drains
@@ -543,6 +557,7 @@ _OPS = {
     "checkpoint": ProvenanceServer._op_checkpoint,
     "subscribe": ProvenanceServer._op_subscribe,
     "unsubscribe": ProvenanceServer._op_unsubscribe,
+    "promote": ProvenanceServer._op_promote,
     "shutdown": ProvenanceServer._op_shutdown,
 }
 
@@ -601,6 +616,7 @@ def serve_in_thread(
     database: Database | None = None,
     config: ServerConfig | None = None,
     start_timeout: float = 30.0,
+    service_factory=None,
 ) -> ServerHandle:
     """Start a provenance server on a daemon thread; returns its handle.
 
@@ -608,6 +624,11 @@ def serve_in_thread(
     address is available as ``handle.host`` / ``handle.port`` once this
     returns, and ``handle.stop()`` performs the same graceful shutdown as
     the ``shutdown`` op.  Construction failures re-raise here.
+
+    ``service_factory`` (when given) supplies the whole service instead —
+    how a replication follower serves an engine it already bootstrapped
+    (the writer-thread confinement starts at ``start()``, so a prebuilt
+    engine is fine as long as nothing else touches it afterwards).
     """
     config = config or ServerConfig()
     started = threading.Event()
@@ -615,7 +636,10 @@ def serve_in_thread(
 
     async def _main() -> None:
         try:
-            service = ProvenanceService(build_engine(database, config), config)
+            if service_factory is not None:
+                service = service_factory()
+            else:
+                service = ProvenanceService(build_engine(database, config), config)
             server = ProvenanceServer(service)
             await server.start()
         except BaseException as exc:  # noqa: BLE001 - reported to the caller

@@ -232,6 +232,18 @@ class ProvenanceService:
         if self.config.admission_max < 1:
             raise ServerError("admission_max must be >= 1")
         self.counters = ServiceCounters()
+        #: ``primary`` serves writes; ``follower`` rejects them and folds
+        #: shipped journal frames in through ``replicate`` admissions
+        #: instead (see :mod:`repro.replication.node`).
+        self.role = "primary"
+        #: Follower-only: the :class:`ShipmentApplier` the ``replicate``
+        #: admission feeds (owns the journal the engine detached).
+        self.applier = None
+        #: Follower-only hooks installed by the node: ``promoter()`` runs
+        #: the whole promotion (stop the stream, then the ``promote``
+        #: admission); ``replication()`` reports stream health for stats.
+        self.promoter = None
+        self.replication = None
         self.schema = getattr(engine, "schema", None) or engine.executor.schema
         self._queue: asyncio.Queue[_Admission] = asyncio.Queue()
         self._version = 0
@@ -333,6 +345,11 @@ class ProvenanceService:
     async def apply(self, items: Iterable[UpdateQuery | Transaction], batch: bool = False) -> dict:
         """Admit a decoded item sequence; resolves once applied."""
         self._check_open()
+        if self.role == "follower":
+            raise ServerError(
+                "this server is a read-only follower; route writes to the "
+                "primary (or promote this follower first)"
+            )
         items = list(items)
         n_queries = sum(
             len(item) if isinstance(item, Transaction) else 1 for item in items
@@ -412,8 +429,14 @@ class ProvenanceService:
                 "backend": self.config.backend,
                 "policy": getattr(self.engine, "policy", None),
                 "admission_max": self.config.admission_max,
+                "role": self.role,
             },
             "memory": self.memory_stats(),
+            **(
+                {"replication": self.replication()}
+                if self.replication is not None
+                else {}
+            ),
         }
 
     async def checkpoint(self) -> int:
@@ -421,6 +444,36 @@ class ProvenanceService:
         self._check_open()
         future = asyncio.get_running_loop().create_future()
         await self._queue.put(_Admission("checkpoint", future))
+        return await future
+
+    async def replicate(self, shipments: list) -> dict:
+        """Fold shipped journal frames in (follower role only).
+
+        ``shipments`` is the ``[(record, line), ...]`` batch the stream
+        receiver assembled; applying it on the writer thread serializes
+        replication with reads, so readers see whole shipped batches and
+        the published snapshot's version *is* the applied journal seq.
+        """
+        self._check_open()
+        if self.applier is None:
+            raise ServerError("this server is not a replication follower")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Admission("replicate", future, items=shipments))
+        return await future
+
+    async def promote(self) -> dict:
+        """Turn this follower into a writer (after its stream stopped).
+
+        Reattaches the journal to the engine on the writer thread, so the
+        role flip is atomic with respect to every admission: applies
+        admitted before it are rejected as read-only, applies after it
+        journal normally, continuing the shipped sequence.
+        """
+        self._check_open()
+        if self.applier is None:
+            raise ServerError("this server is not a replication follower")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Admission("promote", future))
         return await future
 
     async def subscribe(
@@ -515,6 +568,15 @@ class ProvenanceService:
             elif entry.kind == "checkpoint":
                 index += 1
                 outcomes.append((entry.future, self._outcome_of(self._checkpoint_now)))
+            elif entry.kind == "replicate":
+                index += 1
+                shipments = entry.items
+                outcomes.append(
+                    (entry.future, self._outcome_of(lambda: self._replicate(shipments)))
+                )
+            elif entry.kind == "promote":
+                index += 1
+                outcomes.append((entry.future, self._outcome_of(self._promote)))
             elif entry.kind == "subscribe":
                 index += 1
                 relation, pattern = entry.items[0]
@@ -607,10 +669,31 @@ class ProvenanceService:
         if len(group) > 1:
             self.counters.fused_runs += 1
         self.counters.max_admitted = max(self.counters.max_admitted, len(group))
+        outcome = {"applied": 0, "version": self._version}
+        journal = getattr(self.engine, "journal", None)
+        if journal is not None:
+            # The durable sequence this group reached: what a replication
+            # client compares follower versions against (staleness bound).
+            outcome["seq"] = journal.last_seq
         for entry in group:
             outcomes.append(
-                (entry.future, {"applied": entry.n_queries, "version": self._version})
+                (entry.future, {**outcome, "applied": entry.n_queries})
             )
+
+    # -- replication (writer thread only) ---------------------------------------
+
+    def _replicate(self, shipments: list) -> dict:
+        """Apply one shipped batch; the follower's version is its seq."""
+        applied = self.applier.apply_lines(shipments)
+        self._version = self.applier.applied_seq
+        self.counters.admitted += applied
+        return {"applied": applied, "seq": self.applier.applied_seq}
+
+    def _promote(self) -> dict:
+        """Reattach the journal and flip the role (writer thread)."""
+        self.applier.promote()
+        self.role = "primary"
+        return {"role": "primary", "seq": self.engine.journal.last_seq}
 
     # -- live views (writer thread only) ---------------------------------------
 
@@ -693,6 +776,16 @@ class ProvenanceService:
                 raise EngineError("sharded backend is not journaled; pass directory=")
             return int(self.engine.checkpoint())
         if isinstance(self.engine, JournaledEngine):
+            if self.engine.journal is None:
+                # Follower: the applier owns the journal and checkpoints
+                # only at shipped flush boundaries — a forced checkpoint
+                # here could observe provenance mid-transaction and flush
+                # the normal_form_batch policy at a point the primary
+                # never did.
+                raise EngineError(
+                    "followers checkpoint from the shipped stream; force "
+                    "checkpoints on the primary"
+                )
             return int(self.engine.checkpoint())
         raise EngineError("backend 'plain' keeps no durable state to checkpoint")
 
@@ -710,7 +803,13 @@ class ProvenanceService:
         if isinstance(engine, ShardedEngine):
             engine.close(checkpoint=checkpoint and engine.journaled)
         elif isinstance(engine, JournaledEngine):
-            engine.close(checkpoint=checkpoint)
+            if engine.journal is None and self.applier is not None:
+                # Follower: no forced checkpoint (the stream may be
+                # mid-transaction); the journal tail replays on the next
+                # bootstrap exactly as after a crash.
+                self.applier.close()
+            else:
+                engine.close(checkpoint=checkpoint)
         else:
             engine.support_count()
 

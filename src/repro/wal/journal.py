@@ -64,11 +64,13 @@ from ..workloads.logs import query_from_dict, query_to_dict
 __all__ = [
     "Journal",
     "JournalScan",
+    "JournalTail",
     "SYNC_POLICIES",
     "encode_record",
     "parse_line",
     "records_to_events",
     "scan_journal",
+    "tail_journal",
     "truncate_torn_tail",
 ]
 
@@ -181,6 +183,102 @@ def truncate_torn_tail(path: str | Path, scan: JournalScan) -> int:
     return scan.torn_bytes
 
 
+@dataclass
+class JournalTail:
+    """One incremental read of a journal that is still being appended.
+
+    Unlike :class:`JournalScan` (a post-crash full-file scan), a tail read
+    happens *while* the writer lives, so three end states must stay
+    distinguishable:
+
+    * **clean end** — ``pending_bytes == 0`` and ``truncated`` is False:
+      every byte past ``offset`` formed complete records; ship them all.
+    * **in-progress final frame** — ``pending_bytes > 0``: the writer's
+      last append has not fully reached the file yet.  The bytes are
+      *not* part of ``records`` and must never be shipped; the next read
+      from ``next_offset`` sees the completed frame.
+    * **reset** — ``truncated`` is True: the file is now *shorter* than
+      ``offset`` (a checkpoint truncated it).  Naive tailing would read
+      a clean EOF here and silently skip every record the reset covered;
+      the caller must resync (re-read from 0, or fall back to a
+      checkpoint transfer).
+    """
+
+    #: decoded records, in file order (sequence numbers strictly increase).
+    records: list[dict]
+    #: raw line bytes (newline included), parallel to ``records`` — what a
+    #: shipper forwards verbatim so receivers re-verify the original CRC.
+    lines: list[bytes]
+    #: byte offset just past the last complete record (resume point).
+    next_offset: int
+    #: trailing bytes of an incomplete final frame (never shipped).
+    pending_bytes: int
+    #: True when the file shrank below ``offset`` — the journal was reset.
+    truncated: bool
+
+    @property
+    def last_seq(self) -> int | None:
+        return self.records[-1]["seq"] if self.records else None
+
+
+def tail_journal(
+    path: str | Path, offset: int = 0, last_seq: int | None = None
+) -> JournalTail:
+    """Read the complete frames appended past ``offset``; never a partial one.
+
+    This is the shipper's read primitive.  A frame is shipped only once
+    its trailing newline is visible — the writer appends each line with a
+    single buffered write, so a visible newline proves every byte before
+    it is in the file, and a newline-terminated line that still fails its
+    CRC is genuine corruption (:class:`StorageError`), not an append in
+    progress.  ``last_seq`` (when given) asserts the first returned
+    record continues the caller's sequence — a non-increasing sequence
+    means the caller's offset bookkeeping is stale and raises rather
+    than silently re-shipping.
+    """
+    path = Path(path)
+    if offset < 0:
+        raise StorageError(f"tail offset must be >= 0, got {offset}")
+    try:
+        with open(path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < offset:
+                return JournalTail([], [], offset, 0, True)
+            handle.seek(offset)
+            data = handle.read()
+    except FileNotFoundError:
+        return JournalTail([], [], offset, 0, offset > 0)
+    records: list[dict] = []
+    lines: list[bytes] = []
+    position = 0
+    end = len(data)
+    previous = last_seq
+    while position < end:
+        newline = data.find(b"\n", position)
+        if newline == -1:
+            # The in-progress (or torn) final frame: report, never ship.
+            return JournalTail(
+                records, lines, offset + position, end - position, False
+            )
+        line = data[position : newline + 1]
+        record = parse_line(data[position:newline])
+        if record is None:
+            raise StorageError(
+                f"corrupt journal {path}: unreadable complete line at "
+                f"offset {offset + position}"
+            )
+        seq = record["seq"]
+        if previous is not None and seq <= previous:
+            raise StorageError(
+                f"corrupt journal {path}: sequence {seq} after {previous}"
+            )
+        records.append(record)
+        lines.append(line)
+        previous = seq
+        position = newline + 1
+    return JournalTail(records, lines, offset + position, 0, False)
+
+
 def records_to_events(records: list[dict]) -> Iterator[tuple[str, object]]:
     """Decode journal records into the :meth:`UpdateLog.events` vocabulary.
 
@@ -247,6 +345,13 @@ class Journal:
         self.records_since_reset = preexisting_records
         #: records appended by this process over the journal's lifetime.
         self.appended = 0
+        #: Replication hooks.  ``on_append(seq, line)`` fires after a
+        #: record is durably written (per the sync policy) — a shipped
+        #: record is therefore never ahead of the writer's own disk.
+        #: ``on_reset(covered_seq)`` fires after a checkpoint truncation.
+        #: Both run on the appending thread and must not raise.
+        self.on_append = None
+        self.on_reset = None
 
     @property
     def last_seq(self) -> int:
@@ -272,14 +377,42 @@ class Journal:
 
     def _append(self, kind: str, payload: Mapping[str, object]) -> int:
         self._seq += 1
-        self._file.write(encode_record(self._seq, kind, payload))
+        line = encode_record(self._seq, kind, payload)
+        self._file.write(line)
         if self.sync_policy != "none":
             self._file.flush()
             if self.sync_policy == "fsync":
                 os.fsync(self._file.fileno())
         self.records_since_reset += 1
         self.appended += 1
+        if self.on_append is not None:
+            self.on_append(self._seq, line)
         return self._seq
+
+    def append_raw(self, line: bytes, seq: int) -> int:
+        """Append one pre-encoded record line verbatim (replication apply).
+
+        The line's bytes — CRC included — are written exactly as the
+        primary produced them, so a follower's journal file is
+        byte-identical to the primary's record stream.  ``seq`` must be
+        the next sequence number; shipping resumes from the last durable
+        record, so a gap here means frames were lost in transit.
+        """
+        if seq != self._seq + 1:
+            raise StorageError(
+                f"raw append out of sequence: got {seq}, expected {self._seq + 1}"
+            )
+        self._file.write(line)
+        if self.sync_policy != "none":
+            self._file.flush()
+            if self.sync_policy == "fsync":
+                os.fsync(self._file.fileno())
+        self._seq = seq
+        self.records_since_reset += 1
+        self.appended += 1
+        if self.on_append is not None:
+            self.on_append(seq, line)
+        return seq
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -295,6 +428,8 @@ class Journal:
         if self.sync_policy == "fsync":
             os.fsync(self._file.fileno())
         self.records_since_reset = 0
+        if self.on_reset is not None:
+            self.on_reset(self._seq)
 
     def sync(self) -> None:
         """Force everything appended so far to disk, whatever the policy."""

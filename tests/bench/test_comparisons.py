@@ -1,4 +1,4 @@
-"""The ISSUE 1-5 and 8 acceptance measurements, at test-suite scale.
+"""The ISSUE 1-5, 8 and 10 acceptance measurements, at test-suite scale.
 
 These are correctness-plus-floor checks on the comparison primitives in
 :mod:`repro.bench.measure`: the memoized rewrite path must be at least 2x
@@ -25,6 +25,7 @@ from repro.bench.measure import (
     index_comparison,
     recovery_comparison,
     repeated_normalization_workload,
+    replication_comparison,
     rewrite_cache_comparison,
     server_comparison,
     shard_comparison,
@@ -172,6 +173,32 @@ def test_delta_push_beats_reread_per_update():
     assert comparison.push_batches == comparison.updates  # one batch per round
     assert comparison.affected < comparison.watched < comparison.rows
     assert comparison.speedup >= 2.0, comparison.as_dict()
+
+
+def test_follower_routed_reads_beat_primary_only(tmp_path):
+    """ISSUE 10 acceptance: 3 followers >= 1.8x aggregate read throughput.
+
+    The replication scenario of ``replication_comparison``: a primary
+    under a continuous single-apply write stream (every ack invalidates
+    its published snapshot, so each primary read pays a fresh capture of
+    a large state) serves four readers directly, then the same readers
+    route through the read/write splitter to three follower processes
+    whose coalesced shipment batches leave their snapshots cacheable
+    between applies (observed locally: ~2.8-3.3x on one core — a
+    per-read-cost win, not a parallelism artifact; the topology is
+    constant across both phases, only the routing differs).  At the
+    final journal sequence every follower's state must be bit-identical
+    to the primary's — rows, liveness, and the identical re-interned
+    annotation object per row.
+    """
+    attempts = iter(("first", "second"))
+    comparison = retrying(
+        lambda: replication_comparison(tmp_path / next(attempts)), 1.8
+    )
+    assert comparison.consistent  # bit-identical followers at equal seq
+    assert comparison.follower_reads > 0  # reads actually scaled out
+    assert comparison.followers == 3
+    assert comparison.speedup >= 1.8, comparison.as_dict()
 
 
 def test_batch_comparison_none_policy_is_consistent():

@@ -13,6 +13,7 @@ from repro.wal.journal import (
     parse_line,
     records_to_events,
     scan_journal,
+    tail_journal,
     truncate_torn_tail,
 )
 
@@ -145,3 +146,139 @@ class TestJournal:
         scan = scan_journal(journal_path)
         assert [r["seq"] for r in scan.records] == [1, 2, 3, 4, 5, 6]
         assert journal.records_since_reset == 6
+
+
+class TestTail:
+    """The shipper's read primitive: complete frames only, resets visible."""
+
+    def test_missing_file_at_offset_zero_is_clean_empty(self, tmp_path):
+        tail = tail_journal(tmp_path / "void.log", 0)
+        assert tail.records == [] and tail.lines == []
+        assert tail.next_offset == 0 and tail.pending_bytes == 0
+        assert not tail.truncated
+
+    def test_missing_file_past_offset_zero_is_a_reset(self, tmp_path):
+        # We had read bytes from a file that no longer exists: resync.
+        assert tail_journal(tmp_path / "void.log", 40).truncated
+
+    def test_negative_offset_rejected(self, journal_path):
+        with pytest.raises(StorageError, match="offset"):
+            tail_journal(journal_path, -1)
+
+    def test_incremental_reads_cover_every_record_once(self, journal_path):
+        write_sample(journal_path)
+        full = scan_journal(journal_path).records
+        offset, last_seq, seen = 0, None, []
+        # One record per read: offsets resume exactly where they left off.
+        while True:
+            tail = tail_journal(journal_path, offset, last_seq)
+            assert not tail.truncated and tail.pending_bytes == 0
+            if not tail.records:
+                break
+            seen.extend(tail.records)
+            offset, last_seq = tail.next_offset, tail.last_seq
+        assert seen == full
+
+    def test_raw_lines_are_byte_verbatim(self, journal_path):
+        write_sample(journal_path)
+        tail = tail_journal(journal_path)
+        assert b"".join(tail.lines) == journal_path.read_bytes()
+        assert all(line.endswith(b"\n") for line in tail.lines)
+        assert [parse_line(line[:-1]) for line in tail.lines] == tail.records
+
+    def test_partial_final_frame_is_pending_not_shipped(self, journal_path):
+        """The silent-gap hazard: a torn/in-progress final frame must be
+        reported as pending, never parsed as complete or treated as EOF."""
+        write_sample(journal_path)
+        data = journal_path.read_bytes()
+        full = scan_journal(journal_path)
+        boundaries = [0]
+        for record_end in range(len(data)):
+            if data[record_end : record_end + 1] == b"\n":
+                boundaries.append(record_end + 1)
+        cut_path = journal_path.parent / "cut.log"
+        for cut in range(len(data) + 1):
+            cut_path.write_bytes(data[:cut])
+            tail = tail_journal(cut_path, 0)
+            good = max(b for b in boundaries if b <= cut)
+            assert not tail.truncated
+            assert tail.next_offset == good
+            assert tail.pending_bytes == cut - good
+            assert b"".join(tail.lines) == data[:good]
+            assert tail.records == full.records[: len(tail.records)]
+            # Once the frame completes, a resumed read ships exactly it.
+            if tail.pending_bytes:
+                cut_path.write_bytes(data)
+                resumed = tail_journal(cut_path, tail.next_offset, tail.last_seq)
+                assert resumed.records == full.records[len(tail.records) :]
+
+    def test_reset_below_offset_is_truncated_not_clean_end(self, journal_path):
+        write_sample(journal_path)
+        tail = tail_journal(journal_path)
+        assert tail.next_offset > 0
+        journal_path.write_bytes(b"")  # checkpoint reset
+        after = tail_journal(journal_path, tail.next_offset, tail.last_seq)
+        assert after.truncated  # naive tailing would call this a clean EOF
+        assert after.records == [] and after.pending_bytes == 0
+
+    def test_complete_but_corrupt_line_raises(self, journal_path):
+        journal_path.write_bytes(b"deadbeef not-a-record\n")
+        with pytest.raises(StorageError, match="unreadable complete line"):
+            tail_journal(journal_path)
+
+    def test_non_increasing_sequence_raises(self, journal_path):
+        with open(journal_path, "wb") as handle:
+            handle.write(encode_record(5, "txn_end", {"name": "p"}))
+            handle.write(encode_record(3, "txn_end", {"name": "q"}))
+        with pytest.raises(StorageError, match="sequence 3 after 5"):
+            tail_journal(journal_path)
+        # ...and against the caller's own bookkeeping via last_seq.
+        with pytest.raises(StorageError, match="sequence 5 after 9"):
+            tail_journal(journal_path, 0, last_seq=9)
+
+
+class TestReplicationHooks:
+    def test_on_append_fires_per_record_with_verbatim_line(self, journal_path):
+        shipped = []
+        journal = Journal(journal_path)
+        journal.on_append = lambda seq, line: shipped.append((seq, line))
+        for query in QUERIES:
+            journal.append_query(query)
+        journal.append_txn_end("p")
+        journal.close()
+        assert [seq for seq, _ in shipped] == [1, 2, 3, 4]
+        assert b"".join(line for _, line in shipped) == journal_path.read_bytes()
+
+    def test_on_reset_reports_covered_seq(self, journal_path):
+        resets = []
+        journal = Journal(journal_path)
+        journal.on_reset = resets.append
+        journal.append_txn_end("p")
+        journal.append_txn_end("q")
+        journal.reset()
+        journal.close()
+        assert resets == [2]
+
+    def test_append_raw_replays_primary_lines_byte_identical(
+        self, journal_path, tmp_path
+    ):
+        write_sample(journal_path)
+        replica_path = tmp_path / "replica.log"
+        replica = Journal(replica_path)
+        tail = tail_journal(journal_path)
+        for record, line in zip(tail.records, tail.lines):
+            replica.append_raw(line, record["seq"])
+        replica.close()
+        assert replica_path.read_bytes() == journal_path.read_bytes()
+        assert replica.last_seq == tail.last_seq
+        assert replica.appended == len(tail.records)
+
+    def test_append_raw_rejects_gaps_and_duplicates(self, journal_path):
+        line = encode_record(1, "txn_end", {"name": "p"})
+        journal = Journal(journal_path)
+        journal.append_raw(line, 1)
+        with pytest.raises(StorageError, match="out of sequence"):
+            journal.append_raw(line, 1)  # duplicate
+        with pytest.raises(StorageError, match="got 3, expected 2"):
+            journal.append_raw(encode_record(3, "txn_end", {"name": "q"}), 3)
+        journal.close()
